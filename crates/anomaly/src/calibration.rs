@@ -1,0 +1,118 @@
+//! Calibration statistics of the active-node indicator.
+
+/// Per-node statistics of the active-node indicator `v̂_{i,t}` under normal
+/// (MBBE-free) operation: its mean `µ` and standard deviation `σ`.
+///
+/// The paper assumes these are measured during a pre-calibration phase
+/// (Sec. IV-B).  [`CalibrationStats::phenomenological`] derives them from the
+/// noise model instead: a detection event fires when an odd number of its
+/// incident error mechanisms fire, and with `m` independent mechanisms each
+/// of probability `p` the odd-parity probability is `(1 − (1 − 2p)^m) / 2`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationStats {
+    /// Mean of the per-cycle active indicator.
+    pub mu: f64,
+    /// Standard deviation of the per-cycle active indicator.
+    pub sigma: f64,
+}
+
+impl CalibrationStats {
+    /// Creates statistics from an explicitly measured mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is not a probability or `sigma` is negative.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&mu), "µ must be a probability, got {mu}");
+        assert!(sigma >= 0.0, "σ must be non-negative, got {sigma}");
+        Self { mu, sigma }
+    }
+
+    /// Derives the statistics for the phenomenological noise model: a node
+    /// with `num_mechanisms` incident error mechanisms (its incident data
+    /// qubits plus two measurement slots), each firing independently with
+    /// probability `physical_error_rate` per cycle.
+    ///
+    /// ```
+    /// use q3de_anomaly::CalibrationStats;
+    /// let stats = CalibrationStats::phenomenological(1e-3, 6);
+    /// assert!(stats.mu > 5e-3 && stats.mu < 7e-3);
+    /// ```
+    pub fn phenomenological(physical_error_rate: f64, num_mechanisms: usize) -> Self {
+        let p = physical_error_rate.clamp(0.0, 0.5);
+        let mu = (1.0 - (1.0 - 2.0 * p).powi(num_mechanisms as i32)) / 2.0;
+        // The indicator is Bernoulli(µ).
+        let sigma = (mu * (1.0 - mu)).sqrt();
+        Self { mu, sigma }
+    }
+
+    /// The statistics for a typical bulk syndrome node of the surface code
+    /// under the paper's noise model: four incident data qubits plus two
+    /// measurement mechanisms.
+    pub fn bulk_surface_code(physical_error_rate: f64) -> Self {
+        Self::phenomenological(physical_error_rate, 6)
+    }
+
+    /// The variance `σ²`.
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Mean of the windowed count over `window` cycles.
+    pub fn window_mean(&self, window: usize) -> f64 {
+        self.mu * window as f64
+    }
+
+    /// Standard deviation of the windowed count over `window` cycles
+    /// (treating cycles as independent).
+    pub fn window_sigma(&self, window: usize) -> f64 {
+        self.sigma * (window as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phenomenological_mu_is_roughly_linear_at_small_p() {
+        let stats = CalibrationStats::phenomenological(1e-4, 6);
+        assert!((stats.mu - 6e-4).abs() / 6e-4 < 0.01);
+        let stats = CalibrationStats::phenomenological(1e-3, 4);
+        assert!((stats.mu - 4e-3).abs() / 4e-3 < 0.01);
+    }
+
+    #[test]
+    fn mu_saturates_at_one_half() {
+        let stats = CalibrationStats::phenomenological(0.5, 6);
+        assert!((stats.mu - 0.5).abs() < 1e-12);
+        assert!((stats.sigma - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_variance() {
+        let stats = CalibrationStats::phenomenological(1e-2, 6);
+        assert!((stats.variance() - stats.mu * (1.0 - stats.mu)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_statistics_scale() {
+        let stats = CalibrationStats::new(0.01, 0.0995);
+        assert!((stats.window_mean(300) - 3.0).abs() < 1e-12);
+        assert!((stats.window_sigma(100) - 0.995).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bulk_helper_uses_six_mechanisms() {
+        let a = CalibrationStats::bulk_surface_code(2e-3);
+        let b = CalibrationStats::phenomenological(2e-3, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn invalid_mu_is_rejected() {
+        let _ = CalibrationStats::new(1.5, 0.1);
+    }
+}

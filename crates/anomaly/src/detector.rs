@@ -1,0 +1,405 @@
+//! The streaming anomaly-detection unit.
+
+use crate::{stats, CalibrationStats};
+use q3de_lattice::Coord;
+use std::collections::VecDeque;
+
+/// Configuration of the [`AnomalyDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Sliding-window length `c_win` in code cycles.
+    pub window: usize,
+    /// Confidence level `1 − α` of the per-node threshold (Eq. 3).
+    pub confidence: f64,
+    /// Number of simultaneously-triggered positions `n_th` required to
+    /// declare an MBBE.
+    pub count_threshold: usize,
+    /// How long (in code cycles) triggered positions are excluded from the
+    /// trigger count after a detection — the expected MBBE lifetime.
+    pub anomaly_lifetime_cycles: u64,
+    /// Chebyshev radius (in grid sites) around the estimated centre whose
+    /// nodes are also excluded after a detection.
+    pub suppression_radius: u32,
+    /// Calibrated statistics of the active-node indicator.
+    pub calibration: CalibrationStats,
+}
+
+impl DetectorConfig {
+    /// A configuration with the paper's evaluation defaults
+    /// (`1 − α = 0.99`, `n_th = 20`, 25 ms lifetime at 1 µs cycles).
+    pub fn with_window(window: usize, calibration: CalibrationStats) -> Self {
+        Self {
+            window,
+            confidence: 0.99,
+            count_threshold: 20,
+            anomaly_lifetime_cycles: 25_000,
+            suppression_radius: 10,
+            calibration,
+        }
+    }
+
+    /// The per-node count threshold `V_th` of Eq. (3).
+    pub fn threshold(&self) -> f64 {
+        let cwin = self.window as f64;
+        self.calibration.mu * cwin
+            + (2.0 * cwin * self.calibration.variance()).sqrt()
+                * stats::inverse_erf(self.confidence)
+    }
+}
+
+/// A detected MBBE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectedAnomaly {
+    /// Code cycle at which the detector fired.
+    pub detection_cycle: u64,
+    /// Estimated onset cycle of the MBBE (start of the detection window).
+    pub estimated_onset_cycle: u64,
+    /// Estimated centre of the anomalous region: the median coordinate of
+    /// the triggered syndrome positions.
+    pub estimated_center: Coord,
+    /// Indices of the syndrome nodes over threshold at detection time.
+    pub triggered_nodes: Vec<usize>,
+}
+
+impl DetectedAnomaly {
+    /// Detection latency implied by the onset estimate.
+    pub fn estimated_latency(&self) -> u64 {
+        self.detection_cycle - self.estimated_onset_cycle
+    }
+}
+
+/// The anomaly-detection unit: per-position sliding-window counters of active
+/// syndrome nodes, compared against the CLT threshold of Eq. (3).
+#[derive(Debug, Clone)]
+pub struct AnomalyDetector {
+    config: DetectorConfig,
+    threshold: f64,
+    positions: Vec<Coord>,
+    ring: VecDeque<Vec<bool>>,
+    counters: Vec<u32>,
+    suppressed_until: Vec<u64>,
+    cycle: u64,
+    detections: Vec<DetectedAnomaly>,
+}
+
+impl AnomalyDetector {
+    /// Creates a detector for syndrome nodes located at `positions` (index
+    /// order must match the layers later passed to
+    /// [`AnomalyDetector::observe_layer`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero or there are no positions.
+    pub fn new(config: DetectorConfig, positions: Vec<Coord>) -> Self {
+        assert!(config.window > 0, "detection window must be positive");
+        assert!(!positions.is_empty(), "the detector needs at least one syndrome position");
+        let n = positions.len();
+        let threshold = config.threshold();
+        Self {
+            config,
+            threshold,
+            positions,
+            ring: VecDeque::new(),
+            counters: vec![0; n],
+            suppressed_until: vec![0; n],
+            cycle: 0,
+            detections: Vec::new(),
+        }
+    }
+
+    /// The per-node threshold `V_th` in use.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Number of code cycles observed so far.
+    pub fn current_cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The current per-node windowed counts.
+    pub fn counters(&self) -> &[u32] {
+        &self.counters
+    }
+
+    /// All detections reported so far.
+    pub fn detections(&self) -> &[DetectedAnomaly] {
+        &self.detections
+    }
+
+    /// The node indices currently over threshold (ignoring suppression).
+    pub fn nodes_over_threshold(&self) -> Vec<usize> {
+        (0..self.counters.len())
+            .filter(|&i| f64::from(self.counters[i]) > self.threshold)
+            .collect()
+    }
+
+    /// Feeds one layer of active-node indicators (one bool per syndrome
+    /// position) and returns a detection if the layer triggered one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` does not have one entry per syndrome position.
+    pub fn observe_layer(&mut self, active: &[bool]) -> Option<DetectedAnomaly> {
+        assert_eq!(
+            active.len(),
+            self.positions.len(),
+            "layer has {} entries, expected {}",
+            active.len(),
+            self.positions.len()
+        );
+        let cycle = self.cycle;
+        self.cycle += 1;
+
+        //
+
+        // Update the sliding window counters.
+        for (i, &a) in active.iter().enumerate() {
+            if a {
+                self.counters[i] += 1;
+            }
+        }
+        self.ring.push_back(active.to_vec());
+        if self.ring.len() > self.config.window {
+            let oldest = self.ring.pop_front().expect("ring was non-empty");
+            for (i, &a) in oldest.iter().enumerate() {
+                if a {
+                    self.counters[i] -= 1;
+                }
+            }
+        }
+        if self.ring.len() < self.config.window {
+            return None;
+        }
+
+        // Count triggered, non-suppressed positions.
+        let triggered: Vec<usize> = (0..self.counters.len())
+            .filter(|&i| {
+                f64::from(self.counters[i]) > self.threshold && self.suppressed_until[i] <= cycle
+            })
+            .collect();
+        if triggered.len() <= self.config.count_threshold {
+            return None;
+        }
+
+        // Estimate the region centre as the per-axis median of triggered
+        // positions.
+        let mut rows: Vec<i32> = triggered.iter().map(|&i| self.positions[i].row).collect();
+        let mut cols: Vec<i32> = triggered.iter().map(|&i| self.positions[i].col).collect();
+        rows.sort_unstable();
+        cols.sort_unstable();
+        let center = Coord::new(rows[rows.len() / 2], cols[cols.len() / 2]);
+
+        // Suppress the triggered region for the MBBE lifetime so that a
+        // second, distinct MBBE can still be detected.
+        let until = cycle + self.config.anomaly_lifetime_cycles;
+        for (i, &pos) in self.positions.iter().enumerate() {
+            let near = pos.chebyshev(center) <= self.config.suppression_radius;
+            if near || triggered.contains(&i) {
+                self.suppressed_until[i] = self.suppressed_until[i].max(until);
+            }
+        }
+
+        let detection = DetectedAnomaly {
+            detection_cycle: cycle,
+            estimated_onset_cycle: (cycle + 1).saturating_sub(self.config.window as u64),
+            estimated_center: center,
+            triggered_nodes: triggered,
+        };
+        self.detections.push(detection.clone());
+        Some(detection)
+    }
+
+    /// Convenience wrapper: feeds a full stream of layers and returns every
+    /// detection that fired.
+    pub fn observe_stream<'a, I>(&mut self, layers: I) -> Vec<DetectedAnomaly>
+    where
+        I: IntoIterator<Item = &'a [bool]>,
+    {
+        layers.into_iter().filter_map(|l| self.observe_layer(l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// A grid of syndrome positions mimicking the Z-stabilizers of a
+    /// distance-`d` code.
+    fn positions(d: i32) -> Vec<Coord> {
+        let mut v = Vec::new();
+        for row in (0..2 * d - 1).step_by(2) {
+            for col in (1..2 * d - 1).step_by(2) {
+                v.push(Coord::new(row, col));
+            }
+        }
+        v
+    }
+
+    fn config(window: usize, p: f64) -> DetectorConfig {
+        DetectorConfig::with_window(window, CalibrationStats::bulk_surface_code(p))
+    }
+
+    fn bernoulli_layer<R: Rng>(
+        positions: &[Coord],
+        base: f64,
+        hot: Option<(Coord, u32, f64)>,
+        rng: &mut R,
+    ) -> Vec<bool> {
+        positions
+            .iter()
+            .map(|&pos| {
+                let rate = match hot {
+                    Some((center, radius, hot_rate)) if pos.chebyshev(center) <= radius => hot_rate,
+                    _ => base,
+                };
+                rng.gen::<f64>() < rate
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threshold_matches_equation_three() {
+        let cfg = config(100, 1e-3);
+        let mu = cfg.calibration.mu;
+        let sigma2 = cfg.calibration.variance();
+        let expected = 100.0 * mu
+            + (2.0 * 100.0 * sigma2).sqrt() * crate::stats::inverse_erf(0.99);
+        assert!((cfg.threshold() - expected).abs() < 1e-12);
+        assert!(cfg.threshold() > 100.0 * mu);
+    }
+
+    #[test]
+    fn quiet_stream_never_triggers() {
+        let pos = positions(11);
+        let p = 1e-3;
+        let cfg = config(200, p);
+        let mu = cfg.calibration.mu;
+        let mut det = AnomalyDetector::new(cfg, pos.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..2_000 {
+            let layer = bernoulli_layer(&pos, mu, None, &mut rng);
+            assert!(det.observe_layer(&layer).is_none());
+        }
+        assert!(det.detections().is_empty());
+        assert_eq!(det.current_cycle(), 2_000);
+    }
+
+    #[test]
+    fn burst_is_detected_with_position_and_latency() {
+        let pos = positions(21);
+        let p = 1e-3;
+        let window = 150;
+        let cfg = config(window, p);
+        let mu = cfg.calibration.mu;
+        let mut det = AnomalyDetector::new(cfg, pos.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let onset = 500u64;
+        let center = Coord::new(20, 21);
+        // active-node probability inside the burst: ~50 % (p_ano = 0.5)
+        let mut detection = None;
+        for cycle in 0..3_000u64 {
+            let hot = if cycle >= onset { Some((center, 7, 0.5)) } else { None };
+            let layer = bernoulli_layer(&pos, mu, hot, &mut rng);
+            if let Some(d) = det.observe_layer(&layer) {
+                detection = Some(d);
+                break;
+            }
+        }
+        let d = detection.expect("the burst must be detected");
+        assert!(d.detection_cycle >= onset, "detected before the burst started");
+        let latency = d.detection_cycle - onset;
+        assert!(latency < 2 * window as u64, "latency {latency} too large");
+        assert!(
+            d.estimated_center.chebyshev(center) <= 6,
+            "estimated centre {} too far from {center}",
+            d.estimated_center
+        );
+        assert!(d.triggered_nodes.len() > 20);
+        assert!(d.estimated_latency() <= window as u64);
+    }
+
+    #[test]
+    fn suppression_prevents_immediate_retrigger_but_allows_second_region() {
+        let pos = positions(21);
+        let p = 1e-3;
+        let cfg = DetectorConfig {
+            anomaly_lifetime_cycles: 100_000,
+            ..config(150, p)
+        };
+        let mu = cfg.calibration.mu;
+        let mut det = AnomalyDetector::new(cfg, pos.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let first_center = Coord::new(10, 11);
+        let second_center = Coord::new(34, 33);
+        let mut detections = Vec::new();
+        for cycle in 0..6_000u64 {
+            // first burst from cycle 300, second from cycle 3000
+            let layer: Vec<bool> = pos
+                .iter()
+                .map(|&q| {
+                    let mut rate = mu;
+                    if cycle >= 300 && q.chebyshev(first_center) <= 7 {
+                        rate = 0.5;
+                    }
+                    if cycle >= 3_000 && q.chebyshev(second_center) <= 7 {
+                        rate = 0.5;
+                    }
+                    rng.gen::<f64>() < rate
+                })
+                .collect();
+            if let Some(d) = det.observe_layer(&layer) {
+                detections.push(d);
+            }
+        }
+        assert_eq!(detections.len(), 2, "exactly the two distinct bursts are reported");
+        assert!(detections[0].estimated_center.chebyshev(first_center) <= 6);
+        assert!(detections[1].estimated_center.chebyshev(second_center) <= 6);
+        assert!(detections[1].detection_cycle >= 3_000);
+    }
+
+    #[test]
+    fn observe_stream_collects_detections() {
+        let pos = positions(15);
+        let p = 1e-3;
+        let cfg = config(100, p);
+        let mu = cfg.calibration.mu;
+        let mut det = AnomalyDetector::new(cfg, pos.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let layers: Vec<Vec<bool>> = (0..1_500u64)
+            .map(|cycle| {
+                let hot =
+                    if cycle >= 400 { Some((Coord::new(14, 15), 7, 0.5)) } else { None };
+                bernoulli_layer(&pos, mu, hot, &mut rng)
+            })
+            .collect();
+        let found = det.observe_stream(layers.iter().map(|l| l.as_slice()));
+        assert_eq!(found.len(), det.detections().len());
+        assert!(!found.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4")]
+    fn wrong_layer_length_is_rejected() {
+        let cfg = config(10, 1e-3);
+        let mut det = AnomalyDetector::new(
+            cfg,
+            vec![Coord::new(0, 1), Coord::new(0, 3), Coord::new(2, 1), Coord::new(2, 3)],
+        );
+        det.observe_layer(&[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_is_rejected() {
+        let cfg = config(0, 1e-3);
+        let _ = AnomalyDetector::new(cfg, vec![Coord::new(0, 1)]);
+    }
+}

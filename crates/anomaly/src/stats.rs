@@ -1,0 +1,133 @@
+//! Small statistics toolbox: error function, its inverse and normal
+//! quantiles.
+//!
+//! The anomaly-detection threshold of Eq. (3) needs `erf⁻¹(1 − α)`.  The
+//! implementations below are accurate to better than `1e-6` over the ranges
+//! the detector uses and avoid any external dependency.
+
+/// The error function `erf(x)`, via the Abramowitz–Stegun 7.1.26 rational
+/// approximation (absolute error < 1.5·10⁻⁷).
+///
+/// ```
+/// use q3de_anomaly::stats::erf;
+/// assert!((erf(0.0)).abs() < 1e-12);
+/// assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let a1 = 0.254829592;
+    let a2 = -0.284496736;
+    let a3 = 1.421413741;
+    let a4 = -1.453152027;
+    let a5 = 1.061405429;
+    let p = 0.3275911;
+    let t = 1.0 / (1.0 + p * x);
+    let y = 1.0 - (((((a5 * t + a4) * t) + a3) * t + a2) * t + a1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// The inverse error function `erf⁻¹(y)` for `y ∈ (−1, 1)`.
+///
+/// Uses the Winitzki initial approximation refined by two Newton iterations
+/// on `erf`, giving ~1e-9 accuracy in the bulk of the domain.
+///
+/// # Panics
+///
+/// Panics if `y` is not strictly inside `(−1, 1)`.
+pub fn inverse_erf(y: f64) -> f64 {
+    assert!(y > -1.0 && y < 1.0, "inverse_erf is only defined on (-1, 1), got {y}");
+    if y == 0.0 {
+        return 0.0;
+    }
+    // Winitzki's approximation.
+    let a = 0.147;
+    let ln_term = (1.0 - y * y).ln();
+    let first = 2.0 / (std::f64::consts::PI * a) + ln_term / 2.0;
+    let mut x = (y.signum()) * ((first * first - ln_term / a).sqrt() - first).sqrt();
+    // Newton refinement: f(x) = erf(x) − y, f'(x) = 2/√π · exp(−x²).
+    for _ in 0..3 {
+        let err = erf(x) - y;
+        let derivative = 2.0 / std::f64::consts::PI.sqrt() * (-x * x).exp();
+        if derivative.abs() < 1e-300 {
+            break;
+        }
+        x -= err / derivative;
+    }
+    x
+}
+
+/// The quantile (inverse CDF) of the standard normal distribution.
+///
+/// `normal_quantile(0.975) ≈ 1.96`.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal quantile needs p in (0, 1), got {p}");
+    std::f64::consts::SQRT_2 * inverse_erf(2.0 * p - 1.0)
+}
+
+/// The CDF of the standard normal distribution.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (-1.0, -0.8427007929),
+        ];
+        for (x, expected) in cases {
+            assert!((erf(x) - expected).abs() < 2e-6, "erf({x}) = {} ≠ {expected}", erf(x));
+        }
+    }
+
+    #[test]
+    fn inverse_erf_round_trips() {
+        for &y in &[-0.99, -0.5, -0.1, 0.0, 0.123, 0.5, 0.9, 0.99, 0.999] {
+            let x = inverse_erf(y);
+            assert!((erf(x) - y).abs() < 1e-6, "erf(erf⁻¹({y})) = {}", erf(x));
+        }
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-3);
+        assert!((normal_quantile(0.99) - 2.326348).abs() < 1e-3);
+        assert!((normal_quantile(0.0013499) + 3.0).abs() < 2e-2);
+    }
+
+    #[test]
+    fn normal_cdf_and_quantile_are_inverse() {
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined on (-1, 1)")]
+    fn inverse_erf_rejects_out_of_range() {
+        let _ = inverse_erf(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs p in (0, 1)")]
+    fn quantile_rejects_out_of_range() {
+        let _ = normal_quantile(1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion bench for the Fig. 10 kernel: a reduced throughput simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use q3de::control::{ArchitectureMode, ThroughputConfig, ThroughputSimulator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_throughput_sim");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("mbbe_free", ArchitectureMode::MbbeFree),
+        ("baseline", ArchitectureMode::Baseline),
+        ("q3de", ArchitectureMode::Q3de),
+    ] {
+        let config = ThroughputConfig {
+            plane_size: 7,
+            code_distance: 5,
+            num_instructions: 100,
+            mbbe_probability_per_block_per_d_cycles: 1e-4,
+            mbbe_duration_d_cycles: 100,
+            mode,
+            max_cycles: 100_000,
+        };
+        let simulator = ThroughputSimulator::new(config);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        group.bench_function(name, |b| {
+            b.iter(|| simulator.run(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

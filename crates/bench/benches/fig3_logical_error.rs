@@ -1,0 +1,30 @@
+//! Criterion bench for the Fig. 3 kernel: one memory-experiment shot with and
+//! without an injected MBBE.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_memory_shot");
+    group.sample_size(10);
+    for (name, anomaly, strategy) in [
+        ("d7_mbbe_free", None, DecodingStrategy::MbbeFree),
+        ("d7_with_mbbe", Some(AnomalyInjection::centered(4, 0.5)), DecodingStrategy::Blind),
+    ] {
+        let mut config = MemoryExperimentConfig::new(7, 1e-2);
+        if let Some(a) = anomaly {
+            config = config.with_anomaly(a);
+        }
+        let experiment = MemoryExperiment::new(config).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        group.bench_function(name, |b| {
+            b.iter(|| experiment.run_shot(strategy, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the Fig. 7 kernel: one anomaly-detection trial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use q3de::sim::{DetectionExperiment, DetectionExperimentConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_detection_trial");
+    group.sample_size(10);
+    let mut config = DetectionExperimentConfig::fig7(100.0);
+    config.distance = 11;
+    config.onset_cycle = 200;
+    config.post_onset_cycles = 600;
+    let experiment = DetectionExperiment::new(config).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    group.bench_function("window_100", |b| {
+        b.iter(|| experiment.run_trial(100, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the Fig. 8 kernel: blind vs anomaly-aware decoding of
+//! the same burst-afflicted memory shot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_rollback_shot");
+    group.sample_size(10);
+    let config = MemoryExperimentConfig::new(7, 5e-3)
+        .with_anomaly(AnomalyInjection::centered(2, 0.5));
+    let experiment = MemoryExperiment::new(config).unwrap();
+    for (name, strategy) in [
+        ("without_rollback", DecodingStrategy::Blind),
+        ("with_rollback", DecodingStrategy::AnomalyAware),
+    ] {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        group.bench_function(name, |b| {
+            b.iter(|| experiment.run_shot(strategy, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for the Fig. 9 kernel: one full area/density sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use q3de::scaling::{qubit_density::log_grid, ScalabilityConfig, ScalabilityModel};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_density_sweep");
+    group.sample_size(20);
+    let model = ScalabilityModel::new(ScalabilityConfig::default());
+    let areas = log_grid(1.0, 100.0, 9);
+    let densities = log_grid(1.0, 5000.0, 300);
+    for use_q3de in [true, false] {
+        let name = if use_q3de { "q3de" } else { "baseline" };
+        group.bench_function(name, |b| {
+            b.iter(|| model.sweep(&areas, &densities, use_q3de));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for the Table III kernel: evaluating the memory-overhead
+//! model over a range of distances and windows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use q3de::scaling::MemoryOverheadModel;
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_memory_model", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for d in (11..=41).step_by(2) {
+                for window in (50..=500).step_by(50) {
+                    total += MemoryOverheadModel::new(d, window).total_bits();
+                }
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for the Table IV kernel: the software matching throughput
+//! of the BASE (uniform) vs Q3DE (anomaly-aware) greedy matcher, plus the
+//! resource-model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use q3de::matching::{GreedyMatcher, Matcher, MatchingProblem};
+use q3de::scaling::{DecoderHardwareModel, DecoderVariant};
+
+fn matching_problem(entries: usize, weighted: bool) -> MatchingProblem {
+    MatchingProblem::from_fn(
+        entries,
+        |i, j| {
+            let base = (i.abs_diff(j)) as f64;
+            if weighted && (i + j) % 5 == 0 {
+                base * 0.1
+            } else {
+                base
+            }
+        },
+        |i| 1.0 + (i % 7) as f64,
+    )
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_greedy_matching");
+    group.sample_size(20);
+    for entries in [40usize, 80] {
+        let base = matching_problem(entries, false);
+        let q3de = matching_problem(entries, true);
+        group.bench_function(format!("{entries}_base"), |b| {
+            b.iter(|| GreedyMatcher::new().solve(&base))
+        });
+        group.bench_function(format!("{entries}_q3de_weighted"), |b| {
+            b.iter(|| GreedyMatcher::new().solve(&q3de))
+        });
+    }
+    group.finish();
+
+    c.bench_function("table4_resource_model", |b| {
+        let model = DecoderHardwareModel::new();
+        b.iter(|| {
+            (30..=100)
+                .map(|n| model.estimate(n, DecoderVariant::Q3de).luts)
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

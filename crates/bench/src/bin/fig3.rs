@@ -1,0 +1,44 @@
+//! Figure 3: logical error rate vs physical error rate, with and without an
+//! MBBE (d_ano = 4, p_ano = 0.5), for several code distances.
+//!
+//! Usage: `cargo run --release -p q3de-bench --bin fig3 [--samples N]`
+
+use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
+use q3de_bench::{print_row, sci, ExperimentArgs};
+
+fn main() {
+    let args = ExperimentArgs::parse(400);
+    let distances = [5usize, 9, 13];
+    let error_rates = [4e-3, 8e-3, 1.6e-2, 2.4e-2, 3.2e-2, 4e-2];
+
+    println!("Figure 3: logical error rate per shot (d-cycle memory), {} shots/point", args.samples);
+    print_row("configuration", &error_rates.iter().map(|p| format!("p={p:<9.1e}")).collect::<Vec<_>>());
+    for &d in &distances {
+        for (label, anomaly, strategy) in [
+            ("without MBBE", None, DecodingStrategy::MbbeFree),
+            ("with MBBE", Some(AnomalyInjection::centered(4, 0.5)), DecodingStrategy::Blind),
+        ] {
+            let mut row = Vec::new();
+            for (pi, &p) in error_rates.iter().enumerate() {
+                let mut config = MemoryExperimentConfig::new(d, p);
+                if let Some(a) = anomaly {
+                    config = config.with_anomaly(a);
+                }
+                let experiment = MemoryExperiment::new(config).expect("valid distance");
+                let mut rng = args.rng((d * 100 + pi) as u64);
+                let estimate = experiment.estimate(args.samples, strategy, &mut rng);
+                row.push(sci(estimate.logical_error_rate()));
+                if args.json {
+                    println!(
+                        "{{\"figure\":3,\"d\":{d},\"p\":{p},\"mbbe\":{},\"rate\":{}}}",
+                        anomaly.is_some(),
+                        estimate.logical_error_rate()
+                    );
+                }
+            }
+            print_row(&format!("d={d} {label}"), &row);
+        }
+    }
+    println!("\nExpected shape: MBBE curves sit ~1-2 decades above the MBBE-free curves at low p;");
+    println!("the crossing (threshold) point is nearly unchanged by a single MBBE.");
+}

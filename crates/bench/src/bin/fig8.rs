@@ -1,0 +1,73 @@
+//! Figure 8: logical error rates with and without decoder re-execution
+//! (rollback) and the effective code-distance reduction, for anomaly sizes 2
+//! and 4.
+//!
+//! Usage: `cargo run --release -p q3de-bench --bin fig8 [--samples N]`
+
+use q3de::scaling::effective_distance_reduction;
+use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
+use q3de_bench::{print_row, sci, ExperimentArgs};
+
+fn main() {
+    let args = ExperimentArgs::parse(300);
+    let distances = [5usize, 7, 9];
+    let error_rates = [4e-3, 1e-2, 2e-2, 4e-2];
+    let anomaly_sizes = [2usize, 4];
+
+    for &dano in &anomaly_sizes {
+        println!("\nFigure 8 (anomaly size = {dano}), {} shots/point", args.samples);
+        print_row(
+            "configuration",
+            &error_rates.iter().map(|p| format!("p={p:<9.1e}")).collect::<Vec<_>>(),
+        );
+        for &d in &distances {
+            let mut free_rates = Vec::new();
+            let mut blind_rates = Vec::new();
+            let mut aware_rates = Vec::new();
+            for (pi, &p) in error_rates.iter().enumerate() {
+                let config = MemoryExperimentConfig::new(d, p)
+                    .with_anomaly(AnomalyInjection::centered(dano, 0.5));
+                let experiment = MemoryExperiment::new(config).expect("valid distance");
+                let mut rng = args.rng((dano * 1000 + d * 10 + pi) as u64);
+                let free = experiment.estimate(args.samples, DecodingStrategy::MbbeFree, &mut rng);
+                let blind = experiment.estimate(args.samples, DecodingStrategy::Blind, &mut rng);
+                let aware =
+                    experiment.estimate(args.samples, DecodingStrategy::AnomalyAware, &mut rng);
+                free_rates.push(free.logical_error_rate());
+                blind_rates.push(blind.logical_error_rate());
+                aware_rates.push(aware.logical_error_rate());
+            }
+            print_row(&format!("d={d} MBBE free"), &free_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>());
+            print_row(&format!("d={d} without rollback"), &blind_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>());
+            print_row(&format!("d={d} with rollback"), &aware_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>());
+        }
+
+        // Effective code-distance reduction at the lowest error rate, Eq. (4).
+        println!("effective code-distance reduction (Eq. 4, p = {}):", error_rates[0]);
+        for &d in &distances[1..] {
+            let p = error_rates[0];
+            let shots = args.samples;
+            let estimate = |dist: usize, strategy, salt: u64| {
+                let mut config = MemoryExperimentConfig::new(dist, p);
+                if strategy != DecodingStrategy::MbbeFree {
+                    config = config.with_anomaly(AnomalyInjection::centered(dano, 0.5));
+                }
+                let experiment = MemoryExperiment::new(config).expect("valid distance");
+                let mut rng = args.rng(salt);
+                experiment.estimate(shots, strategy, &mut rng).logical_error_rate().max(1e-6)
+            };
+            let p_l_d = estimate(d, DecodingStrategy::MbbeFree, d as u64);
+            let p_l_dm2 = estimate(d - 2, DecodingStrategy::MbbeFree, d as u64 + 1);
+            let blind = estimate(d, DecodingStrategy::Blind, d as u64 + 2);
+            let aware = estimate(d, DecodingStrategy::AnomalyAware, d as u64 + 3);
+            let without = effective_distance_reduction(blind, p_l_d, p_l_dm2);
+            let with = effective_distance_reduction(aware, p_l_d, p_l_dm2);
+            println!(
+                "  d={d}: without rollback -> {:?} (expected ~{}), with rollback -> {:?} (expected ~{})",
+                without, 2 * dano, with, dano
+            );
+        }
+    }
+    println!("\nExpected shape: rollback curves sit between the MBBE-free and no-rollback curves;");
+    println!("the distance reduction converges towards 2*d_ano without rollback and d_ano with it.");
+}

@@ -1,0 +1,57 @@
+//! Figure 9: required qubit density vs chip area to reach p_L < 1e-10, for
+//! Q3DE and the baseline, under several anomaly-size / frequency / duration
+//! scalings.
+//!
+//! Usage: `cargo run --release -p q3de-bench --bin fig9`
+
+use q3de::scaling::{qubit_density::log_grid, ScalabilityConfig, ScalabilityModel};
+use q3de_bench::{print_row, ExperimentArgs};
+
+fn main() {
+    let _args = ExperimentArgs::parse(0);
+    let areas = log_grid(1.0, 100.0, 9);
+    let densities = log_grid(1.0, 5000.0, 300);
+
+    let sweep = |label: &str, config: ScalabilityConfig| {
+        let model = ScalabilityModel::new(config);
+        for use_q3de in [true, false] {
+            let name = if use_q3de { "Q3DE" } else { "baseline" };
+            let row: Vec<String> = model
+                .sweep(&areas, &densities, use_q3de)
+                .into_iter()
+                .map(|(_, point)| match point {
+                    Some(p) => format!("{:8.1}", p.qubit_density_ratio),
+                    None => "   inf  ".to_string(),
+                })
+                .collect();
+            print_row(&format!("{label} {name}"), &row);
+        }
+    };
+
+    println!("Figure 9: required qubit-density ratio per chip-area ratio (target p_L < 1e-10)");
+    print_row("chip area ratio", &areas.iter().map(|a| format!("{a:8.1}")).collect::<Vec<_>>());
+
+    // panel 1: anomaly-size variants
+    for size in [4.0, 2.0, 1.0] {
+        let config = ScalabilityConfig { base_anomaly_size: size, ..ScalabilityConfig::default() };
+        sweep(&format!("size={size}"), config);
+    }
+    // panel 2: error-duration variants (affects only the baseline exposure)
+    for factor in [1.0, 0.1, 0.01] {
+        let config = ScalabilityConfig {
+            duration_s: 25e-3 * factor,
+            ..ScalabilityConfig::default()
+        };
+        sweep(&format!("duration x{factor}"), config);
+    }
+    // panel 3: frequency variants
+    for factor in [1.0, 0.1, 0.01] {
+        let config = ScalabilityConfig {
+            base_frequency_hz: 0.1 * factor,
+            ..ScalabilityConfig::default()
+        };
+        sweep(&format!("freq x{factor}"), config);
+    }
+    println!("\nExpected shape: Q3DE needs markedly lower density at small chip areas (up to ~10x");
+    println!("fewer qubits) and the two families converge as MBBE parameters improve.");
+}

@@ -1,0 +1,25 @@
+//! Table III: memory overheads of the Q3DE decoding pipeline
+//! (d = 31, p = 1e-3, c_win = 300).
+//!
+//! Usage: `cargo run --release -p q3de-bench --bin table3`
+
+use q3de::scaling::MemoryOverheadModel;
+
+fn main() {
+    let model = MemoryOverheadModel::table3();
+    println!("Table III: memory overheads per logical qubit (d = 31, c_win = 300)");
+    println!("{:<22}{:>14}{:>14}", "unit", "size (kbit)", "paper (kbit)");
+    let rows = [
+        ("syndrome queue", MemoryOverheadModel::to_kbit(model.syndrome_queue_bits()), 623.0),
+        ("active node counter", MemoryOverheadModel::to_kbit(model.active_node_counter_bits()), 16.0),
+        ("matching queue", MemoryOverheadModel::to_kbit(model.matching_queue_bits()), 24.0),
+    ];
+    for (name, ours, paper) in rows {
+        println!("{name:<22}{ours:>14.1}{paper:>14.1}");
+    }
+    println!(
+        "MBBE-free syndrome queue (2d^3): {:.1} kbit; overhead ratio ~{:.1}x",
+        MemoryOverheadModel::to_kbit(model.baseline_syndrome_queue_bits()),
+        model.syndrome_queue_overhead_ratio()
+    );
+}

@@ -1,0 +1,30 @@
+//! Table IV: FPGA resource and throughput estimates of the greedy decoder
+//! unit (BASE vs Q3DE, 40- and 80-entry active node queues).
+//!
+//! Usage: `cargo run --release -p q3de-bench --bin table4`
+
+use q3de::scaling::{DecoderHardwareModel, DecoderVariant};
+
+fn main() {
+    let model = DecoderHardwareModel::new();
+    println!("Table IV: greedy-decoder resource model (calibrated against the paper's HLS results)");
+    println!("{:<16}{:>10}{:>10}{:>14}", "configuration", "FF", "LUT", "match/us");
+    for row in model.table4() {
+        let name = format!(
+            "{} - {}",
+            row.anq_entries,
+            if row.variant == DecoderVariant::Q3de { "Q3DE" } else { "BASE" }
+        );
+        println!(
+            "{name:<16}{:>10.0}{:>10.0}{:>14.2}",
+            row.flip_flops, row.luts, row.matches_per_us
+        );
+    }
+    println!("paper:           40-BASE 8991/14679/4.66, 40-Q3DE 13855/20279/4.25,");
+    println!("                 80-BASE 13211/36668/1.81, 80-Q3DE 22751/54638/1.79");
+    println!(
+        "required ANQ entries: p=1e-4,d=15 -> {}, p=1e-3,d=31 -> {} (paper: 30 and 70)",
+        DecoderHardwareModel::required_anq_entries(1e-4, 15, 1e-15),
+        DecoderHardwareModel::required_anq_entries(1e-3, 31, 1e-15)
+    );
+}

@@ -1,0 +1,87 @@
+//! Shared helpers for the Q3DE benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding
+//! binary in `src/bin/` (which prints the rows/series the paper reports) and
+//! a Criterion bench in `benches/` (which measures the runtime of the
+//! underlying kernel at a reduced scale).  See `EXPERIMENTS.md` at the
+//! workspace root for the mapping and recorded results.
+
+#![deny(missing_docs)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Command-line arguments shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Monte-Carlo shots (or trials) per data point.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Emit machine-readable JSON lines in addition to the human table.
+    pub json: bool,
+}
+
+impl ExperimentArgs {
+    /// Parses `--samples N`, `--seed N` and `--json` from `std::env::args`,
+    /// with the given default sample count.
+    pub fn parse(default_samples: usize) -> Self {
+        let mut samples = default_samples;
+        let mut seed = 2022;
+        let mut json = false;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--samples" if i + 1 < args.len() => {
+                    samples = args[i + 1].parse().unwrap_or(default_samples);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    seed = args[i + 1].parse().unwrap_or(2022);
+                    i += 1;
+                }
+                "--json" => json = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        Self { samples, seed, json }
+    }
+
+    /// A reproducible RNG derived from the seed and a per-series salt.
+    pub fn rng(&self, salt: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt))
+    }
+}
+
+/// Prints a table row of `(label, values)` with aligned columns.
+pub fn print_row(label: &str, values: &[String]) {
+    println!("{label:<28} {}", values.join("  "));
+}
+
+/// Formats a probability in scientific notation.
+pub fn sci(x: f64) -> String {
+    format!("{x:10.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_are_used_without_cli_flags() {
+        let args = ExperimentArgs { samples: 100, seed: 1, json: false };
+        let mut a = args.rng(0);
+        let mut b = args.rng(0);
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "same salt gives the same stream");
+        let mut c = args.rng(1);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn sci_formats_scientifically() {
+        assert!(sci(1.234e-5).contains("e-5"));
+    }
+}

@@ -1,0 +1,174 @@
+//! The Pauli frame and its rollback history.
+
+use crate::isa::LogicalQubitId;
+use std::collections::HashMap;
+
+/// A single update applied to the Pauli frame, recorded so it can be
+/// reverted during decoder re-execution (the *instruction history buffer* of
+/// Fig. 1 stores these together with the matching-queue batches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameUpdate {
+    /// The logical qubit whose frame is toggled.
+    pub qubit: LogicalQubitId,
+    /// Toggle of the logical `X` correction bit.
+    pub flip_x: bool,
+    /// Toggle of the logical `Z` correction bit.
+    pub flip_z: bool,
+    /// Code cycle at which the update was applied.
+    pub cycle: u64,
+}
+
+/// The Pauli frame: software-tracked logical Pauli corrections per logical
+/// qubit (Sec. II-A).  All updates are recorded, so the frame can be rolled
+/// back to any earlier cycle — the operation the paper relies on being
+/// reversible (Sec. VI-C).
+#[derive(Debug, Clone, Default)]
+pub struct PauliFrame {
+    corrections: HashMap<LogicalQubitId, (bool, bool)>,
+    history: Vec<FrameUpdate>,
+}
+
+impl PauliFrame {
+    /// Creates an empty frame (identity correction on every qubit).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `(x, z)` correction bits of a logical qubit.
+    pub fn correction(&self, qubit: LogicalQubitId) -> (bool, bool) {
+        self.corrections.get(&qubit).copied().unwrap_or((false, false))
+    }
+
+    /// Applies (and records) an update.
+    pub fn apply(&mut self, update: FrameUpdate) {
+        let entry = self.corrections.entry(update.qubit).or_insert((false, false));
+        entry.0 ^= update.flip_x;
+        entry.1 ^= update.flip_z;
+        self.history.push(update);
+    }
+
+    /// Convenience: toggle the logical `X` correction of `qubit` at `cycle`
+    /// (the typical consequence of a decoded `Z`-sector matching crossing the
+    /// cut).
+    pub fn flip_x(&mut self, qubit: LogicalQubitId, cycle: u64) {
+        self.apply(FrameUpdate { qubit, flip_x: true, flip_z: false, cycle });
+    }
+
+    /// Convenience: toggle the logical `Z` correction of `qubit` at `cycle`.
+    pub fn flip_z(&mut self, qubit: LogicalQubitId, cycle: u64) {
+        self.apply(FrameUpdate { qubit, flip_x: false, flip_z: true, cycle });
+    }
+
+    /// Tracks a logical Hadamard on `qubit`: the `X` and `Z` correction bits
+    /// swap.  Recorded as a pair of updates so rollback works uniformly.
+    pub fn apply_hadamard(&mut self, qubit: LogicalQubitId, cycle: u64) {
+        let (x, z) = self.correction(qubit);
+        if x != z {
+            // swapping differing bits toggles both
+            self.apply(FrameUpdate { qubit, flip_x: true, flip_z: true, cycle });
+        } else {
+            // record a no-op marker so the history reflects the instruction
+            self.apply(FrameUpdate { qubit, flip_x: false, flip_z: false, cycle });
+        }
+    }
+
+    /// The number of recorded updates.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The full update history in application order.
+    pub fn history(&self) -> &[FrameUpdate] {
+        &self.history
+    }
+
+    /// Rolls the frame back to the state it had *before* any update with
+    /// `cycle >= rollback_cycle` was applied, returning the reverted updates
+    /// (most recent first).
+    pub fn rollback_to(&mut self, rollback_cycle: u64) -> Vec<FrameUpdate> {
+        let mut reverted = Vec::new();
+        while let Some(last) = self.history.last().copied() {
+            if last.cycle < rollback_cycle {
+                break;
+            }
+            // updates are involutions, so re-applying undoes them
+            let entry = self.corrections.entry(last.qubit).or_insert((false, false));
+            entry.0 ^= last.flip_x;
+            entry.1 ^= last.flip_z;
+            self.history.pop();
+            reverted.push(last);
+        }
+        reverted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q0: LogicalQubitId = LogicalQubitId(0);
+    const Q1: LogicalQubitId = LogicalQubitId(1);
+
+    #[test]
+    fn corrections_accumulate_by_xor() {
+        let mut frame = PauliFrame::new();
+        assert_eq!(frame.correction(Q0), (false, false));
+        frame.flip_x(Q0, 1);
+        frame.flip_z(Q0, 2);
+        assert_eq!(frame.correction(Q0), (true, true));
+        frame.flip_x(Q0, 3);
+        assert_eq!(frame.correction(Q0), (false, true));
+        assert_eq!(frame.correction(Q1), (false, false));
+        assert_eq!(frame.history_len(), 3);
+    }
+
+    #[test]
+    fn hadamard_swaps_the_correction_bits() {
+        let mut frame = PauliFrame::new();
+        frame.flip_x(Q0, 1);
+        frame.apply_hadamard(Q0, 2);
+        assert_eq!(frame.correction(Q0), (false, true));
+        frame.apply_hadamard(Q0, 3);
+        assert_eq!(frame.correction(Q0), (true, false));
+        // Hadamard on a symmetric frame is a no-op but still recorded.
+        let before = frame.history_len();
+        frame.flip_z(Q0, 4); // now (true, true)
+        frame.apply_hadamard(Q0, 5);
+        assert_eq!(frame.correction(Q0), (true, true));
+        assert_eq!(frame.history_len(), before + 2);
+    }
+
+    #[test]
+    fn rollback_restores_earlier_state() {
+        let mut frame = PauliFrame::new();
+        frame.flip_x(Q0, 10);
+        frame.flip_z(Q1, 20);
+        frame.flip_x(Q0, 30);
+        frame.flip_x(Q1, 40);
+        let snapshot_q0 = frame.correction(Q0);
+        let _ = snapshot_q0;
+        let reverted = frame.rollback_to(30);
+        assert_eq!(reverted.len(), 2);
+        assert_eq!(frame.correction(Q0), (true, false));
+        assert_eq!(frame.correction(Q1), (false, true));
+        assert_eq!(frame.history_len(), 2);
+        // rolling back to cycle 0 empties the history entirely
+        frame.rollback_to(0);
+        assert_eq!(frame.correction(Q0), (false, false));
+        assert_eq!(frame.correction(Q1), (false, false));
+        assert_eq!(frame.history_len(), 0);
+    }
+
+    #[test]
+    fn rollback_then_reapply_is_identity() {
+        let mut frame = PauliFrame::new();
+        frame.flip_x(Q0, 5);
+        frame.flip_z(Q0, 7);
+        let reverted = frame.rollback_to(6);
+        assert_eq!(frame.correction(Q0), (true, false));
+        for update in reverted.into_iter().rev() {
+            frame.apply(update);
+        }
+        assert_eq!(frame.correction(Q0), (true, true));
+    }
+}

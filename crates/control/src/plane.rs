@@ -1,0 +1,383 @@
+//! The qubit plane: a grid of surface-code blocks.
+
+use crate::isa::LogicalQubitId;
+use std::collections::{HashMap, VecDeque};
+
+/// Position of a block (a surface-code patch slot) on the qubit plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockCoord {
+    /// Block row.
+    pub row: usize,
+    /// Block column.
+    pub col: usize,
+}
+
+impl BlockCoord {
+    /// Creates a block coordinate.
+    pub fn new(row: usize, col: usize) -> Self {
+        Self { row, col }
+    }
+}
+
+/// The state of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Unused; available for routing or code expansion.
+    Vacant,
+    /// Hosts a logical qubit.
+    Logical(LogicalQubitId),
+    /// Temporarily reserved as routing space or expansion space until the
+    /// given cycle.
+    Reserved {
+        /// Cycle (exclusive) until which the reservation holds.
+        until_cycle: u64,
+    },
+    /// Marked anomalous (struck by a cosmic ray) until the given cycle.
+    Anomalous {
+        /// Cycle (exclusive) until which the block stays anomalous.
+        until_cycle: u64,
+    },
+}
+
+/// A rectangular grid of surface-code blocks with the checkerboard qubit
+/// allocation of the paper (Sec. II-B): blocks whose row *and* column index
+/// are odd host logical qubits, everything else is vacant routing space.
+#[derive(Debug, Clone)]
+pub struct QubitPlane {
+    rows: usize,
+    cols: usize,
+    states: Vec<BlockState>,
+    logical_positions: HashMap<LogicalQubitId, BlockCoord>,
+}
+
+impl QubitPlane {
+    /// Creates a plane of `rows × cols` blocks with logical qubits allocated
+    /// on the odd/odd checkerboard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane is smaller than 3×3 blocks.
+    pub fn checkerboard(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 3 && cols >= 3, "the qubit plane needs at least 3×3 blocks");
+        let mut states = vec![BlockState::Vacant; rows * cols];
+        let mut logical_positions = HashMap::new();
+        let mut next_id = 0usize;
+        for row in (1..rows).step_by(2) {
+            for col in (1..cols).step_by(2) {
+                let id = LogicalQubitId(next_id);
+                next_id += 1;
+                states[row * cols + col] = BlockState::Logical(id);
+                logical_positions.insert(id, BlockCoord::new(row, col));
+            }
+        }
+        Self { rows, cols, states, logical_positions }
+    }
+
+    /// Number of block rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of block columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of logical qubits hosted on the plane.
+    pub fn num_logical_qubits(&self) -> usize {
+        self.logical_positions.len()
+    }
+
+    /// The logical qubit identifiers in allocation order.
+    pub fn logical_qubits(&self) -> Vec<LogicalQubitId> {
+        let mut ids: Vec<_> = self.logical_positions.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The block hosting a logical qubit.
+    pub fn position_of(&self, qubit: LogicalQubitId) -> Option<BlockCoord> {
+        self.logical_positions.get(&qubit).copied()
+    }
+
+    fn index(&self, block: BlockCoord) -> usize {
+        assert!(block.row < self.rows && block.col < self.cols, "block {block:?} out of range");
+        block.row * self.cols + block.col
+    }
+
+    /// The state of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is out of range.
+    pub fn state(&self, block: BlockCoord) -> BlockState {
+        self.states[self.index(block)]
+    }
+
+    /// The four neighbouring blocks (fewer at the plane edge).
+    pub fn neighbors(&self, block: BlockCoord) -> Vec<BlockCoord> {
+        let mut out = Vec::with_capacity(4);
+        if block.row > 0 {
+            out.push(BlockCoord::new(block.row - 1, block.col));
+        }
+        if block.row + 1 < self.rows {
+            out.push(BlockCoord::new(block.row + 1, block.col));
+        }
+        if block.col > 0 {
+            out.push(BlockCoord::new(block.row, block.col - 1));
+        }
+        if block.col + 1 < self.cols {
+            out.push(BlockCoord::new(block.row, block.col + 1));
+        }
+        out
+    }
+
+    /// Whether the block can be used as routing/expansion space at `cycle`:
+    /// it is vacant and neither reserved nor anomalous.
+    pub fn is_available(&self, block: BlockCoord, cycle: u64) -> bool {
+        match self.state(block) {
+            BlockState::Vacant => true,
+            BlockState::Logical(_) => false,
+            BlockState::Reserved { until_cycle } | BlockState::Anomalous { until_cycle } => {
+                cycle >= until_cycle
+            }
+        }
+    }
+
+    /// Releases reservations and anomalies that have expired by `cycle`.
+    pub fn expire(&mut self, cycle: u64) {
+        for state in &mut self.states {
+            match *state {
+                BlockState::Reserved { until_cycle } | BlockState::Anomalous { until_cycle }
+                    if cycle >= until_cycle =>
+                {
+                    *state = BlockState::Vacant;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Reserves a vacant block until `until_cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not currently available.
+    pub fn reserve(&mut self, block: BlockCoord, cycle: u64, until_cycle: u64) {
+        assert!(self.is_available(block, cycle), "block {block:?} is not available");
+        let idx = self.index(block);
+        self.states[idx] = BlockState::Reserved { until_cycle };
+    }
+
+    /// Marks a vacant or reserved block anomalous until `until_cycle`
+    /// (cosmic-ray strike on routing space).  Strikes on logical blocks are
+    /// handled by code expansion instead and leave the state unchanged.
+    pub fn mark_anomalous(&mut self, block: BlockCoord, until_cycle: u64) {
+        let idx = self.index(block);
+        match self.states[idx] {
+            BlockState::Logical(_) => {}
+            _ => self.states[idx] = BlockState::Anomalous { until_cycle },
+        }
+    }
+
+    /// Whether a block is currently marked anomalous.
+    pub fn is_anomalous(&self, block: BlockCoord, cycle: u64) -> bool {
+        matches!(self.state(block), BlockState::Anomalous { until_cycle } if cycle < until_cycle)
+    }
+
+    /// Finds a lattice-surgery route between two logical qubits: a path of
+    /// available blocks connecting a neighbour of `a` to a neighbour of `b`
+    /// (BFS, shortest in block count).  Returns `None` when no route exists
+    /// at `cycle`.
+    pub fn find_route(
+        &self,
+        a: LogicalQubitId,
+        b: LogicalQubitId,
+        cycle: u64,
+    ) -> Option<Vec<BlockCoord>> {
+        let start_block = self.position_of(a)?;
+        let goal_block = self.position_of(b)?;
+        // BFS over available blocks, seeded with the available neighbours of a.
+        let mut queue = VecDeque::new();
+        let mut visited: HashMap<BlockCoord, Option<BlockCoord>> = HashMap::new();
+        for n in self.neighbors(start_block) {
+            if self.is_available(n, cycle) {
+                visited.insert(n, None);
+                queue.push_back(n);
+            }
+        }
+        while let Some(current) = queue.pop_front() {
+            if self.neighbors(current).contains(&goal_block) {
+                // reconstruct path
+                let mut path = vec![current];
+                let mut cursor = current;
+                while let Some(Some(prev)) = visited.get(&cursor) {
+                    path.push(*prev);
+                    cursor = *prev;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for n in self.neighbors(current) {
+                if self.is_available(n, cycle) && !visited.contains_key(&n) {
+                    visited.insert(n, Some(current));
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// The vacant blocks needed to expand a logical qubit into a 2×2 block
+    /// patch (the paper's doubling policy): the right, lower and lower-right
+    /// diagonal neighbours when they exist.
+    pub fn expansion_blocks(&self, qubit: LogicalQubitId) -> Option<Vec<BlockCoord>> {
+        let pos = self.position_of(qubit)?;
+        let mut blocks = Vec::new();
+        for (dr, dc) in [(0usize, 1usize), (1, 0), (1, 1)] {
+            let row = pos.row + dr;
+            let col = pos.col + dc;
+            if row < self.rows && col < self.cols {
+                blocks.push(BlockCoord::new(row, col));
+            }
+        }
+        Some(blocks)
+    }
+
+    /// Whether the expansion blocks of `qubit` are all available at `cycle`.
+    pub fn can_expand(&self, qubit: LogicalQubitId, cycle: u64) -> bool {
+        match self.expansion_blocks(qubit) {
+            Some(blocks) => {
+                !blocks.is_empty() && blocks.iter().all(|&b| self.is_available(b, cycle))
+            }
+            None => false,
+        }
+    }
+
+    /// Reserves the expansion blocks of `qubit` until `until_cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expansion is not currently possible.
+    pub fn expand(&mut self, qubit: LogicalQubitId, cycle: u64, until_cycle: u64) {
+        assert!(self.can_expand(qubit, cycle), "qubit {qubit:?} cannot expand at cycle {cycle}");
+        let blocks = self.expansion_blocks(qubit).expect("expansion blocks exist");
+        for b in blocks {
+            self.reserve(b, cycle, until_cycle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkerboard_allocation_matches_the_paper() {
+        // 11×11 blocks with odd/odd logical positions → 25 logical qubits.
+        let plane = QubitPlane::checkerboard(11, 11);
+        assert_eq!(plane.num_logical_qubits(), 25);
+        assert_eq!(plane.rows(), 11);
+        assert_eq!(plane.cols(), 11);
+        for id in plane.logical_qubits() {
+            let pos = plane.position_of(id).unwrap();
+            assert_eq!(pos.row % 2, 1);
+            assert_eq!(pos.col % 2, 1);
+            assert_eq!(plane.state(pos), BlockState::Logical(id));
+        }
+    }
+
+    #[test]
+    fn routing_between_adjacent_logical_qubits() {
+        let plane = QubitPlane::checkerboard(5, 5);
+        let qubits = plane.logical_qubits();
+        // qubits at (1,1), (1,3), (3,1), (3,3)
+        let route = plane.find_route(qubits[0], qubits[1], 0).expect("route exists");
+        assert!(!route.is_empty());
+        for block in &route {
+            assert!(plane.is_available(*block, 0));
+        }
+    }
+
+    #[test]
+    fn reserved_blocks_block_routing_until_expiry() {
+        let mut plane = QubitPlane::checkerboard(5, 5);
+        let qubits = plane.logical_qubits();
+        // Reserve the whole middle column and row of vacant blocks.
+        for row in 0..5 {
+            let b = BlockCoord::new(row, 2);
+            if plane.state(b) == BlockState::Vacant {
+                plane.reserve(b, 0, 100);
+            }
+        }
+        for col in 0..5 {
+            let b = BlockCoord::new(2, col);
+            if plane.state(b) == BlockState::Vacant {
+                plane.reserve(b, 0, 100);
+            }
+        }
+        // q0 at (1,1), q3 at (3,3): every route must cross row 2 or column 2.
+        assert!(plane.find_route(qubits[0], qubits[3], 0).is_none());
+        // after expiry the route exists again
+        assert!(plane.find_route(qubits[0], qubits[3], 100).is_some());
+        plane.expire(100);
+        assert_eq!(plane.state(BlockCoord::new(0, 2)), BlockState::Vacant);
+    }
+
+    #[test]
+    fn anomalous_blocks_are_avoided() {
+        let mut plane = QubitPlane::checkerboard(5, 5);
+        let b = BlockCoord::new(1, 2);
+        plane.mark_anomalous(b, 50);
+        assert!(plane.is_anomalous(b, 10));
+        assert!(!plane.is_available(b, 10));
+        assert!(plane.is_available(b, 50));
+        assert!(!plane.is_anomalous(b, 50));
+        // logical blocks are not converted to anomalous state
+        let qpos = plane.position_of(LogicalQubitId(0)).unwrap();
+        plane.mark_anomalous(qpos, 50);
+        assert!(matches!(plane.state(qpos), BlockState::Logical(_)));
+    }
+
+    #[test]
+    fn expansion_reserves_a_two_by_two_patch() {
+        let mut plane = QubitPlane::checkerboard(5, 5);
+        let q = LogicalQubitId(0); // at (1,1)
+        assert!(plane.can_expand(q, 0));
+        let blocks = plane.expansion_blocks(q).unwrap();
+        assert_eq!(blocks.len(), 3);
+        plane.expand(q, 0, 200);
+        for b in blocks {
+            assert!(!plane.is_available(b, 0));
+        }
+        assert!(!plane.can_expand(q, 0), "cannot expand twice concurrently");
+        assert!(plane.can_expand(q, 200), "expansion space frees after expiry");
+    }
+
+    #[test]
+    fn expansion_blocks_conflict_between_neighbouring_qubits() {
+        let mut plane = QubitPlane::checkerboard(5, 5);
+        let qubits = plane.logical_qubits();
+        plane.expand(qubits[0], 0, 100);
+        // q1 at (1,3): its expansion blocks (1,4),(2,3),(2,4) are distinct, so
+        // it can still expand; but q0's route to q1 through (1,2)/(2,1) is
+        // partially blocked.
+        assert!(plane.can_expand(qubits[1], 0));
+        assert!(!plane.is_available(BlockCoord::new(1, 2), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not available")]
+    fn double_reservation_panics() {
+        let mut plane = QubitPlane::checkerboard(5, 5);
+        let b = BlockCoord::new(0, 0);
+        plane.reserve(b, 0, 10);
+        plane.reserve(b, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3×3")]
+    fn tiny_plane_is_rejected() {
+        let _ = QubitPlane::checkerboard(2, 2);
+    }
+}

@@ -1,0 +1,331 @@
+//! The syndrome, matching and expansion queues of the Q3DE control unit.
+
+use crate::isa::LogicalQubitId;
+use std::collections::VecDeque;
+
+/// The FIFO syndrome queue of Fig. 1, enlarged (Sec. VI-C) so that the most
+/// recent `c_lat + d` layers are retained even after they have been matched,
+/// enabling decoder rollback.
+#[derive(Debug, Clone)]
+pub struct SyndromeQueue {
+    capacity_layers: usize,
+    bits_per_layer: usize,
+    layers: VecDeque<Vec<bool>>,
+    oldest_layer_cycle: u64,
+}
+
+impl SyndromeQueue {
+    /// Creates a queue that retains up to `capacity_layers` layers of
+    /// `bits_per_layer` syndrome bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(capacity_layers: usize, bits_per_layer: usize) -> Self {
+        assert!(capacity_layers > 0, "the syndrome queue needs a positive capacity");
+        assert!(bits_per_layer > 0, "layers must contain at least one bit");
+        Self {
+            capacity_layers,
+            bits_per_layer,
+            layers: VecDeque::with_capacity(capacity_layers),
+            oldest_layer_cycle: 0,
+        }
+    }
+
+    /// Pushes a layer, evicting the oldest one when full.  Returns the
+    /// evicted layer, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer has the wrong width.
+    pub fn push(&mut self, layer: Vec<bool>) -> Option<Vec<bool>> {
+        assert_eq!(layer.len(), self.bits_per_layer, "unexpected layer width");
+        self.layers.push_back(layer);
+        if self.layers.len() > self.capacity_layers {
+            self.oldest_layer_cycle += 1;
+            self.layers.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Number of layers currently stored.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The absolute code cycle of the oldest retained layer.
+    pub fn oldest_layer_cycle(&self) -> u64 {
+        self.oldest_layer_cycle
+    }
+
+    /// The retained layers from oldest to newest.
+    pub fn layers(&self) -> impl Iterator<Item = &[bool]> {
+        self.layers.iter().map(|l| l.as_slice())
+    }
+
+    /// The retained layers starting at absolute cycle `from_cycle` (used to
+    /// rebuild the decoding window after a rollback).
+    pub fn layers_since(&self, from_cycle: u64) -> Vec<Vec<bool>> {
+        let skip = from_cycle.saturating_sub(self.oldest_layer_cycle) as usize;
+        self.layers.iter().skip(skip).cloned().collect()
+    }
+
+    /// Storage requirement in bits (the Table III `2·d²·(c_win + √(2c_win))`
+    /// entry corresponds to two such queues, one per error sector).
+    pub fn size_bits(&self) -> usize {
+        self.capacity_layers * self.bits_per_layer
+    }
+}
+
+/// One committed batch of matching results (Sec. VI-C): instead of storing
+/// every individual match, the matching queue stores the per-batch summary
+/// needed to revert the Pauli frame, reducing memory by a factor `c_bat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchingBatch {
+    /// First code cycle covered by the batch.
+    pub start_cycle: u64,
+    /// Number of cycles summarised in this batch (`c_bat`).
+    pub cycles: usize,
+    /// Parity of cut-crossing corrections committed during the batch (what
+    /// must be undone on the Pauli frame when rolling back).
+    pub cut_parity: bool,
+    /// Number of matches committed in the batch (for accounting).
+    pub num_matches: usize,
+}
+
+/// The matching queue: batched summaries of committed decoder output.
+#[derive(Debug, Clone)]
+pub struct MatchingQueue {
+    batch_cycles: usize,
+    batches: VecDeque<MatchingBatch>,
+    capacity_batches: usize,
+}
+
+impl MatchingQueue {
+    /// Creates a queue of at most `capacity_batches` batches, each covering
+    /// `batch_cycles` code cycles.  The paper sets
+    /// `c_bat = √(2·c_win)` to minimise total buffer memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(batch_cycles: usize, capacity_batches: usize) -> Self {
+        assert!(batch_cycles > 0 && capacity_batches > 0, "queue dimensions must be positive");
+        Self { batch_cycles, batches: VecDeque::new(), capacity_batches }
+    }
+
+    /// The batch length `c_bat` that minimises total buffer memory for a
+    /// detection window of `c_win` cycles (Sec. VI-C): `√(2·c_win)`.
+    pub fn optimal_batch_cycles(window: usize) -> usize {
+        ((2.0 * window as f64).sqrt().round() as usize).max(1)
+    }
+
+    /// Pushes a batch summary, evicting the oldest when full.
+    pub fn push(&mut self, batch: MatchingBatch) -> Option<MatchingBatch> {
+        self.batches.push_back(batch);
+        if self.batches.len() > self.capacity_batches {
+            self.batches.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Number of stored batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The batches whose window overlaps cycles at or after `cycle`, newest
+    /// first — the ones whose Pauli-frame effect must be reverted on
+    /// rollback.
+    pub fn batches_to_revert(&self, cycle: u64) -> Vec<MatchingBatch> {
+        self.batches
+            .iter()
+            .rev()
+            .take_while(|b| b.start_cycle + b.cycles as u64 > cycle)
+            .copied()
+            .collect()
+    }
+
+    /// Removes the batches returned by
+    /// [`MatchingQueue::batches_to_revert`] and returns how many were
+    /// dropped.
+    pub fn revert_from(&mut self, cycle: u64) -> usize {
+        let n = self.batches_to_revert(cycle).len();
+        for _ in 0..n {
+            self.batches.pop_back();
+        }
+        n
+    }
+
+    /// The configured batch length `c_bat`.
+    pub fn batch_cycles(&self) -> usize {
+        self.batch_cycles
+    }
+}
+
+/// A pending `op_expand` request in the expansion queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpansionRequest {
+    /// The logical qubit to expand.
+    pub target: LogicalQubitId,
+    /// Cycle at which the request was enqueued (detection time).
+    pub requested_cycle: u64,
+    /// Number of cycles the expansion should be kept.
+    pub keep_cycles: u64,
+}
+
+/// The expansion queue: `op_expand` requests produced by the anomaly
+/// detection unit, consumed by the instruction scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct ExpansionQueue {
+    pending: VecDeque<ExpansionRequest>,
+}
+
+impl ExpansionQueue {
+    /// Creates an empty expansion queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a request.  If a request for the same qubit is already
+    /// pending, its keep time is extended instead (Sec. V-B).
+    pub fn request(&mut self, request: ExpansionRequest) {
+        if let Some(existing) =
+            self.pending.iter_mut().find(|r| r.target == request.target)
+        {
+            existing.keep_cycles = existing.keep_cycles.max(
+                request.requested_cycle + request.keep_cycles
+                    - existing.requested_cycle.min(request.requested_cycle),
+            );
+        } else {
+            self.pending.push_back(request);
+        }
+    }
+
+    /// Pops the oldest pending request.
+    pub fn pop(&mut self) -> Option<ExpansionRequest> {
+        self.pending.pop_front()
+    }
+
+    /// Number of pending requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no request is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syndrome_queue_evicts_oldest_layer() {
+        let mut q = SyndromeQueue::new(3, 2);
+        assert!(q.is_empty());
+        assert!(q.push(vec![true, false]).is_none());
+        assert!(q.push(vec![false, false]).is_none());
+        assert!(q.push(vec![false, true]).is_none());
+        let evicted = q.push(vec![true, true]).expect("queue overflows");
+        assert_eq!(evicted, vec![true, false]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.oldest_layer_cycle(), 1);
+        assert_eq!(q.size_bits(), 6);
+        assert_eq!(q.layers().count(), 3);
+    }
+
+    #[test]
+    fn syndrome_queue_window_since_cycle() {
+        let mut q = SyndromeQueue::new(4, 1);
+        for i in 0..6 {
+            q.push(vec![i % 2 == 0]);
+        }
+        // layers for cycles 2..=5 are retained
+        assert_eq!(q.oldest_layer_cycle(), 2);
+        let since4 = q.layers_since(4);
+        assert_eq!(since4.len(), 2);
+        assert_eq!(since4[0], vec![true]); // cycle 4
+        assert_eq!(since4[1], vec![false]); // cycle 5
+    }
+
+    #[test]
+    fn matching_queue_batches_and_rollback() {
+        let mut q = MatchingQueue::new(10, 8);
+        for i in 0..5u64 {
+            q.push(MatchingBatch {
+                start_cycle: i * 10,
+                cycles: 10,
+                cut_parity: i % 2 == 0,
+                num_matches: 3,
+            });
+        }
+        assert_eq!(q.len(), 5);
+        let revert = q.batches_to_revert(25);
+        // batches starting at 40, 30, 20 overlap cycles ≥ 25
+        assert_eq!(revert.len(), 3);
+        assert_eq!(revert[0].start_cycle, 40);
+        assert_eq!(q.revert_from(25), 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.batch_cycles(), 10);
+    }
+
+    #[test]
+    fn optimal_batch_size_matches_the_paper_formula() {
+        // c_bat = √(2 · c_win); for c_win = 300 this is ≈ 24.5 → 24
+        assert_eq!(MatchingQueue::optimal_batch_cycles(300), 24);
+        assert_eq!(MatchingQueue::optimal_batch_cycles(50), 10);
+        assert!(MatchingQueue::optimal_batch_cycles(0) >= 1);
+    }
+
+    #[test]
+    fn expansion_queue_merges_repeated_requests() {
+        let mut q = ExpansionQueue::new();
+        let q0 = LogicalQubitId(0);
+        q.request(ExpansionRequest { target: q0, requested_cycle: 100, keep_cycles: 1_000 });
+        q.request(ExpansionRequest { target: q0, requested_cycle: 500, keep_cycles: 1_000 });
+        assert_eq!(q.len(), 1, "repeated requests for the same qubit merge");
+        let merged = q.pop().unwrap();
+        assert!(merged.keep_cycles >= 1_400, "keep time was extended, got {}", merged.keep_cycles);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn expansion_queue_is_fifo_for_distinct_qubits() {
+        let mut q = ExpansionQueue::new();
+        q.request(ExpansionRequest {
+            target: LogicalQubitId(3),
+            requested_cycle: 10,
+            keep_cycles: 100,
+        });
+        q.request(ExpansionRequest {
+            target: LogicalQubitId(1),
+            requested_cycle: 20,
+            keep_cycles: 100,
+        });
+        assert_eq!(q.pop().unwrap().target, LogicalQubitId(3));
+        assert_eq!(q.pop().unwrap().target, LogicalQubitId(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected layer width")]
+    fn syndrome_queue_rejects_wrong_width() {
+        let mut q = SyndromeQueue::new(2, 3);
+        q.push(vec![true]);
+    }
+}

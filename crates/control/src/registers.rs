@@ -1,0 +1,191 @@
+//! The classical register file holding logical measurement outcomes.
+
+use crate::isa::RegisterId;
+use std::collections::HashMap;
+
+/// One logical measurement outcome held by the control unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterEntry {
+    /// The raw (possibly not yet corrected) outcome bit.
+    pub value: bool,
+    /// The code cycle at which the measurement completed.
+    pub measured_cycle: u64,
+    /// Whether the Pauli frame has caught up and the value is final.
+    pub error_corrected: bool,
+}
+
+/// The classical register file of Fig. 1.
+///
+/// Measurement instructions write raw outcomes marked "not error corrected";
+/// once the decoding pipeline catches up with the measurement cycle the entry
+/// is corrected (possibly flipping the bit) and `read` instructions may
+/// forward it to the host CPU.  Decoder re-execution rolls entries measured
+/// after the MBBE onset back to the uncorrected state (Sec. VI-C); entries
+/// already consumed by a `read` abort the rollback instead.
+#[derive(Debug, Clone, Default)]
+pub struct ClassicalRegisterFile {
+    entries: HashMap<RegisterId, RegisterEntry>,
+    read_by_host: Vec<RegisterId>,
+}
+
+impl ClassicalRegisterFile {
+    /// Creates an empty register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a raw measurement outcome.
+    pub fn write_raw(&mut self, register: RegisterId, value: bool, measured_cycle: u64) {
+        self.entries.insert(
+            register,
+            RegisterEntry { value, measured_cycle, error_corrected: false },
+        );
+    }
+
+    /// The current entry of a register, if any.
+    pub fn entry(&self, register: RegisterId) -> Option<RegisterEntry> {
+        self.entries.get(&register).copied()
+    }
+
+    /// Marks a register as error-corrected, optionally flipping its value
+    /// according to the Pauli frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register has never been written.
+    pub fn correct(&mut self, register: RegisterId, flip: bool) {
+        let entry = self
+            .entries
+            .get_mut(&register)
+            .unwrap_or_else(|| panic!("register {register:?} was never written"));
+        entry.value ^= flip;
+        entry.error_corrected = true;
+    }
+
+    /// Executes a `read`: returns the corrected value, or `None` when the
+    /// entry is missing or not yet corrected (the host must retry later).
+    pub fn read(&mut self, register: RegisterId) -> Option<bool> {
+        let entry = self.entries.get(&register)?;
+        if !entry.error_corrected {
+            return None;
+        }
+        self.read_by_host.push(register);
+        Some(entry.value)
+    }
+
+    /// Registers whose corrected values have already been sent to the host.
+    pub fn read_registers(&self) -> &[RegisterId] {
+        &self.read_by_host
+    }
+
+    /// Whether a rollback to `rollback_cycle` is possible: no register
+    /// measured at or after that cycle has already been read by the host.
+    pub fn can_rollback_to(&self, rollback_cycle: u64) -> bool {
+        !self.read_by_host.iter().any(|r| {
+            self.entries
+                .get(r)
+                .map(|e| e.measured_cycle >= rollback_cycle)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Rolls back: every entry measured at or after `rollback_cycle` is
+    /// marked "not error corrected" again.  Returns the number of entries
+    /// affected, or `None` (and changes nothing) when the rollback must be
+    /// aborted because the host already consumed one of them.
+    pub fn rollback_to(&mut self, rollback_cycle: u64) -> Option<usize> {
+        if !self.can_rollback_to(rollback_cycle) {
+            return None;
+        }
+        let mut affected = 0;
+        for entry in self.entries.values_mut() {
+            if entry.measured_cycle >= rollback_cycle && entry.error_corrected {
+                entry.error_corrected = false;
+                affected += 1;
+            }
+        }
+        Some(affected)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R0: RegisterId = RegisterId(0);
+    const R1: RegisterId = RegisterId(1);
+
+    #[test]
+    fn raw_values_cannot_be_read_until_corrected() {
+        let mut file = ClassicalRegisterFile::new();
+        file.write_raw(R0, true, 100);
+        assert_eq!(file.read(R0), None);
+        file.correct(R0, false);
+        assert_eq!(file.read(R0), Some(true));
+        assert_eq!(file.read_registers(), &[R0]);
+        assert_eq!(file.len(), 1);
+        assert!(!file.is_empty());
+    }
+
+    #[test]
+    fn correction_can_flip_the_outcome() {
+        let mut file = ClassicalRegisterFile::new();
+        file.write_raw(R0, true, 10);
+        file.correct(R0, true);
+        assert_eq!(file.read(R0), Some(false));
+    }
+
+    #[test]
+    fn rollback_reverts_corrections_after_the_cut() {
+        let mut file = ClassicalRegisterFile::new();
+        file.write_raw(R0, true, 50);
+        file.write_raw(R1, false, 150);
+        file.correct(R0, false);
+        file.correct(R1, false);
+        let affected = file.rollback_to(100).expect("rollback allowed");
+        assert_eq!(affected, 1);
+        assert!(file.entry(R0).unwrap().error_corrected);
+        assert!(!file.entry(R1).unwrap().error_corrected);
+        assert_eq!(file.read(R1), None);
+    }
+
+    #[test]
+    fn rollback_aborts_when_host_already_consumed_an_entry() {
+        let mut file = ClassicalRegisterFile::new();
+        file.write_raw(R0, true, 200);
+        file.correct(R0, false);
+        assert_eq!(file.read(R0), Some(true));
+        assert!(!file.can_rollback_to(150));
+        assert_eq!(file.rollback_to(150), None);
+        // the entry stays corrected
+        assert!(file.entry(R0).unwrap().error_corrected);
+        // a rollback cut after the read is still fine
+        assert!(file.can_rollback_to(300));
+        assert_eq!(file.rollback_to(300), Some(0));
+    }
+
+    #[test]
+    fn missing_register_reads_as_none() {
+        let mut file = ClassicalRegisterFile::new();
+        assert_eq!(file.read(R0), None);
+        assert!(file.entry(R0).is_none());
+        assert!(file.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "never written")]
+    fn correcting_missing_register_panics() {
+        let mut file = ClassicalRegisterFile::new();
+        file.correct(R0, false);
+    }
+}

@@ -1,0 +1,422 @@
+//! The surface-code decoder: detection events → matching → correction parity.
+
+use crate::spacetime::BoundarySide;
+use crate::{DetectionEvent, SpaceTimeCosts, SyndromeHistory, WeightModel};
+use q3de_lattice::MatchingGraph;
+use q3de_matching::{AutoMatcher, MatchTarget, Matcher, MatchingProblem, RefinedGreedyMatcher};
+
+/// Tuning knobs of the [`SurfaceDecoder`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecoderConfig {
+    /// Clusters with at most this many detection events are matched exactly;
+    /// larger clusters fall back to the refined greedy matcher.
+    pub exact_cluster_threshold: usize,
+    /// Maximum 2-opt improvement sweeps of the refined greedy matcher.
+    pub refine_rounds: usize,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        Self { exact_cluster_threshold: 16, refine_rounds: 64 }
+    }
+}
+
+/// A matched pair of detection events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchedPair {
+    /// First event of the pair.
+    pub a: DetectionEvent,
+    /// Second event of the pair.
+    pub b: DetectionEvent,
+    /// The path cost of the pairing.
+    pub cost: f64,
+}
+
+/// The result of decoding one syndrome window.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeOutcome {
+    /// All detection events of the window.
+    pub events: Vec<DetectionEvent>,
+    /// Event–event matches.
+    pub pairs: Vec<MatchedPair>,
+    /// Event–boundary matches with the chosen boundary side and cost.
+    pub boundary_matches: Vec<(DetectionEvent, BoundarySide, f64)>,
+    /// Total matching weight (sum of all pair and boundary costs).
+    pub total_weight: f64,
+    /// Number of independent clusters the matching decomposed into.
+    pub num_clusters: usize,
+}
+
+impl DecodeOutcome {
+    /// Number of detection events in the decoded window.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the implied correction crosses the homological cut an odd
+    /// number of times — true exactly when an odd number of events were
+    /// matched to the low (cut-adjacent) boundary.
+    pub fn correction_crosses_cut(&self) -> bool {
+        self.boundary_matches.iter().filter(|(_, side, _)| *side == BoundarySide::Low).count() % 2
+            == 1
+    }
+
+    /// Whether the decoded correction leaves a logical error, given the
+    /// parity of *actual* error flips on the cut edges accumulated over the
+    /// window.
+    pub fn is_logical_failure(&self, error_cut_parity: bool) -> bool {
+        self.correction_crosses_cut() != error_cut_parity
+    }
+}
+
+/// A minimum-weight matching decoder for one error sector of the surface
+/// code.
+///
+/// The decoder decomposes the detection events into independent clusters
+/// (two events belong to the same cluster when pairing them could ever be
+/// cheaper than sending both to the boundary), solves each cluster with an
+/// exact matcher when small and with the refined greedy matcher otherwise,
+/// and reports the correction parity needed for the logical-failure check.
+#[derive(Debug, Clone)]
+pub struct SurfaceDecoder<'g> {
+    graph: &'g MatchingGraph,
+    config: DecoderConfig,
+}
+
+impl<'g> SurfaceDecoder<'g> {
+    /// Creates a decoder with the default configuration.
+    pub fn new(graph: &'g MatchingGraph) -> Self {
+        Self::with_config(graph, DecoderConfig::default())
+    }
+
+    /// Creates a decoder with an explicit configuration.
+    pub fn with_config(graph: &'g MatchingGraph, config: DecoderConfig) -> Self {
+        Self { graph, config }
+    }
+
+    /// The layer graph the decoder operates on.
+    pub fn graph(&self) -> &MatchingGraph {
+        self.graph
+    }
+
+    /// The decoder configuration.
+    pub fn config(&self) -> DecoderConfig {
+        self.config
+    }
+
+    /// Decodes a syndrome window under the given weight model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history's node count does not match the layer graph.
+    pub fn decode(&self, history: &SyndromeHistory, model: &WeightModel) -> DecodeOutcome {
+        assert_eq!(
+            history.num_nodes(),
+            self.graph.num_nodes(),
+            "syndrome history and matching graph disagree on the node count"
+        );
+        let events = history.detection_events();
+        if events.is_empty() {
+            return DecodeOutcome::default();
+        }
+        let num_layers = history.num_layers().max(1);
+        let costs = SpaceTimeCosts::new(self.graph, num_layers, model.clone());
+
+        // Pairwise and boundary costs.
+        let n = events.len();
+        let mut pair_cost = vec![f64::INFINITY; n * n];
+        let mut boundary = vec![(f64::INFINITY, f64::INFINITY); n];
+        for (i, &e) in events.iter().enumerate() {
+            let (row, bd) = costs.costs_from(e, &events);
+            boundary[i] = bd;
+            for (j, c) in row.into_iter().enumerate() {
+                pair_cost[i * n + j] = c;
+            }
+        }
+        // Symmetrise: Dijkstra costs are symmetric up to floating-point noise,
+        // and the matcher requires exact symmetry.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let c = pair_cost[i * n + j].min(pair_cost[j * n + i]);
+                pair_cost[i * n + j] = c;
+                pair_cost[j * n + i] = c;
+            }
+        }
+        let boundary_min = |i: usize| boundary[i].0.min(boundary[i].1);
+
+        // Cluster decomposition via union-find: link i and j when pairing
+        // them could beat sending both to the boundary.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if pair_cost[i * n + j] < boundary_min(i) + boundary_min(j) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut clusters: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            clusters.entry(root).or_default().push(i);
+        }
+
+        let matcher = AutoMatcher {
+            exact_threshold: self.config.exact_cluster_threshold,
+            refined: RefinedGreedyMatcher::with_max_rounds(self.config.refine_rounds),
+        };
+
+        let mut outcome = DecodeOutcome {
+            events: events.clone(),
+            num_clusters: clusters.len(),
+            ..DecodeOutcome::default()
+        };
+        for members in clusters.values() {
+            let m = members.len();
+            let problem = MatchingProblem::from_fn(
+                m,
+                |a, b| pair_cost[members[a] * n + members[b]],
+                |a| boundary_min(members[a]),
+            );
+            let matching = matcher.solve(&problem);
+            for (local, target) in matching.iter() {
+                let global = members[local];
+                match target {
+                    MatchTarget::Node(other_local) => {
+                        let other = members[other_local];
+                        if global < other {
+                            let cost = pair_cost[global * n + other];
+                            outcome.pairs.push(MatchedPair {
+                                a: events[global],
+                                b: events[other],
+                                cost,
+                            });
+                            outcome.total_weight += cost;
+                        }
+                    }
+                    MatchTarget::Boundary => {
+                        let (low, high) = boundary[global];
+                        let (side, cost) = if low <= high {
+                            (BoundarySide::Low, low)
+                        } else {
+                            (BoundarySide::High, high)
+                        };
+                        outcome.boundary_matches.push((events[global], side, cost));
+                        outcome.total_weight += cost;
+                    }
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q3de_lattice::{Coord, ErrorKind, Pauli, PauliString, StabilizerKind, SurfaceCode};
+
+    /// Builds a syndrome history for a *static* data-qubit error pattern
+    /// measured perfectly over `rounds` rounds (no measurement noise): the
+    /// same syndrome repeats every layer.
+    fn static_history(code: &SurfaceCode, error: &PauliString, rounds: usize) -> SyndromeHistory {
+        let graph = code.matching_graph(ErrorKind::X);
+        let syndrome = code.syndrome(StabilizerKind::Z, error);
+        let mut h = SyndromeHistory::new(graph.num_nodes());
+        for _ in 0..rounds {
+            h.push_layer(syndrome.clone());
+        }
+        h
+    }
+
+    /// Parity of actual X-error flips on the cut (left-boundary data qubits).
+    fn error_cut_parity(code: &SurfaceCode, error: &PauliString) -> bool {
+        code.logical_z_support()
+            .iter()
+            .filter(|&&q| error.get(q).has_x_component())
+            .count()
+            % 2
+            == 1
+    }
+
+    fn decode_static(code: &SurfaceCode, error: &PauliString) -> bool {
+        let graph = code.matching_graph(ErrorKind::X);
+        let decoder = SurfaceDecoder::new(&graph);
+        let history = static_history(code, error, 3);
+        let outcome = decoder.decode(&history, &WeightModel::uniform(1e-3));
+        outcome.is_logical_failure(error_cut_parity(code, error))
+    }
+
+    #[test]
+    fn empty_syndrome_decodes_trivially() {
+        let code = SurfaceCode::new(3).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let decoder = SurfaceDecoder::new(&graph);
+        let mut h = SyndromeHistory::new(graph.num_nodes());
+        for _ in 0..4 {
+            h.push_layer(vec![false; graph.num_nodes()]);
+        }
+        let outcome = decoder.decode(&h, &WeightModel::uniform(1e-3));
+        assert_eq!(outcome.num_events(), 0);
+        assert!(!outcome.correction_crosses_cut());
+        assert!(!outcome.is_logical_failure(false));
+        assert_eq!(outcome.total_weight, 0.0);
+    }
+
+    #[test]
+    fn single_data_error_is_corrected() {
+        let code = SurfaceCode::new(5).unwrap();
+        for &q in code.data_qubits() {
+            let error: PauliString = [(q, Pauli::X)].into_iter().collect();
+            assert!(!decode_static(&code, &error), "single X on {q} was not corrected");
+        }
+    }
+
+    #[test]
+    fn small_error_chains_are_corrected() {
+        let code = SurfaceCode::new(5).unwrap();
+        // any horizontal chain of ⌊(d−1)/2⌋ = 2 errors is correctable
+        let error: PauliString =
+            [(Coord::new(0, 0), Pauli::X), (Coord::new(0, 2), Pauli::X)].into_iter().collect();
+        assert!(!decode_static(&code, &error));
+        let error2: PauliString =
+            [(Coord::new(4, 4), Pauli::X), (Coord::new(4, 6), Pauli::X)].into_iter().collect();
+        assert!(!decode_static(&code, &error2));
+    }
+
+    #[test]
+    fn logical_operator_is_a_failure() {
+        // A full logical X chain has trivial syndrome; the decoder does
+        // nothing and the residual is a logical error.
+        let code = SurfaceCode::new(5).unwrap();
+        let error: PauliString =
+            code.logical_x_support().into_iter().map(|q| (q, Pauli::X)).collect();
+        assert!(decode_static(&code, &error));
+    }
+
+    #[test]
+    fn majority_chain_causes_failure_minority_does_not() {
+        // d = 5: a chain of 3 along the logical direction is mis-corrected
+        // (matched the short way), a chain of 2 is fine.
+        let code = SurfaceCode::new(5).unwrap();
+        let chain3: PauliString = [
+            (Coord::new(0, 0), Pauli::X),
+            (Coord::new(0, 2), Pauli::X),
+            (Coord::new(0, 4), Pauli::X),
+        ]
+        .into_iter()
+        .collect();
+        assert!(decode_static(&code, &chain3), "weight-3 chain on d=5 should fail");
+        let chain2: PauliString =
+            [(Coord::new(0, 0), Pauli::X), (Coord::new(0, 2), Pauli::X)].into_iter().collect();
+        assert!(!decode_static(&code, &chain2));
+    }
+
+    #[test]
+    fn measurement_blip_is_matched_in_time() {
+        // A lone measurement error produces two vertically adjacent events
+        // that should be matched together (not to the boundary).
+        let code = SurfaceCode::new(5).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let decoder = SurfaceDecoder::new(&graph);
+        let n = graph.num_nodes();
+        let mut h = SyndromeHistory::new(n);
+        let mut blip = vec![false; n];
+        let central = graph.node_index(Coord::new(4, 5)).unwrap();
+        blip[central] = true;
+        h.push_layer(vec![false; n]);
+        h.push_layer(blip);
+        h.push_layer(vec![false; n]);
+        h.push_layer(vec![false; n]);
+        let outcome = decoder.decode(&h, &WeightModel::uniform(1e-3));
+        assert_eq!(outcome.num_events(), 2);
+        assert_eq!(outcome.pairs.len(), 1);
+        assert!(outcome.boundary_matches.is_empty());
+        assert!(!outcome.is_logical_failure(false));
+    }
+
+    #[test]
+    fn boundary_matches_pick_the_nearest_side() {
+        let code = SurfaceCode::new(5).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let decoder = SurfaceDecoder::new(&graph);
+        // single X error on the leftmost data qubit of row 0 → one event next
+        // to the low boundary
+        let error: PauliString = [(Coord::new(0, 0), Pauli::X)].into_iter().collect();
+        let history = static_history(&code, &error, 2);
+        let outcome = decoder.decode(&history, &WeightModel::uniform(1e-3));
+        assert_eq!(outcome.boundary_matches.len(), 1);
+        assert_eq!(outcome.boundary_matches[0].1, BoundarySide::Low);
+        assert!(outcome.correction_crosses_cut());
+        // ... which exactly cancels the actual error's cut parity
+        assert!(!outcome.is_logical_failure(error_cut_parity(&code, &error)));
+    }
+
+    #[test]
+    fn anomaly_aware_weights_fix_a_burst_misdecoding() {
+        // Construct the Fig. 6(a) situation: a burst of errors crossing an
+        // anomalous band.  Decoded blindly, the chain of 3 (out of 5 columns)
+        // is matched the short way and causes a logical error; decoded with
+        // the anomalous region weighted in, the decoder correctly pairs the
+        // events across the (cheap) region.
+        let code = SurfaceCode::new(5).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let decoder = SurfaceDecoder::new(&graph);
+        // anomalous band: columns 2..6 of every row (size 2 region at col 2)
+        let region =
+            q3de_noise::AnomalousRegion::new(Coord::new(0, 2), 4, 0, 100, 0.5);
+        // actual error: X on the three data qubits of row 0 inside the band
+        let error: PauliString = [
+            (Coord::new(0, 2), Pauli::X),
+            (Coord::new(0, 4), Pauli::X),
+            (Coord::new(0, 6), Pauli::X),
+        ]
+        .into_iter()
+        .collect();
+        let history = static_history(&code, &error, 3);
+        let parity = error_cut_parity(&code, &error);
+
+        let blind = decoder.decode(&history, &WeightModel::uniform(1e-3));
+        let aware = decoder.decode(
+            &history,
+            &WeightModel::anomaly_aware(1e-3, vec![region], 0),
+        );
+        assert!(blind.is_logical_failure(parity), "blind decoding should mis-correct");
+        assert!(!aware.is_logical_failure(parity), "anomaly-aware decoding should succeed");
+    }
+
+    #[test]
+    fn clusters_are_reported() {
+        let code = SurfaceCode::new(7).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let decoder = SurfaceDecoder::new(&graph);
+        // two well-separated single errors → two independent clusters
+        let error: PauliString =
+            [(Coord::new(0, 0), Pauli::X), (Coord::new(12, 12), Pauli::X)].into_iter().collect();
+        let history = static_history(&code, &error, 2);
+        let outcome = decoder.decode(&history, &WeightModel::uniform(1e-3));
+        assert!(outcome.num_clusters >= 2);
+        assert!(!outcome.is_logical_failure(error_cut_parity(&code, &error)));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the node count")]
+    fn mismatched_history_is_rejected() {
+        let code = SurfaceCode::new(3).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let decoder = SurfaceDecoder::new(&graph);
+        let mut h = SyndromeHistory::new(graph.num_nodes() + 1);
+        h.push_layer(vec![false; graph.num_nodes() + 1]);
+        let _ = decoder.decode(&h, &WeightModel::uniform(1e-3));
+    }
+}

@@ -1,0 +1,341 @@
+//! Shortest-path costs on the space-time decoding graph.
+
+use crate::{DetectionEvent, WeightModel};
+use q3de_lattice::{ErrorKind, GraphEdge, MatchingGraph};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which lattice boundary a chain terminates on.
+///
+/// `Low` is the boundary adjacent to the homological cut (left for `X`-error
+/// graphs, top for `Z`-error graphs); a chain ending there crosses the cut an
+/// odd number of times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundarySide {
+    /// The cut-adjacent boundary.
+    Low,
+    /// The opposite boundary.
+    High,
+}
+
+/// Computes minimum path costs between detection events (and to the two
+/// boundaries) on the 3D space-time lattice.
+///
+/// * Space edges within an event layer correspond to data-qubit errors at
+///   that cycle and are weighted by [`WeightModel::weight_at`] of the data
+///   qubit.
+/// * Time edges between consecutive layers correspond to measurement errors
+///   on the stabilizer's ancilla and are weighted by the ancilla's rate.
+///
+/// Uniform models use the closed-form Manhattan metric; anomaly-aware models
+/// run Dijkstra from each queried source.
+#[derive(Debug, Clone)]
+pub struct SpaceTimeCosts<'g> {
+    graph: &'g MatchingGraph,
+    num_layers: usize,
+    model: WeightModel,
+}
+
+impl<'g> SpaceTimeCosts<'g> {
+    /// Creates the cost oracle for `num_layers` event layers over `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0`.
+    pub fn new(graph: &'g MatchingGraph, num_layers: usize, model: WeightModel) -> Self {
+        assert!(num_layers > 0, "at least one event layer is required");
+        Self { graph, num_layers, model }
+    }
+
+    /// The layer graph this oracle operates on.
+    pub fn graph(&self) -> &MatchingGraph {
+        self.graph
+    }
+
+    /// Number of event layers.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// The weight model in use.
+    pub fn model(&self) -> &WeightModel {
+        &self.model
+    }
+
+    /// The boundary side a boundary edge terminates on.
+    pub fn boundary_side(&self, edge: &GraphEdge) -> BoundarySide {
+        debug_assert!(edge.is_boundary());
+        let low = match self.graph.kind() {
+            ErrorKind::X => edge.qubit.col == 0,
+            ErrorKind::Z => edge.qubit.row == 0,
+        };
+        if low {
+            BoundarySide::Low
+        } else {
+            BoundarySide::High
+        }
+    }
+
+    /// Minimum path cost between two detection events.
+    pub fn cost_between(&self, a: DetectionEvent, b: DetectionEvent) -> f64 {
+        match &self.model {
+            WeightModel::Uniform { .. } => {
+                let w = self.model.base_weight();
+                let space = self.graph.space_distance(a.node, b.node) as f64;
+                let time = a.layer.abs_diff(b.layer) as f64;
+                w * (space + time)
+            }
+            WeightModel::AnomalyAware { .. } => {
+                let (costs, _) = self.costs_from(a, &[b]);
+                costs[0]
+            }
+        }
+    }
+
+    /// Minimum path costs from a detection event to the `(low, high)`
+    /// boundaries.
+    pub fn boundary_costs(&self, a: DetectionEvent) -> (f64, f64) {
+        match &self.model {
+            WeightModel::Uniform { .. } => {
+                let w = self.model.base_weight();
+                let (low, high) = self.graph.boundary_distances(a.node);
+                (w * low as f64, w * high as f64)
+            }
+            WeightModel::AnomalyAware { .. } => {
+                let (_, boundary) = self.costs_from(a, &[]);
+                boundary
+            }
+        }
+    }
+
+    /// Minimum path costs from `source` to each of `targets`, plus the costs
+    /// to the `(low, high)` boundaries, in a single traversal.
+    pub fn costs_from(
+        &self,
+        source: DetectionEvent,
+        targets: &[DetectionEvent],
+    ) -> (Vec<f64>, (f64, f64)) {
+        match &self.model {
+            WeightModel::Uniform { .. } => {
+                let costs = targets.iter().map(|&t| self.cost_between(source, t)).collect();
+                (costs, self.boundary_costs(source))
+            }
+            WeightModel::AnomalyAware { .. } => self.dijkstra(source, targets),
+        }
+    }
+
+    fn state_index(&self, node: usize, layer: usize) -> usize {
+        layer * self.graph.num_nodes() + node
+    }
+
+    fn dijkstra(
+        &self,
+        source: DetectionEvent,
+        targets: &[DetectionEvent],
+    ) -> (Vec<f64>, (f64, f64)) {
+        #[derive(PartialEq)]
+        struct HeapEntry {
+            cost: f64,
+            state: usize,
+        }
+        impl Eq for HeapEntry {}
+        impl Ord for HeapEntry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // reversed: BinaryHeap is a max-heap
+                other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+            }
+        }
+        impl PartialOrd for HeapEntry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let num_nodes = self.graph.num_nodes();
+        let num_states = num_nodes * self.num_layers;
+        let mut dist = vec![f64::INFINITY; num_states];
+        let mut best_low = f64::INFINITY;
+        let mut best_high = f64::INFINITY;
+
+        let start = self.state_index(source.node, source.layer);
+        dist[start] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { cost: 0.0, state: start });
+
+        while let Some(HeapEntry { cost, state }) = heap.pop() {
+            if cost > dist[state] {
+                continue;
+            }
+            let layer = state / num_nodes;
+            let node = state % num_nodes;
+
+            // Space edges (data-qubit errors at this layer's cycle).
+            for &edge_index in self.graph.incident_edges(node) {
+                let edge = self.graph.edge(edge_index);
+                let w = self.model.weight_at(edge.qubit, layer);
+                match edge.other(node) {
+                    Some(neighbor) => {
+                        let next = self.state_index(neighbor, layer);
+                        if cost + w < dist[next] {
+                            dist[next] = cost + w;
+                            heap.push(HeapEntry { cost: cost + w, state: next });
+                        }
+                    }
+                    None => match self.boundary_side(edge) {
+                        BoundarySide::Low => best_low = best_low.min(cost + w),
+                        BoundarySide::High => best_high = best_high.min(cost + w),
+                    },
+                }
+            }
+
+            // Time edges (measurement errors on this node's ancilla).
+            let ancilla = self.graph.node(node);
+            if layer + 1 < self.num_layers {
+                let w = self.model.weight_at(ancilla, layer);
+                let next = self.state_index(node, layer + 1);
+                if cost + w < dist[next] {
+                    dist[next] = cost + w;
+                    heap.push(HeapEntry { cost: cost + w, state: next });
+                }
+            }
+            if layer > 0 {
+                let w = self.model.weight_at(ancilla, layer - 1);
+                let next = self.state_index(node, layer - 1);
+                if cost + w < dist[next] {
+                    dist[next] = cost + w;
+                    heap.push(HeapEntry { cost: cost + w, state: next });
+                }
+            }
+        }
+
+        let costs = targets
+            .iter()
+            .map(|t| dist[self.state_index(t.node, t.layer)])
+            .collect();
+        (costs, (best_low, best_high))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q3de_lattice::{Coord, SurfaceCode};
+    use q3de_noise::AnomalousRegion;
+
+    fn graph(d: usize) -> MatchingGraph {
+        SurfaceCode::new(d).unwrap().matching_graph(ErrorKind::X)
+    }
+
+    #[test]
+    fn uniform_and_dijkstra_agree_without_anomalies() {
+        let g = graph(5);
+        let layers = 6;
+        let p = 1e-2;
+        let uniform = SpaceTimeCosts::new(&g, layers, WeightModel::uniform(p));
+        let dijkstra =
+            SpaceTimeCosts::new(&g, layers, WeightModel::anomaly_aware(p, Vec::new(), 0));
+        let events: Vec<DetectionEvent> = vec![
+            DetectionEvent { layer: 0, node: 0 },
+            DetectionEvent { layer: 2, node: 7 },
+            DetectionEvent { layer: 5, node: g.num_nodes() - 1 },
+            DetectionEvent { layer: 3, node: 11 },
+        ];
+        for &a in &events {
+            for &b in &events {
+                let cu = uniform.cost_between(a, b);
+                let cd = dijkstra.cost_between(a, b);
+                assert!((cu - cd).abs() < 1e-9, "{a} → {b}: uniform {cu} vs dijkstra {cd}");
+            }
+            let (ul, uh) = uniform.boundary_costs(a);
+            let (dl, dh) = dijkstra.boundary_costs(a);
+            assert!((ul - dl).abs() < 1e-9, "{a} low boundary: {ul} vs {dl}");
+            assert!((uh - dh).abs() < 1e-9, "{a} high boundary: {uh} vs {dh}");
+        }
+    }
+
+    #[test]
+    fn costs_scale_with_distance() {
+        let g = graph(5);
+        let costs = SpaceTimeCosts::new(&g, 5, WeightModel::uniform(1e-3));
+        let a = DetectionEvent { layer: 0, node: 0 };
+        let near = DetectionEvent { layer: 0, node: 1 };
+        let far = DetectionEvent { layer: 4, node: g.num_nodes() - 1 };
+        assert!(costs.cost_between(a, near) < costs.cost_between(a, far));
+        assert_eq!(costs.cost_between(a, a), 0.0);
+    }
+
+    #[test]
+    fn anomalous_region_creates_cheap_paths() {
+        let g = graph(5);
+        // Anomaly with p_ano = 0.5 covering the whole patch during layers 0..10:
+        // every space edge becomes free, so any same-layer pair costs ~0.
+        let region = AnomalousRegion::new(Coord::new(0, 0), 5, 0, 10, 0.5);
+        let aware =
+            SpaceTimeCosts::new(&g, 5, WeightModel::anomaly_aware(1e-3, vec![region], 0));
+        let blind = SpaceTimeCosts::new(&g, 5, WeightModel::uniform(1e-3));
+        let a = DetectionEvent { layer: 0, node: 0 };
+        let b = DetectionEvent { layer: 0, node: g.num_nodes() - 1 };
+        assert!(aware.cost_between(a, b) < 1e-9);
+        assert!(blind.cost_between(a, b) > 1.0);
+        // boundary costs also collapse
+        let (low, high) = aware.boundary_costs(a);
+        assert!(low < 1e-9 && high < 1e-9);
+    }
+
+    #[test]
+    fn partial_anomaly_reroutes_paths_through_the_region() {
+        let g = graph(5);
+        // Anomaly covering only the middle rows: a path that detours through
+        // the free region beats the straight expensive path.
+        let region = AnomalousRegion::new(Coord::new(2, 0), 5, 0, 10, 0.5);
+        let aware =
+            SpaceTimeCosts::new(&g, 3, WeightModel::anomaly_aware(1e-3, vec![region], 0));
+        // two nodes in the top row (row 0), far apart horizontally
+        let left = g.node_index(Coord::new(0, 1)).unwrap();
+        let right = g.node_index(Coord::new(0, 7)).unwrap();
+        let a = DetectionEvent { layer: 0, node: left };
+        let b = DetectionEvent { layer: 0, node: right };
+        let straight = 3.0 * WeightModel::weight_of_rate(1e-3);
+        let cost = aware.cost_between(a, b);
+        // detour: down into the anomaly (row 2 is inside), across for free,
+        // back up — 2 normal edges in total instead of 3.
+        assert!(cost < straight - 1e-9, "cost {cost} vs straight {straight}");
+        assert!(cost > 0.0);
+    }
+
+    #[test]
+    fn boundary_sides_are_classified_correctly() {
+        let g = graph(3);
+        let costs = SpaceTimeCosts::new(&g, 2, WeightModel::uniform(1e-3));
+        for e in g.edges() {
+            if e.is_boundary() {
+                let side = costs.boundary_side(e);
+                if e.qubit.col == 0 {
+                    assert_eq!(side, BoundarySide::Low);
+                } else {
+                    assert_eq!(side, BoundarySide::High);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn time_and_space_edges_both_contribute() {
+        let g = graph(3);
+        let costs = SpaceTimeCosts::new(&g, 4, WeightModel::uniform(1e-2));
+        let w = WeightModel::weight_of_rate(1e-2);
+        let a = DetectionEvent { layer: 0, node: 0 };
+        let b = DetectionEvent { layer: 3, node: 0 };
+        assert!((costs.cost_between(a, b) - 3.0 * w).abs() < 1e-9);
+        let c = DetectionEvent { layer: 1, node: 1 };
+        let expected = (g.space_distance(0, 1) as f64 + 1.0) * w;
+        assert!((costs.cost_between(a, c) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event layer")]
+    fn zero_layers_is_rejected() {
+        let g = graph(3);
+        let _ = SpaceTimeCosts::new(&g, 0, WeightModel::uniform(1e-3));
+    }
+}

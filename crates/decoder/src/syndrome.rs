@@ -1,0 +1,238 @@
+//! Syndrome layers and detection events.
+
+use std::fmt;
+
+/// A detection event: an *active node* of the 3D syndrome lattice, i.e. a
+/// position/time at which two consecutive syndrome measurements disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DetectionEvent {
+    /// Event-layer index (`0` compares the first measured layer against the
+    /// deterministic initial reference).
+    pub layer: usize,
+    /// Node index in the layer [`q3de_lattice::MatchingGraph`].
+    pub node: usize,
+}
+
+impl fmt::Display for DetectionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(t={}, n={})", self.layer, self.node)
+    }
+}
+
+/// The sequence of measured syndrome layers for one decoding sector.
+///
+/// Layer `t` holds the raw syndrome values `s_{i,t}` of every stabilizer
+/// node `i` at code cycle `t`, in the node order of the layer
+/// [`q3de_lattice::MatchingGraph`].  The final pushed layer is interpreted as
+/// the *perfect* readout layer obtained from the destructive data-qubit
+/// measurement that ends a memory experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyndromeHistory {
+    num_nodes: usize,
+    layers: Vec<Vec<bool>>,
+}
+
+impl SyndromeHistory {
+    /// Creates an empty history over `num_nodes` stabilizer nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self { num_nodes, layers: Vec::new() }
+    }
+
+    /// Number of stabilizer nodes per layer.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of layers pushed so far.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether no layer has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Appends one measured syndrome layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer length differs from [`SyndromeHistory::num_nodes`].
+    pub fn push_layer(&mut self, layer: Vec<bool>) {
+        assert_eq!(
+            layer.len(),
+            self.num_nodes,
+            "syndrome layer has {} entries, expected {}",
+            layer.len(),
+            self.num_nodes
+        );
+        self.layers.push(layer);
+    }
+
+    /// The raw syndrome value `s_{node, layer}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn value(&self, layer: usize, node: usize) -> bool {
+        self.layers[layer][node]
+    }
+
+    /// The measured layers in chronological order.
+    pub fn layers(&self) -> &[Vec<bool>] {
+        &self.layers
+    }
+
+    /// Whether the detection-event lattice node `(layer, node)` is active:
+    /// the XOR of the syndrome at `layer` and at `layer − 1` (layer 0 is
+    /// compared against the deterministic all-zero reference).
+    pub fn is_active(&self, layer: usize, node: usize) -> bool {
+        let current = self.layers[layer][node];
+        if layer == 0 {
+            current
+        } else {
+            current ^ self.layers[layer - 1][node]
+        }
+    }
+
+    /// All detection events, in (layer, node) order.
+    pub fn detection_events(&self) -> Vec<DetectionEvent> {
+        let mut events = Vec::new();
+        for layer in 0..self.layers.len() {
+            for node in 0..self.num_nodes {
+                if self.is_active(layer, node) {
+                    events.push(DetectionEvent { layer, node });
+                }
+            }
+        }
+        events
+    }
+
+    /// Number of active nodes in the given layer (used by the anomaly
+    /// detection unit).
+    pub fn active_count_in_layer(&self, layer: usize) -> usize {
+        (0..self.num_nodes).filter(|&n| self.is_active(layer, n)).collect::<Vec<_>>().len()
+    }
+
+    /// Truncates the history to its first `num_layers` layers, discarding the
+    /// rest.  This is the primitive behind the decoder-rollback procedure
+    /// (Sec. VI-C): forgetting recent matches amounts to re-decoding a
+    /// truncated-then-extended history.
+    pub fn truncate(&mut self, num_layers: usize) {
+        self.layers.truncate(num_layers);
+    }
+
+    /// Returns a sub-history covering layers `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn window(&self, start: usize, end: usize) -> SyndromeHistory {
+        assert!(start <= end && end <= self.layers.len(), "invalid window {start}..{end}");
+        SyndromeHistory { num_nodes: self.num_nodes, layers: self.layers[start..end].to_vec() }
+    }
+
+    /// Total number of detection events.
+    pub fn num_detection_events(&self) -> usize {
+        self.detection_events().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(bits: &[usize], n: usize) -> Vec<bool> {
+        let mut l = vec![false; n];
+        for &b in bits {
+            l[b] = true;
+        }
+        l
+    }
+
+    #[test]
+    fn empty_history_has_no_events() {
+        let h = SyndromeHistory::new(5);
+        assert!(h.is_empty());
+        assert_eq!(h.num_layers(), 0);
+        assert!(h.detection_events().is_empty());
+    }
+
+    #[test]
+    fn first_layer_diffs_against_zero_reference() {
+        let mut h = SyndromeHistory::new(4);
+        h.push_layer(layer(&[1, 3], 4));
+        let events = h.detection_events();
+        assert_eq!(
+            events,
+            vec![DetectionEvent { layer: 0, node: 1 }, DetectionEvent { layer: 0, node: 3 }]
+        );
+    }
+
+    #[test]
+    fn persistent_syndrome_produces_single_event() {
+        // A data error flips a stabilizer from some cycle onwards: the raw
+        // syndrome stays 1 but only one detection event appears.
+        let mut h = SyndromeHistory::new(3);
+        h.push_layer(layer(&[], 3));
+        h.push_layer(layer(&[2], 3));
+        h.push_layer(layer(&[2], 3));
+        h.push_layer(layer(&[2], 3));
+        let events = h.detection_events();
+        assert_eq!(events, vec![DetectionEvent { layer: 1, node: 2 }]);
+    }
+
+    #[test]
+    fn measurement_blip_produces_two_events() {
+        // A single wrong measurement outcome appears as a 1 sandwiched
+        // between 0s: two detection events in consecutive layers.
+        let mut h = SyndromeHistory::new(3);
+        h.push_layer(layer(&[], 3));
+        h.push_layer(layer(&[0], 3));
+        h.push_layer(layer(&[], 3));
+        let events = h.detection_events();
+        assert_eq!(
+            events,
+            vec![DetectionEvent { layer: 1, node: 0 }, DetectionEvent { layer: 2, node: 0 }]
+        );
+    }
+
+    #[test]
+    fn active_count_per_layer() {
+        let mut h = SyndromeHistory::new(4);
+        h.push_layer(layer(&[0, 1], 4));
+        h.push_layer(layer(&[1, 2], 4));
+        assert_eq!(h.active_count_in_layer(0), 2);
+        // layer 1 vs layer 0: node 0 turns off, node 2 turns on → 2 events
+        assert_eq!(h.active_count_in_layer(1), 2);
+        assert_eq!(h.num_detection_events(), 4);
+    }
+
+    #[test]
+    fn window_and_truncate() {
+        let mut h = SyndromeHistory::new(2);
+        for i in 0..5 {
+            h.push_layer(layer(&[i % 2], 2));
+        }
+        let w = h.window(1, 4);
+        assert_eq!(w.num_layers(), 3);
+        assert_eq!(w.value(0, 1), true);
+        h.truncate(2);
+        assert_eq!(h.num_layers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3")]
+    fn wrong_layer_size_is_rejected() {
+        let mut h = SyndromeHistory::new(3);
+        h.push_layer(vec![false; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid window")]
+    fn inverted_window_is_rejected() {
+        let mut h = SyndromeHistory::new(1);
+        h.push_layer(vec![false]);
+        let _ = h.window(1, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Site coordinates on the `(2d−1) × (2d−1)` surface-code grid.
+
+use std::fmt;
+
+/// A site on the surface-code grid.
+///
+/// The planar surface code of distance `d` is laid out on a
+/// `(2d−1) × (2d−1)` grid of sites.  Sites whose coordinate parities are
+/// `(even, even)` or `(odd, odd)` hold *data* qubits; sites with
+/// `(even, odd)` parities hold the `Z`-stabilizer ancillas and sites with
+/// `(odd, even)` parities hold the `X`-stabilizer ancillas.
+///
+/// Coordinates are signed so that positions of *expanded* codes (code
+/// deformation can grow a patch beyond its original footprint) and relative
+/// offsets can be expressed without underflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Row index (grows downwards).
+    pub row: i32,
+    /// Column index (grows rightwards).
+    pub col: i32,
+}
+
+impl Coord {
+    /// Creates a coordinate from a `(row, col)` pair.
+    ///
+    /// ```
+    /// use q3de_lattice::Coord;
+    /// let c = Coord::new(2, 3);
+    /// assert_eq!((c.row, c.col), (2, 3));
+    /// ```
+    pub const fn new(row: i32, col: i32) -> Self {
+        Self { row, col }
+    }
+
+    /// Manhattan (L1) distance to another coordinate.
+    ///
+    /// ```
+    /// use q3de_lattice::Coord;
+    /// assert_eq!(Coord::new(0, 0).manhattan(Coord::new(2, -3)), 5);
+    /// ```
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+
+    /// Chebyshev (L∞) distance to another coordinate.
+    pub fn chebyshev(self, other: Coord) -> u32 {
+        self.row.abs_diff(other.row).max(self.col.abs_diff(other.col))
+    }
+
+    /// The four nearest-neighbour sites (up, down, left, right).
+    pub fn neighbors(self) -> [Coord; 4] {
+        [
+            Coord::new(self.row - 1, self.col),
+            Coord::new(self.row + 1, self.col),
+            Coord::new(self.row, self.col - 1),
+            Coord::new(self.row, self.col + 1),
+        ]
+    }
+
+    /// Returns `true` when both parities are even or both odd, i.e. the site
+    /// holds a data qubit on the standard planar layout.
+    pub fn is_data_site(self) -> bool {
+        (self.row.rem_euclid(2)) == (self.col.rem_euclid(2))
+    }
+
+    /// Offsets the coordinate by `(drow, dcol)`.
+    pub fn offset(self, drow: i32, dcol: i32) -> Coord {
+        Coord::new(self.row + drow, self.col + dcol)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+impl From<(i32, i32)> for Coord {
+    fn from((row, col): (i32, i32)) -> Self {
+        Coord::new(row, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Coord::new(1, 7);
+        let b = Coord::new(-4, 2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 10);
+    }
+
+    #[test]
+    fn manhattan_to_self_is_zero() {
+        let a = Coord::new(3, 3);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        let a = Coord::new(0, 0);
+        let b = Coord::new(2, -5);
+        assert_eq!(a.chebyshev(b), 5);
+    }
+
+    #[test]
+    fn neighbors_are_distance_one() {
+        let c = Coord::new(4, 4);
+        for n in c.neighbors() {
+            assert_eq!(c.manhattan(n), 1);
+        }
+    }
+
+    #[test]
+    fn data_site_parity() {
+        assert!(Coord::new(0, 0).is_data_site());
+        assert!(Coord::new(1, 1).is_data_site());
+        assert!(!Coord::new(0, 1).is_data_site());
+        assert!(!Coord::new(1, 0).is_data_site());
+        // negative coordinates use euclidean parity
+        assert!(Coord::new(-1, 1).is_data_site());
+        assert!(!Coord::new(-1, 0).is_data_site());
+    }
+
+    #[test]
+    fn display_and_from_tuple() {
+        let c: Coord = (2, 5).into();
+        assert_eq!(format!("{c}"), "(2, 5)");
+    }
+
+    #[test]
+    fn ordering_is_row_major() {
+        assert!(Coord::new(0, 5) < Coord::new(1, 0));
+        assert!(Coord::new(1, 0) < Coord::new(1, 2));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for lattice construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned when constructing lattice objects from invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// The requested code distance is too small to define a planar code.
+    DistanceTooSmall {
+        /// The distance that was requested.
+        requested: usize,
+        /// The smallest supported distance.
+        minimum: usize,
+    },
+    /// A coordinate was expected to identify a qubit of a specific role but
+    /// does not.
+    InvalidSite {
+        /// The offending coordinate, as `(row, col)`.
+        coord: (i32, i32),
+        /// Human-readable description of what was expected.
+        expected: &'static str,
+    },
+    /// A code-deformation request is inconsistent (e.g. the expanded distance
+    /// is not larger than the current one).
+    InvalidDeformation {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::DistanceTooSmall { requested, minimum } => write!(
+                f,
+                "code distance {requested} is too small, the minimum supported distance is {minimum}"
+            ),
+            LatticeError::InvalidSite { coord, expected } => {
+                write!(f, "site ({}, {}) is not a valid {expected}", coord.0, coord.1)
+            }
+            LatticeError::InvalidDeformation { reason } => {
+                write!(f, "invalid code deformation: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for LatticeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LatticeError::DistanceTooSmall { requested: 1, minimum: 2 };
+        assert!(format!("{e}").contains("too small"));
+        let e = LatticeError::InvalidSite { coord: (1, 2), expected: "data qubit" };
+        assert!(format!("{e}").contains("data qubit"));
+        let e = LatticeError::InvalidDeformation { reason: "d_exp <= d".into() };
+        assert!(format!("{e}").contains("d_exp"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<LatticeError>();
+    }
+}

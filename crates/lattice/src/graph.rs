@@ -1,0 +1,432 @@
+//! The 2D matching ("layer") graph of the surface code.
+//!
+//! For a fixed [`ErrorKind`], the matching graph has one node per stabilizer
+//! that detects that error kind and one edge per data qubit.  An edge joins
+//! the (one or two) stabilizers flipped by a single error of that kind on the
+//! corresponding data qubit; edges with a single endpoint are *boundary*
+//! edges.  The space-time detector graph used by the decoders is built by
+//! stacking copies of this layer graph (see the `q3de-decoder` crate).
+
+use crate::{Coord, ErrorKind, SurfaceCode};
+use std::collections::HashMap;
+
+/// Index of a node (stabilizer) in a [`MatchingGraph`].
+pub type NodeIndex = usize;
+/// Index of an edge (data qubit) in a [`MatchingGraph`].
+pub type EdgeIndex = usize;
+
+/// An edge of the matching graph: a single data qubit whose error flips the
+/// incident stabilizer(s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphEdge {
+    /// First incident stabilizer node.
+    pub a: NodeIndex,
+    /// Second incident stabilizer node, or `None` for a boundary edge.
+    pub b: Option<NodeIndex>,
+    /// The data qubit this edge corresponds to.
+    pub qubit: Coord,
+}
+
+impl GraphEdge {
+    /// Returns `true` when the edge touches a lattice boundary.
+    pub fn is_boundary(&self) -> bool {
+        self.b.is_none()
+    }
+
+    /// Given one endpoint, returns the other (or `None` for the boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of this edge.
+    pub fn other(&self, from: NodeIndex) -> Option<NodeIndex> {
+        if self.a == from {
+            self.b
+        } else {
+            assert_eq!(self.b, Some(from), "node {from} is not an endpoint of this edge");
+            Some(self.a)
+        }
+    }
+}
+
+/// The 2D decoding graph of a [`SurfaceCode`] for one error kind.
+#[derive(Debug, Clone)]
+pub struct MatchingGraph {
+    kind: ErrorKind,
+    distance: usize,
+    nodes: Vec<Coord>,
+    node_index: HashMap<Coord, NodeIndex>,
+    edges: Vec<GraphEdge>,
+    adjacency: Vec<Vec<EdgeIndex>>,
+    qubit_edge: HashMap<Coord, EdgeIndex>,
+    cut_edges: Vec<EdgeIndex>,
+}
+
+impl MatchingGraph {
+    /// Builds the layer graph of `code` for errors of `kind`.
+    pub(crate) fn build(code: &SurfaceCode, kind: ErrorKind) -> Self {
+        let stab_kind = kind.detected_by();
+        let stabs = code.stabilizers(stab_kind);
+        let nodes: Vec<Coord> = stabs.iter().map(|s| s.ancilla).collect();
+        let node_index: HashMap<Coord, NodeIndex> =
+            nodes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+
+        let mut edges = Vec::with_capacity(code.num_data_qubits());
+        let mut adjacency = vec![Vec::new(); nodes.len()];
+        let mut qubit_edge = HashMap::with_capacity(code.num_data_qubits());
+        let mut cut_edges = Vec::new();
+
+        for &qubit in code.data_qubits() {
+            // The stabilizers of the detecting kind adjacent to this qubit.
+            let incident: Vec<NodeIndex> = qubit
+                .neighbors()
+                .into_iter()
+                .filter_map(|n| node_index.get(&n).copied())
+                .collect();
+            let edge_index = edges.len();
+            let edge = match incident.as_slice() {
+                [a] => GraphEdge { a: *a, b: None, qubit },
+                [a, b] => GraphEdge { a: *a, b: Some(*b), qubit },
+                other => unreachable!(
+                    "data qubit {qubit} is adjacent to {} detecting stabilizers",
+                    other.len()
+                ),
+            };
+            adjacency[edge.a].push(edge_index);
+            if let Some(b) = edge.b {
+                adjacency[b].push(edge_index);
+            }
+            // The homological cut: boundary edges on the "low" boundary.  The
+            // parity of flipped cut edges equals the logical flip parity.
+            let on_cut = match kind {
+                ErrorKind::X => qubit.col == 0,
+                ErrorKind::Z => qubit.row == 0,
+            };
+            if on_cut {
+                cut_edges.push(edge_index);
+            }
+            qubit_edge.insert(qubit, edge_index);
+            edges.push(edge);
+        }
+
+        Self {
+            kind,
+            distance: code.distance(),
+            nodes,
+            node_index,
+            edges,
+            adjacency,
+            qubit_edge,
+            cut_edges,
+        }
+    }
+
+    /// The error kind this graph decodes.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The code distance of the underlying surface code.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Number of stabilizer nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (= number of data qubits).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The ancilla coordinate of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node(&self, index: NodeIndex) -> Coord {
+        self.nodes[index]
+    }
+
+    /// All node coordinates in index order.
+    pub fn nodes(&self) -> &[Coord] {
+        &self.nodes
+    }
+
+    /// Looks up the node index of a stabilizer ancilla coordinate.
+    pub fn node_index(&self, coord: Coord) -> Option<NodeIndex> {
+        self.node_index.get(&coord).copied()
+    }
+
+    /// The edge with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn edge(&self, index: EdgeIndex) -> &GraphEdge {
+        &self.edges[index]
+    }
+
+    /// All edges in index order.
+    pub fn edges(&self) -> &[GraphEdge] {
+        &self.edges
+    }
+
+    /// The edges incident to node `index`.
+    pub fn incident_edges(&self, index: NodeIndex) -> &[EdgeIndex] {
+        &self.adjacency[index]
+    }
+
+    /// The edge corresponding to a data qubit, if that qubit participates in
+    /// this graph (all data qubits do on the planar code).
+    pub fn edge_of_qubit(&self, qubit: Coord) -> Option<EdgeIndex> {
+        self.qubit_edge.get(&qubit).copied()
+    }
+
+    /// Indices of all boundary edges.
+    pub fn boundary_edges(&self) -> impl Iterator<Item = EdgeIndex> + '_ {
+        self.edges.iter().enumerate().filter(|(_, e)| e.is_boundary()).map(|(i, _)| i)
+    }
+
+    /// The homological cut used for the logical-failure check: the boundary
+    /// edges of the left boundary (for `X` errors) or top boundary (for `Z`
+    /// errors).  Any logical operator crosses this cut an odd number of
+    /// times; any stabilizer or trivial chain crosses it an even number of
+    /// times.
+    pub fn cut_edges(&self) -> &[EdgeIndex] {
+        &self.cut_edges
+    }
+
+    /// Parity of the given multiset of flipped edges across the homological
+    /// cut, i.e. whether the chain acts as a logical operator.
+    ///
+    /// Edges listed an even number of times cancel.
+    pub fn logical_parity<I>(&self, flipped_edges: I) -> bool
+    where
+        I: IntoIterator<Item = EdgeIndex>,
+    {
+        let mut counts: HashMap<EdgeIndex, usize> = HashMap::new();
+        for e in flipped_edges {
+            *counts.entry(e).or_insert(0) += 1;
+        }
+        let mut parity = false;
+        for &e in &self.cut_edges {
+            if counts.get(&e).map(|c| c % 2 == 1).unwrap_or(false) {
+                parity = !parity;
+            }
+        }
+        parity
+    }
+
+    /// Graph distance (number of edges) between two nodes in the *uniform*
+    /// layer graph: half the Manhattan distance of their ancilla coordinates.
+    pub fn space_distance(&self, a: NodeIndex, b: NodeIndex) -> u32 {
+        self.nodes[a].manhattan(self.nodes[b]) / 2
+    }
+
+    /// Graph distances from a node to the two boundaries of the uniform
+    /// layer graph, as `(low, high)`.
+    ///
+    /// For `X`-error graphs `low` is the left boundary (the homological cut,
+    /// see [`MatchingGraph::cut_edges`]) and `high` the right one; for
+    /// `Z`-error graphs they are the top and bottom boundaries.
+    pub fn boundary_distances(&self, node: NodeIndex) -> (u32, u32) {
+        let c = self.nodes[node];
+        let size = 2 * self.distance as i32 - 2;
+        let (low, high) = match self.kind {
+            ErrorKind::X => (c.col, size - c.col),
+            ErrorKind::Z => (c.row, size - c.row),
+        };
+        // The node sits at odd offset from the boundary; (offset + 1) / 2
+        // edges reach it.
+        ((low as u32 + 1) / 2, (high as u32 + 1) / 2)
+    }
+
+    /// Graph distance from a node to the nearest boundary in the uniform
+    /// layer graph.
+    pub fn boundary_distance(&self, node: NodeIndex) -> u32 {
+        let (low, high) = self.boundary_distances(node);
+        low.min(high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pauli, PauliString, StabilizerKind};
+
+    fn graphs(d: usize) -> (SurfaceCode, MatchingGraph, MatchingGraph) {
+        let code = SurfaceCode::new(d).unwrap();
+        let gx = code.matching_graph(ErrorKind::X);
+        let gz = code.matching_graph(ErrorKind::Z);
+        (code, gx, gz)
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        for d in 2..=7usize {
+            let (code, gx, gz) = graphs(d);
+            assert_eq!(gx.num_nodes(), d * (d - 1));
+            assert_eq!(gz.num_nodes(), d * (d - 1));
+            assert_eq!(gx.num_edges(), code.num_data_qubits());
+            assert_eq!(gz.num_edges(), code.num_data_qubits());
+            let boundary_x = gx.boundary_edges().count();
+            let boundary_z = gz.boundary_edges().count();
+            assert_eq!(boundary_x, 2 * d, "X graph has d boundary edges per rough side");
+            assert_eq!(boundary_z, 2 * d);
+        }
+    }
+
+    #[test]
+    fn cut_edges_have_size_d() {
+        for d in 2..=7usize {
+            let (_, gx, gz) = graphs(d);
+            assert_eq!(gx.cut_edges().len(), d);
+            assert_eq!(gz.cut_edges().len(), d);
+        }
+    }
+
+    #[test]
+    fn every_node_has_at_most_four_incident_edges() {
+        let (_, gx, _) = graphs(6);
+        for n in 0..gx.num_nodes() {
+            let deg = gx.incident_edges(n).len();
+            assert!((2..=4).contains(&deg), "degree {deg}");
+        }
+    }
+
+    #[test]
+    fn edge_endpoints_agree_with_syndrome() {
+        // For every data qubit, the nodes flipped by a single error of the
+        // graph's kind are exactly the endpoints of its edge.
+        let (code, gx, _) = graphs(4);
+        for &q in code.data_qubits() {
+            let err: PauliString = [(q, Pauli::X)].into_iter().collect();
+            let syn = code.syndrome(StabilizerKind::Z, &err);
+            let flipped: Vec<NodeIndex> =
+                syn.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+            let e = gx.edge(gx.edge_of_qubit(q).unwrap());
+            let mut expected = vec![e.a];
+            if let Some(b) = e.b {
+                expected.push(b);
+            }
+            expected.sort_unstable();
+            let mut got = flipped;
+            got.sort_unstable();
+            assert_eq!(got, expected, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn logical_operator_crosses_cut_odd_number_of_times() {
+        let (code, gx, gz) = graphs(5);
+        let lx: Vec<EdgeIndex> = code
+            .logical_x_support()
+            .into_iter()
+            .map(|q| gx.edge_of_qubit(q).unwrap())
+            .collect();
+        assert!(gx.logical_parity(lx.iter().copied()));
+        let lz: Vec<EdgeIndex> = code
+            .logical_z_support()
+            .into_iter()
+            .map(|q| gz.edge_of_qubit(q).unwrap())
+            .collect();
+        assert!(gz.logical_parity(lz.iter().copied()));
+    }
+
+    #[test]
+    fn stabilizer_chain_crosses_cut_even_number_of_times() {
+        // Each Z stabilizer, viewed as a set of X-graph edges (its support),
+        // is a closed chain and must not change the logical parity.
+        let (code, gx, _) = graphs(5);
+        for zs in code.z_stabilizers() {
+            // The Z stabilizer detects X errors; a product of X errors on its
+            // support has trivial syndrome only for X stabilizers.  Here we
+            // instead check the homological property of plaquette boundaries:
+            // take an X-stabilizer's support as an X-error chain.
+            let _ = zs;
+        }
+        for xs in code.x_stabilizers() {
+            let chain: Vec<EdgeIndex> =
+                xs.support.iter().map(|&q| gx.edge_of_qubit(q).unwrap()).collect();
+            assert!(
+                !gx.logical_parity(chain.iter().copied()),
+                "plaquette at {} crosses the cut an odd number of times",
+                xs.ancilla
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_cancel_in_logical_parity() {
+        let (code, gx, _) = graphs(3);
+        let cut = gx.cut_edges()[0];
+        assert!(gx.logical_parity([cut].into_iter().chain(code.logical_x_support().into_iter().map(|q| gx.edge_of_qubit(q).unwrap())).chain([cut])));
+        assert!(!gx.logical_parity([cut, cut]));
+    }
+
+    #[test]
+    fn space_distance_is_graph_metric() {
+        let (_, gx, _) = graphs(5);
+        // neighbouring stabilizers connected by an edge are at distance 1
+        for (i, e) in gx.edges().iter().enumerate() {
+            if let Some(b) = e.b {
+                assert_eq!(gx.space_distance(e.a, b), 1, "edge {i}");
+            }
+        }
+        assert_eq!(gx.space_distance(0, 0), 0);
+    }
+
+    #[test]
+    fn boundary_distance_extremes() {
+        let (_, gx, _) = graphs(5);
+        // A node adjacent to a boundary edge has boundary distance 1.
+        for e in gx.edges() {
+            if e.is_boundary() {
+                assert_eq!(gx.boundary_distance(e.a), 1);
+            }
+        }
+        // The most central node is about d/2 from the boundary.
+        let central = gx.node_index(Coord::new(4, 3)).unwrap();
+        assert_eq!(gx.boundary_distance(central), 2);
+    }
+
+    #[test]
+    fn per_side_boundary_distances_sum_to_d() {
+        // Crossing from the low to the high boundary always takes d edges, so
+        // low + high = d for every node.
+        for d in 2..=7usize {
+            let (_, gx, gz) = graphs(d);
+            for g in [&gx, &gz] {
+                for n in 0..g.num_nodes() {
+                    let (low, high) = g.boundary_distances(n);
+                    assert_eq!(low + high, d as u32, "d={d}, node {n}");
+                    assert_eq!(g.boundary_distance(n), low.min(high));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn other_endpoint_navigation() {
+        let (_, gx, _) = graphs(3);
+        for e in gx.edges() {
+            if let Some(b) = e.b {
+                assert_eq!(e.other(e.a), Some(b));
+                assert_eq!(e.other(b), Some(e.a));
+            } else {
+                assert_eq!(e.other(e.a), None);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let (_, gx, _) = graphs(3);
+        let e = gx.edge(0).clone();
+        let bogus = gx.num_nodes() + 10;
+        let _ = e.other(bogus);
+    }
+}

@@ -1,0 +1,344 @@
+//! Minimal single-qubit Pauli algebra and sparse Pauli strings.
+//!
+//! The decoders in this workspace treat `X`- and `Z`-type errors
+//! independently (as the paper does), but the noise model draws genuine
+//! Pauli errors (`X`, `Y`, `Z`) so that `Y` errors correctly contribute to
+//! *both* decoding problems.  [`Pauli`] implements the (phase-free)
+//! multiplication table of the single-qubit Pauli group and [`PauliString`]
+//! stores a sparse product of single-qubit Paulis keyed by lattice
+//! coordinate.
+
+use crate::Coord;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Mul;
+
+/// A single-qubit Pauli operator, without phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pauli {
+    /// The identity operator.
+    #[default]
+    I,
+    /// The bit-flip operator.
+    X,
+    /// The combined bit- and phase-flip operator.
+    Y,
+    /// The phase-flip operator.
+    Z,
+}
+
+impl Pauli {
+    /// All four Pauli operators in canonical order `I, X, Y, Z`.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Returns `true` if the operator flips the qubit in the computational
+    /// (`Z`) basis, i.e. it has an `X` component (`X` or `Y`).
+    ///
+    /// ```
+    /// use q3de_lattice::Pauli;
+    /// assert!(Pauli::X.has_x_component());
+    /// assert!(Pauli::Y.has_x_component());
+    /// assert!(!Pauli::Z.has_x_component());
+    /// ```
+    pub fn has_x_component(self) -> bool {
+        matches!(self, Pauli::X | Pauli::Y)
+    }
+
+    /// Returns `true` if the operator has a `Z` component (`Z` or `Y`).
+    pub fn has_z_component(self) -> bool {
+        matches!(self, Pauli::Z | Pauli::Y)
+    }
+
+    /// Returns `true` for the identity.
+    pub fn is_identity(self) -> bool {
+        matches!(self, Pauli::I)
+    }
+
+    /// Whether this Pauli anti-commutes with `other`.
+    ///
+    /// Two non-identity Paulis anti-commute exactly when they differ.
+    ///
+    /// ```
+    /// use q3de_lattice::Pauli;
+    /// assert!(Pauli::X.anticommutes_with(Pauli::Z));
+    /// assert!(!Pauli::X.anticommutes_with(Pauli::X));
+    /// assert!(!Pauli::I.anticommutes_with(Pauli::Z));
+    /// ```
+    pub fn anticommutes_with(self, other: Pauli) -> bool {
+        !self.is_identity() && !other.is_identity() && self != other
+    }
+
+    /// Builds a Pauli from its `(x, z)` symplectic components.
+    pub fn from_components(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+}
+
+impl Mul for Pauli {
+    type Output = Pauli;
+
+    /// Phase-free Pauli multiplication (the group `P / {±1, ±i}` ≅ `Z₂ × Z₂`).
+    fn mul(self, rhs: Pauli) -> Pauli {
+        Pauli::from_components(
+            self.has_x_component() ^ rhs.has_x_component(),
+            self.has_z_component() ^ rhs.has_z_component(),
+        )
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pauli::I => "I",
+            Pauli::X => "X",
+            Pauli::Y => "Y",
+            Pauli::Z => "Z",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A sparse Pauli string: a product of single-qubit Paulis keyed by the
+/// coordinate of the qubit they act on.  Identity factors are never stored.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PauliString {
+    ops: BTreeMap<Coord, Pauli>,
+}
+
+impl PauliString {
+    /// Creates the identity string.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a string from an iterator of `(coordinate, Pauli)` pairs.
+    /// Repeated coordinates are multiplied together.
+    pub fn from_ops<I>(ops: I) -> Self
+    where
+        I: IntoIterator<Item = (Coord, Pauli)>,
+    {
+        let mut s = Self::new();
+        for (c, p) in ops {
+            s.apply(c, p);
+        }
+        s
+    }
+
+    /// Multiplies the factor acting on `coord` by `pauli` (in place).
+    pub fn apply(&mut self, coord: Coord, pauli: Pauli) {
+        if pauli.is_identity() {
+            return;
+        }
+        let combined = self.get(coord) * pauli;
+        if combined.is_identity() {
+            self.ops.remove(&coord);
+        } else {
+            self.ops.insert(coord, combined);
+        }
+    }
+
+    /// The Pauli acting on `coord` (identity if untouched).
+    pub fn get(&self, coord: Coord) -> Pauli {
+        self.ops.get(&coord).copied().unwrap_or(Pauli::I)
+    }
+
+    /// Number of non-identity factors (the *weight* of the string).
+    pub fn weight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the string is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterates over the non-identity factors in coordinate order.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord, Pauli)> + '_ {
+        self.ops.iter().map(|(&c, &p)| (c, p))
+    }
+
+    /// Multiplies `other` into this string (component-wise, phase-free).
+    pub fn compose(&mut self, other: &PauliString) {
+        for (c, p) in other.iter() {
+            self.apply(c, p);
+        }
+    }
+
+    /// Parity of anti-commutation with a product of single-qubit Paulis of
+    /// type `check` supported on `support` — i.e. the syndrome bit a
+    /// stabilizer (or logical operator) of that type and support would
+    /// measure for this error string.
+    ///
+    /// ```
+    /// use q3de_lattice::{Coord, Pauli, PauliString};
+    /// let mut err = PauliString::new();
+    /// err.apply(Coord::new(0, 0), Pauli::X);
+    /// // A Z-type check over the error's qubit anti-commutes once.
+    /// assert!(err.anticommutes_with_check(Pauli::Z, [Coord::new(0, 0), Coord::new(0, 2)].iter().copied()));
+    /// ```
+    pub fn anticommutes_with_check<I>(&self, check: Pauli, support: I) -> bool
+    where
+        I: IntoIterator<Item = Coord>,
+    {
+        let mut parity = false;
+        for c in support {
+            if self.get(c).anticommutes_with(check) {
+                parity = !parity;
+            }
+        }
+        parity
+    }
+
+    /// Restricts the string to its `X` components: the set of coordinates
+    /// whose factor has an `X` component (`X` or `Y`).
+    pub fn x_support(&self) -> Vec<Coord> {
+        self.iter().filter(|(_, p)| p.has_x_component()).map(|(c, _)| c).collect()
+    }
+
+    /// Restricts the string to its `Z` components (`Z` or `Y` factors).
+    pub fn z_support(&self) -> Vec<Coord> {
+        self.iter().filter(|(_, p)| p.has_z_component()).map(|(c, _)| c).collect()
+    }
+}
+
+impl FromIterator<(Coord, Pauli)> for PauliString {
+    fn from_iter<T: IntoIterator<Item = (Coord, Pauli)>>(iter: T) -> Self {
+        Self::from_ops(iter)
+    }
+}
+
+impl Extend<(Coord, Pauli)> for PauliString {
+    fn extend<T: IntoIterator<Item = (Coord, Pauli)>>(&mut self, iter: T) {
+        for (c, p) in iter {
+            self.apply(c, p);
+        }
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identity() {
+            return f.write_str("I");
+        }
+        let mut first = true;
+        for (c, p) in self.iter() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{p}{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_multiplication_table() {
+        use Pauli::*;
+        assert_eq!(X * X, I);
+        assert_eq!(Z * Z, I);
+        assert_eq!(Y * Y, I);
+        assert_eq!(X * Z, Y);
+        assert_eq!(Z * X, Y);
+        assert_eq!(X * Y, Z);
+        assert_eq!(Y * Z, X);
+        assert_eq!(I * Y, Y);
+    }
+
+    #[test]
+    fn anticommutation_relations() {
+        use Pauli::*;
+        assert!(X.anticommutes_with(Z));
+        assert!(X.anticommutes_with(Y));
+        assert!(Y.anticommutes_with(Z));
+        assert!(!X.anticommutes_with(X));
+        assert!(!I.anticommutes_with(X));
+        assert!(!X.anticommutes_with(I));
+    }
+
+    #[test]
+    fn components_round_trip() {
+        for p in Pauli::ALL {
+            let q = Pauli::from_components(p.has_x_component(), p.has_z_component());
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn pauli_string_apply_cancels() {
+        let c = Coord::new(0, 0);
+        let mut s = PauliString::new();
+        s.apply(c, Pauli::X);
+        assert_eq!(s.weight(), 1);
+        s.apply(c, Pauli::X);
+        assert!(s.is_identity());
+    }
+
+    #[test]
+    fn pauli_string_apply_combines() {
+        let c = Coord::new(2, 2);
+        let mut s = PauliString::new();
+        s.apply(c, Pauli::X);
+        s.apply(c, Pauli::Z);
+        assert_eq!(s.get(c), Pauli::Y);
+        assert_eq!(s.weight(), 1);
+    }
+
+    #[test]
+    fn compose_is_elementwise_product() {
+        let a: PauliString =
+            [(Coord::new(0, 0), Pauli::X), (Coord::new(1, 1), Pauli::Z)].into_iter().collect();
+        let b: PauliString =
+            [(Coord::new(0, 0), Pauli::Z), (Coord::new(2, 2), Pauli::Y)].into_iter().collect();
+        let mut c = a.clone();
+        c.compose(&b);
+        assert_eq!(c.get(Coord::new(0, 0)), Pauli::Y);
+        assert_eq!(c.get(Coord::new(1, 1)), Pauli::Z);
+        assert_eq!(c.get(Coord::new(2, 2)), Pauli::Y);
+    }
+
+    #[test]
+    fn syndrome_parity_of_check() {
+        let err: PauliString =
+            [(Coord::new(0, 0), Pauli::X), (Coord::new(0, 2), Pauli::X)].into_iter().collect();
+        // Z-check over both X errors: even parity.
+        assert!(!err.anticommutes_with_check(
+            Pauli::Z,
+            [Coord::new(0, 0), Coord::new(0, 2)].iter().copied()
+        ));
+        // Z-check over exactly one X error: odd parity.
+        assert!(err.anticommutes_with_check(
+            Pauli::Z,
+            [Coord::new(0, 0), Coord::new(4, 4)].iter().copied()
+        ));
+    }
+
+    #[test]
+    fn support_projections() {
+        let err: PauliString = [
+            (Coord::new(0, 0), Pauli::X),
+            (Coord::new(1, 1), Pauli::Y),
+            (Coord::new(2, 2), Pauli::Z),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(err.x_support(), vec![Coord::new(0, 0), Coord::new(1, 1)]);
+        assert_eq!(err.z_support(), vec![Coord::new(1, 1), Coord::new(2, 2)]);
+    }
+
+    #[test]
+    fn display_shows_factors() {
+        let err: PauliString = [(Coord::new(0, 0), Pauli::X)].into_iter().collect();
+        assert_eq!(format!("{err}"), "X(0, 0)");
+        assert_eq!(format!("{}", PauliString::new()), "I");
+    }
+}

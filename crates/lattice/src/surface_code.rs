@@ -1,0 +1,425 @@
+//! Planar surface-code geometry.
+
+use crate::{Coord, LatticeError, MatchingGraph, Pauli, PauliString};
+use std::collections::HashMap;
+
+/// The kind of a data-qubit error being decoded.
+///
+/// `X`-type errors are detected by `Z` stabilizers and vice versa; the paper
+/// decodes the two problems independently (Sec. VII-A, assumption 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Bit-flip errors (`X` or the `X` component of `Y`).
+    X,
+    /// Phase-flip errors (`Z` or the `Z` component of `Y`).
+    Z,
+}
+
+impl ErrorKind {
+    /// The stabilizer kind that detects this error kind.
+    pub fn detected_by(self) -> StabilizerKind {
+        match self {
+            ErrorKind::X => StabilizerKind::Z,
+            ErrorKind::Z => StabilizerKind::X,
+        }
+    }
+
+    /// The single-qubit Pauli representing this error kind.
+    pub fn pauli(self) -> Pauli {
+        match self {
+            ErrorKind::X => Pauli::X,
+            ErrorKind::Z => Pauli::Z,
+        }
+    }
+}
+
+/// The kind of a stabilizer generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StabilizerKind {
+    /// A product of Pauli-`X` operators (plaquette operator).
+    X,
+    /// A product of Pauli-`Z` operators (star operator).
+    Z,
+}
+
+impl StabilizerKind {
+    /// The single-qubit Pauli each factor of the stabilizer applies.
+    pub fn pauli(self) -> Pauli {
+        match self {
+            StabilizerKind::X => Pauli::X,
+            StabilizerKind::Z => Pauli::Z,
+        }
+    }
+
+    /// The error kind this stabilizer detects.
+    pub fn detects(self) -> ErrorKind {
+        match self {
+            StabilizerKind::X => ErrorKind::Z,
+            StabilizerKind::Z => ErrorKind::X,
+        }
+    }
+}
+
+/// The role a grid site plays in the surface-code layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QubitRole {
+    /// A data qubit storing part of the logical state.
+    Data,
+    /// An ancilla used for `X`-stabilizer (plaquette) measurements.
+    AncillaX,
+    /// An ancilla used for `Z`-stabilizer (star) measurements.
+    AncillaZ,
+}
+
+/// A single stabilizer generator: its ancilla site and the data qubits it
+/// monitors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stabilizer {
+    /// The ancilla qubit used to measure this stabilizer.
+    pub ancilla: Coord,
+    /// Whether this is an `X` or a `Z` stabilizer.
+    pub kind: StabilizerKind,
+    /// The data qubits in the stabilizer's support (2, 3 or 4 of them on the
+    /// planar code).
+    pub support: Vec<Coord>,
+}
+
+/// A distance-`d` planar surface code laid out on a `(2d−1) × (2d−1)` grid of
+/// sites.
+///
+/// * Data qubits sit on sites with equal row/column parity.
+/// * `Z`-stabilizer ancillas sit on `(even row, odd column)` sites; the code
+///   has *rough* boundaries on the left and right, so a logical `X` operator
+///   is a horizontal chain of `d` data qubits.
+/// * `X`-stabilizer ancillas sit on `(odd row, even column)` sites; a logical
+///   `Z` operator is a vertical chain of `d` data qubits.
+#[derive(Debug, Clone)]
+pub struct SurfaceCode {
+    distance: usize,
+    data_qubits: Vec<Coord>,
+    z_stabilizers: Vec<Stabilizer>,
+    x_stabilizers: Vec<Stabilizer>,
+    roles: HashMap<Coord, QubitRole>,
+}
+
+impl SurfaceCode {
+    /// Smallest supported code distance.
+    pub const MIN_DISTANCE: usize = 2;
+
+    /// Builds the geometry of a distance-`d` planar surface code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::DistanceTooSmall`] when `distance < 2`.
+    ///
+    /// ```
+    /// use q3de_lattice::SurfaceCode;
+    /// assert!(SurfaceCode::new(1).is_err());
+    /// let code = SurfaceCode::new(3)?;
+    /// assert_eq!(code.num_data_qubits(), 13);
+    /// # Ok::<(), q3de_lattice::LatticeError>(())
+    /// ```
+    pub fn new(distance: usize) -> Result<Self, LatticeError> {
+        if distance < Self::MIN_DISTANCE {
+            return Err(LatticeError::DistanceTooSmall {
+                requested: distance,
+                minimum: Self::MIN_DISTANCE,
+            });
+        }
+        let size = 2 * distance as i32 - 1;
+        let mut data_qubits = Vec::new();
+        let mut z_stabilizers = Vec::new();
+        let mut x_stabilizers = Vec::new();
+        let mut roles = HashMap::new();
+
+        for row in 0..size {
+            for col in 0..size {
+                let c = Coord::new(row, col);
+                let role = match (row % 2, col % 2) {
+                    (a, b) if a == b => QubitRole::Data,
+                    (0, _) => QubitRole::AncillaZ,
+                    _ => QubitRole::AncillaX,
+                };
+                roles.insert(c, role);
+                match role {
+                    QubitRole::Data => data_qubits.push(c),
+                    QubitRole::AncillaZ | QubitRole::AncillaX => {
+                        let kind = if role == QubitRole::AncillaZ {
+                            StabilizerKind::Z
+                        } else {
+                            StabilizerKind::X
+                        };
+                        let support: Vec<Coord> = c
+                            .neighbors()
+                            .into_iter()
+                            .filter(|n| {
+                                n.row >= 0 && n.col >= 0 && n.row < size && n.col < size
+                            })
+                            .collect();
+                        let stab = Stabilizer { ancilla: c, kind, support };
+                        if kind == StabilizerKind::Z {
+                            z_stabilizers.push(stab);
+                        } else {
+                            x_stabilizers.push(stab);
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Self { distance, data_qubits, z_stabilizers, x_stabilizers, roles })
+    }
+
+    /// The code distance `d`.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Linear size of the site grid, `2d − 1`.
+    pub fn grid_size(&self) -> i32 {
+        2 * self.distance as i32 - 1
+    }
+
+    /// All data-qubit coordinates in row-major order.
+    pub fn data_qubits(&self) -> &[Coord] {
+        &self.data_qubits
+    }
+
+    /// Number of data qubits, `d² + (d−1)²`.
+    pub fn num_data_qubits(&self) -> usize {
+        self.data_qubits.len()
+    }
+
+    /// Number of ancilla qubits, `2 d (d−1)`.
+    pub fn num_ancilla_qubits(&self) -> usize {
+        self.z_stabilizers.len() + self.x_stabilizers.len()
+    }
+
+    /// Total number of physical qubits on the patch, `(2d−1)²`.
+    pub fn num_physical_qubits(&self) -> usize {
+        self.num_data_qubits() + self.num_ancilla_qubits()
+    }
+
+    /// The `Z` stabilizers (star operators) of the code.
+    pub fn z_stabilizers(&self) -> &[Stabilizer] {
+        &self.z_stabilizers
+    }
+
+    /// The `X` stabilizers (plaquette operators) of the code.
+    pub fn x_stabilizers(&self) -> &[Stabilizer] {
+        &self.x_stabilizers
+    }
+
+    /// The stabilizers of the given kind.
+    pub fn stabilizers(&self, kind: StabilizerKind) -> &[Stabilizer] {
+        match kind {
+            StabilizerKind::Z => &self.z_stabilizers,
+            StabilizerKind::X => &self.x_stabilizers,
+        }
+    }
+
+    /// The role of a grid site, or `None` if the site lies outside the patch.
+    pub fn role(&self, coord: Coord) -> Option<QubitRole> {
+        self.roles.get(&coord).copied()
+    }
+
+    /// Returns `true` when `coord` lies on the patch.
+    pub fn contains(&self, coord: Coord) -> bool {
+        self.roles.contains_key(&coord)
+    }
+
+    /// Computes the syndrome of `error` for all stabilizers of `kind`, in the
+    /// same order as [`SurfaceCode::stabilizers`].
+    ///
+    /// Each syndrome bit is the parity of anti-commutations between the
+    /// stabilizer (a product of `kind.pauli()` factors) and the error string.
+    pub fn syndrome(&self, kind: StabilizerKind, error: &PauliString) -> Vec<bool> {
+        self.stabilizers(kind)
+            .iter()
+            .map(|s| error.anticommutes_with_check(kind.pauli(), s.support.iter().copied()))
+            .collect()
+    }
+
+    /// The support of the canonical logical `X` operator: the `d` data qubits
+    /// of the top row.
+    pub fn logical_x_support(&self) -> Vec<Coord> {
+        (0..self.distance as i32).map(|i| Coord::new(0, 2 * i)).collect()
+    }
+
+    /// The support of the canonical logical `Z` operator: the `d` data qubits
+    /// of the left column.
+    pub fn logical_z_support(&self) -> Vec<Coord> {
+        (0..self.distance as i32).map(|i| Coord::new(2 * i, 0)).collect()
+    }
+
+    /// Whether `residual` (typically `error ⊕ correction`) acts as a logical
+    /// `X` on the encoded qubit, i.e. anti-commutes with the logical `Z`
+    /// operator.
+    ///
+    /// The caller is responsible for ensuring `residual` has trivial
+    /// syndrome; otherwise the result is representative-dependent.
+    pub fn has_logical_x_error(&self, residual: &PauliString) -> bool {
+        residual.anticommutes_with_check(Pauli::Z, self.logical_z_support().into_iter())
+    }
+
+    /// Whether `residual` acts as a logical `Z`, i.e. anti-commutes with the
+    /// logical `X` operator.
+    pub fn has_logical_z_error(&self, residual: &PauliString) -> bool {
+        residual.anticommutes_with_check(Pauli::X, self.logical_x_support().into_iter())
+    }
+
+    /// Builds the 2D matching ("layer") graph for decoding errors of `kind`.
+    pub fn matching_graph(&self, kind: ErrorKind) -> MatchingGraph {
+        MatchingGraph::build(self, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_one_is_rejected() {
+        assert!(matches!(
+            SurfaceCode::new(1),
+            Err(LatticeError::DistanceTooSmall { requested: 1, minimum: 2 })
+        ));
+    }
+
+    #[test]
+    fn qubit_counts_match_formulas() {
+        for d in 2..=9usize {
+            let code = SurfaceCode::new(d).unwrap();
+            assert_eq!(code.num_data_qubits(), d * d + (d - 1) * (d - 1), "data qubits, d={d}");
+            assert_eq!(code.num_ancilla_qubits(), 2 * d * (d - 1), "ancillas, d={d}");
+            assert_eq!(code.num_physical_qubits(), (2 * d - 1) * (2 * d - 1), "total, d={d}");
+            assert_eq!(code.z_stabilizers().len(), d * (d - 1));
+            assert_eq!(code.x_stabilizers().len(), d * (d - 1));
+        }
+    }
+
+    #[test]
+    fn stabilizer_supports_have_two_to_four_qubits() {
+        let code = SurfaceCode::new(5).unwrap();
+        for s in code.z_stabilizers().iter().chain(code.x_stabilizers()) {
+            assert!((2..=4).contains(&s.support.len()), "support size {}", s.support.len());
+            for q in &s.support {
+                assert_eq!(code.role(*q), Some(QubitRole::Data));
+            }
+        }
+    }
+
+    #[test]
+    fn roles_partition_the_grid() {
+        let code = SurfaceCode::new(4).unwrap();
+        let size = code.grid_size();
+        let mut counts = HashMap::new();
+        for row in 0..size {
+            for col in 0..size {
+                let role = code.role(Coord::new(row, col)).unwrap();
+                *counts.entry(role).or_insert(0usize) += 1;
+            }
+        }
+        assert_eq!(counts[&QubitRole::Data], code.num_data_qubits());
+        assert_eq!(counts[&QubitRole::AncillaZ], code.z_stabilizers().len());
+        assert_eq!(counts[&QubitRole::AncillaX], code.x_stabilizers().len());
+        assert!(!code.contains(Coord::new(-1, 0)));
+        assert!(!code.contains(Coord::new(size, 0)));
+    }
+
+    #[test]
+    fn logical_operators_have_weight_d_and_anticommute() {
+        for d in 2..=7usize {
+            let code = SurfaceCode::new(d).unwrap();
+            let lx = code.logical_x_support();
+            let lz = code.logical_z_support();
+            assert_eq!(lx.len(), d);
+            assert_eq!(lz.len(), d);
+            // They overlap on exactly one qubit, the top-left corner.
+            let overlap: Vec<_> = lx.iter().filter(|c| lz.contains(c)).collect();
+            assert_eq!(overlap.len(), 1);
+            for q in lx.iter().chain(lz.iter()) {
+                assert_eq!(code.role(*q), Some(QubitRole::Data), "logical support on data qubits");
+            }
+        }
+    }
+
+    #[test]
+    fn logical_x_operator_commutes_with_all_z_stabilizers() {
+        let code = SurfaceCode::new(5).unwrap();
+        let logical_x: PauliString =
+            code.logical_x_support().into_iter().map(|c| (c, Pauli::X)).collect();
+        let syndrome = code.syndrome(StabilizerKind::Z, &logical_x);
+        assert!(syndrome.iter().all(|&s| !s), "logical X must be undetected by Z stabilizers");
+        assert!(code.has_logical_x_error(&logical_x));
+    }
+
+    #[test]
+    fn logical_z_operator_commutes_with_all_x_stabilizers() {
+        let code = SurfaceCode::new(5).unwrap();
+        let logical_z: PauliString =
+            code.logical_z_support().into_iter().map(|c| (c, Pauli::Z)).collect();
+        let syndrome = code.syndrome(StabilizerKind::X, &logical_z);
+        assert!(syndrome.iter().all(|&s| !s), "logical Z must be undetected by X stabilizers");
+        assert!(code.has_logical_z_error(&logical_z));
+    }
+
+    #[test]
+    fn stabilizers_commute_with_each_other() {
+        // Every Z stabilizer (as a Pauli string) must have trivial X-stabilizer
+        // syndrome: the stabilizer group is abelian.
+        let code = SurfaceCode::new(4).unwrap();
+        for zs in code.z_stabilizers() {
+            let op: PauliString = zs.support.iter().map(|&c| (c, Pauli::Z)).collect();
+            let syn = code.syndrome(StabilizerKind::X, &op);
+            assert!(syn.iter().all(|&b| !b), "Z stabilizer at {} anticommutes", zs.ancilla);
+        }
+    }
+
+    #[test]
+    fn single_x_error_triggers_one_or_two_z_stabilizers() {
+        let code = SurfaceCode::new(5).unwrap();
+        for &q in code.data_qubits() {
+            let err: PauliString = [(q, Pauli::X)].into_iter().collect();
+            let syn = code.syndrome(StabilizerKind::Z, &err);
+            let triggered = syn.iter().filter(|&&b| b).count();
+            assert!(
+                (1..=2).contains(&triggered),
+                "single X on {q} triggered {triggered} Z stabilizers"
+            );
+        }
+    }
+
+    #[test]
+    fn y_error_triggers_both_sectors() {
+        let code = SurfaceCode::new(3).unwrap();
+        // interior data qubit
+        let q = Coord::new(2, 2);
+        let err: PauliString = [(q, Pauli::Y)].into_iter().collect();
+        assert!(code.syndrome(StabilizerKind::Z, &err).iter().any(|&b| b));
+        assert!(code.syndrome(StabilizerKind::X, &err).iter().any(|&b| b));
+    }
+
+    #[test]
+    fn stabilizer_product_has_trivial_syndrome_and_no_logical_action() {
+        let code = SurfaceCode::new(4).unwrap();
+        // product of a few Z stabilizers is in the stabilizer group
+        let mut op = PauliString::new();
+        for zs in code.z_stabilizers().iter().take(5) {
+            let s: PauliString = zs.support.iter().map(|&c| (c, Pauli::Z)).collect();
+            op.compose(&s);
+        }
+        assert!(code.syndrome(StabilizerKind::X, &op).iter().all(|&b| !b));
+        assert!(!code.has_logical_z_error(&op));
+    }
+
+    #[test]
+    fn error_kind_stabilizer_kind_duality() {
+        assert_eq!(ErrorKind::X.detected_by(), StabilizerKind::Z);
+        assert_eq!(ErrorKind::Z.detected_by(), StabilizerKind::X);
+        assert_eq!(StabilizerKind::Z.detects(), ErrorKind::X);
+        assert_eq!(StabilizerKind::X.detects(), ErrorKind::Z);
+        assert_eq!(ErrorKind::X.pauli(), Pauli::X);
+        assert_eq!(StabilizerKind::X.pauli(), Pauli::X);
+    }
+}

@@ -1,0 +1,87 @@
+//! Matching engines for surface-code decoding.
+//!
+//! Surface-code error decoding reduces to *minimum-weight matching with a
+//! boundary*: every active detector node must be paired either with another
+//! active node or with the lattice boundary so that the total cost (negative
+//! log-likelihood of the implied physical error chains) is minimised.
+//!
+//! The paper estimates recovery operations with Kolmogorov's Blossom V for
+//! its Monte-Carlo experiments (Figs. 3 and 8) and with the QECOOL-style
+//! greedy matcher for its hardware decoder (Table IV).  Blossom V is not
+//! redistributable, so this crate provides (see DESIGN.md §2):
+//!
+//! * [`ExactMatcher`] — exact minimum-weight matching by bitmask dynamic
+//!   programming, usable up to ~20 active nodes; it serves both as the
+//!   decoder for small instances and as the test oracle,
+//! * [`GreedyMatcher`] — the radius-sweep greedy strategy of the paper's
+//!   hardware decoder (Sec. VI-B), generalised to arbitrary edge costs,
+//! * [`RefinedGreedyMatcher`] — greedy initialisation followed by 2-opt
+//!   local improvement; this is the workhorse used for large instances and
+//!   plays the role of Blossom V in the reproduction,
+//! * [`AutoMatcher`] — picks [`ExactMatcher`] when the instance is small
+//!   enough and [`RefinedGreedyMatcher`] otherwise.
+//!
+//! All matchers implement the [`Matcher`] trait and operate on a
+//! [`MatchingProblem`], which is independent of lattice geometry: the decoder
+//! crate converts syndrome data into pairwise path costs.
+//!
+//! # Example
+//!
+//! ```
+//! use q3de_matching::{Matcher, MatchingProblem, ExactMatcher, MatchTarget};
+//!
+//! // Two active nodes close to each other and far from the boundary.
+//! let mut problem = MatchingProblem::new(2);
+//! problem.set_pair_cost(0, 1, 1.0);
+//! problem.set_boundary_cost(0, 10.0);
+//! problem.set_boundary_cost(1, 10.0);
+//! let matching = ExactMatcher::default().solve(&problem);
+//! assert_eq!(matching.target(0), MatchTarget::Node(1));
+//! assert!((matching.total_cost(&problem) - 1.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+mod exact;
+mod greedy;
+mod problem;
+mod refine;
+
+pub use exact::ExactMatcher;
+pub use greedy::GreedyMatcher;
+pub use problem::{MatchTarget, Matching, MatchingProblem};
+pub use refine::{AutoMatcher, RefinedGreedyMatcher};
+
+/// A strategy for solving a [`MatchingProblem`].
+pub trait Matcher {
+    /// Produces a complete matching: every node is paired with another node
+    /// or with the boundary.
+    fn solve(&self, problem: &MatchingProblem) -> Matching;
+
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn matchers_are_object_safe() {
+        let matchers: Vec<Box<dyn Matcher>> = vec![
+            Box::new(ExactMatcher::default()),
+            Box::new(GreedyMatcher::default()),
+            Box::new(RefinedGreedyMatcher::default()),
+            Box::new(AutoMatcher::default()),
+        ];
+        let mut problem = MatchingProblem::new(2);
+        problem.set_pair_cost(0, 1, 1.0);
+        problem.set_boundary_cost(0, 3.0);
+        problem.set_boundary_cost(1, 3.0);
+        for m in &matchers {
+            let sol = m.solve(&problem);
+            assert!(sol.is_complete());
+            assert!(!m.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The abstract matching problem and its solutions.
+
+use std::fmt;
+
+/// A dense minimum-weight matching problem with a boundary.
+///
+/// There are `n` nodes.  Every unordered pair `{i, j}` has a finite or
+/// infinite pairing cost, and every node has a (possibly infinite) cost of
+/// being matched to the boundary.  A solution pairs every node with exactly
+/// one partner (another node or the boundary); boundary matches are
+/// unlimited.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchingProblem {
+    num_nodes: usize,
+    /// Row-major `n × n` symmetric cost matrix; the diagonal is unused.
+    pair_costs: Vec<f64>,
+    boundary_costs: Vec<f64>,
+}
+
+impl MatchingProblem {
+    /// Creates a problem with `num_nodes` nodes, all pairwise and boundary
+    /// costs initialised to `+∞` (i.e. disallowed).
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            pair_costs: vec![f64::INFINITY; num_nodes * num_nodes],
+            boundary_costs: vec![f64::INFINITY; num_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Sets the cost of pairing nodes `i` and `j` (symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j`, if either index is out of range, or if `cost` is
+    /// negative or NaN.
+    pub fn set_pair_cost(&mut self, i: usize, j: usize, cost: f64) {
+        assert!(i != j, "cannot pair node {i} with itself");
+        assert!(i < self.num_nodes && j < self.num_nodes, "node index out of range");
+        assert!(cost >= 0.0, "matching costs must be non-negative, got {cost}");
+        self.pair_costs[i * self.num_nodes + j] = cost;
+        self.pair_costs[j * self.num_nodes + i] = cost;
+    }
+
+    /// Sets the cost of matching node `i` to the boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `cost` is negative or NaN.
+    pub fn set_boundary_cost(&mut self, i: usize, cost: f64) {
+        assert!(i < self.num_nodes, "node index out of range");
+        assert!(cost >= 0.0, "matching costs must be non-negative, got {cost}");
+        self.boundary_costs[i] = cost;
+    }
+
+    /// The cost of pairing nodes `i` and `j` (`+∞` if never set).
+    pub fn pair_cost(&self, i: usize, j: usize) -> f64 {
+        self.pair_costs[i * self.num_nodes + j]
+    }
+
+    /// The cost of matching node `i` to the boundary (`+∞` if never set).
+    pub fn boundary_cost(&self, i: usize) -> f64 {
+        self.boundary_costs[i]
+    }
+
+    /// Builds a problem by evaluating cost closures for every pair and node.
+    pub fn from_fn<P, B>(num_nodes: usize, mut pair: P, mut boundary: B) -> Self
+    where
+        P: FnMut(usize, usize) -> f64,
+        B: FnMut(usize) -> f64,
+    {
+        let mut problem = Self::new(num_nodes);
+        for i in 0..num_nodes {
+            problem.set_boundary_cost(i, boundary(i));
+            for j in (i + 1)..num_nodes {
+                problem.set_pair_cost(i, j, pair(i, j));
+            }
+        }
+        problem
+    }
+
+    /// The cost of a candidate assignment of node `i` to `target`.
+    pub fn cost_of(&self, i: usize, target: MatchTarget) -> f64 {
+        match target {
+            MatchTarget::Node(j) => self.pair_cost(i, j),
+            MatchTarget::Boundary => self.boundary_cost(i),
+        }
+    }
+}
+
+/// The partner a node is matched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchTarget {
+    /// Matched with another active node.
+    Node(usize),
+    /// Matched with the lattice boundary.
+    Boundary,
+}
+
+/// A complete matching: every node is assigned a [`MatchTarget`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    assignment: Vec<MatchTarget>,
+}
+
+impl Matching {
+    /// Builds a matching from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is not an involution, i.e. if some node `i`
+    /// is matched to `j` but `j` is not matched back to `i`.
+    pub fn new(assignment: Vec<MatchTarget>) -> Self {
+        for (i, &t) in assignment.iter().enumerate() {
+            if let MatchTarget::Node(j) = t {
+                assert!(
+                    matches!(assignment.get(j), Some(&MatchTarget::Node(k)) if k == i),
+                    "node {i} is matched to {j} but not vice versa"
+                );
+            }
+        }
+        Self { assignment }
+    }
+
+    /// An all-boundary matching over `n` nodes (useful as a starting point).
+    pub fn all_boundary(n: usize) -> Self {
+        Self { assignment: vec![MatchTarget::Boundary; n] }
+    }
+
+    /// Number of nodes in the matching.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the matching covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// The target node `i` is matched to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn target(&self, i: usize) -> MatchTarget {
+        self.assignment[i]
+    }
+
+    /// Iterates over all `(node, target)` assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, MatchTarget)> + '_ {
+        self.assignment.iter().copied().enumerate()
+    }
+
+    /// Iterates over the node–node pairs, each reported once with `i < j`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.assignment.iter().enumerate().filter_map(|(i, &t)| match t {
+            MatchTarget::Node(j) if i < j => Some((i, j)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the nodes matched to the boundary.
+    pub fn boundary_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.assignment.iter().enumerate().filter_map(|(i, &t)| {
+            if t == MatchTarget::Boundary {
+                Some(i)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Whether every node has a partner and the assignment is an involution.
+    pub fn is_complete(&self) -> bool {
+        self.assignment.iter().enumerate().all(|(i, &t)| match t {
+            MatchTarget::Boundary => true,
+            MatchTarget::Node(j) => {
+                j < self.assignment.len()
+                    && j != i
+                    && self.assignment[j] == MatchTarget::Node(i)
+            }
+        })
+    }
+
+    /// Total cost of the matching under `problem` (each pair counted once).
+    pub fn total_cost(&self, problem: &MatchingProblem) -> f64 {
+        let mut cost = 0.0;
+        for (i, j) in self.pairs() {
+            cost += problem.pair_cost(i, j);
+        }
+        for i in self.boundary_nodes() {
+            cost += problem.boundary_cost(i);
+        }
+        cost
+    }
+}
+
+impl fmt::Display for Matching {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (i, j) in self.pairs() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}–{j}")?;
+            first = false;
+        }
+        for i in self.boundary_nodes() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}–∂")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_default_to_infinity() {
+        let p = MatchingProblem::new(3);
+        assert!(p.pair_cost(0, 1).is_infinite());
+        assert!(p.boundary_cost(2).is_infinite());
+        assert_eq!(p.num_nodes(), 3);
+    }
+
+    #[test]
+    fn pair_cost_is_symmetric() {
+        let mut p = MatchingProblem::new(3);
+        p.set_pair_cost(0, 2, 1.5);
+        assert_eq!(p.pair_cost(0, 2), 1.5);
+        assert_eq!(p.pair_cost(2, 0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pair node 1 with itself")]
+    fn self_pairing_is_rejected() {
+        let mut p = MatchingProblem::new(3);
+        p.set_pair_cost(1, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_is_rejected() {
+        let mut p = MatchingProblem::new(2);
+        p.set_pair_cost(0, 1, -1.0);
+    }
+
+    #[test]
+    fn from_fn_populates_all_entries() {
+        let p = MatchingProblem::from_fn(4, |i, j| (i + j) as f64, |i| 10.0 + i as f64);
+        assert_eq!(p.pair_cost(1, 3), 4.0);
+        assert_eq!(p.pair_cost(3, 1), 4.0);
+        assert_eq!(p.boundary_cost(2), 12.0);
+        assert_eq!(p.cost_of(2, MatchTarget::Boundary), 12.0);
+        assert_eq!(p.cost_of(1, MatchTarget::Node(0)), 1.0);
+    }
+
+    #[test]
+    fn matching_involution_is_enforced() {
+        let m = Matching::new(vec![
+            MatchTarget::Node(1),
+            MatchTarget::Node(0),
+            MatchTarget::Boundary,
+        ]);
+        assert!(m.is_complete());
+        assert_eq!(m.pairs().collect::<Vec<_>>(), vec![(0, 1)]);
+        assert_eq!(m.boundary_nodes().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not vice versa")]
+    fn asymmetric_matching_is_rejected() {
+        let _ = Matching::new(vec![MatchTarget::Node(1), MatchTarget::Boundary]);
+    }
+
+    #[test]
+    fn total_cost_counts_each_pair_once() {
+        let mut p = MatchingProblem::new(4);
+        p.set_pair_cost(0, 1, 2.0);
+        p.set_pair_cost(2, 3, 3.0);
+        for i in 0..4 {
+            p.set_boundary_cost(i, 100.0);
+        }
+        let m = Matching::new(vec![
+            MatchTarget::Node(1),
+            MatchTarget::Node(0),
+            MatchTarget::Node(3),
+            MatchTarget::Node(2),
+        ]);
+        assert_eq!(m.total_cost(&p), 5.0);
+    }
+
+    #[test]
+    fn all_boundary_matching_cost() {
+        let mut p = MatchingProblem::new(2);
+        p.set_boundary_cost(0, 1.0);
+        p.set_boundary_cost(1, 2.5);
+        let m = Matching::all_boundary(2);
+        assert!(m.is_complete());
+        assert_eq!(m.total_cost(&p), 3.5);
+    }
+
+    #[test]
+    fn display_lists_pairs_and_boundary() {
+        let m = Matching::new(vec![
+            MatchTarget::Node(1),
+            MatchTarget::Node(0),
+            MatchTarget::Boundary,
+        ]);
+        let s = format!("{m}");
+        assert!(s.contains("0–1"));
+        assert!(s.contains("2–∂"));
+    }
+}

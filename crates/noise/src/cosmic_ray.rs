@@ -1,0 +1,196 @@
+//! The cosmic-ray arrival process that generates anomalous regions.
+
+use crate::{AnomalousRegion, PhysicalParams};
+use q3de_lattice::Coord;
+use rand::Rng;
+
+/// A single cosmic-ray strike produced by the [`CosmicRayProcess`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosmicRayEvent {
+    /// The code cycle of the strike.
+    pub cycle: u64,
+    /// The anomalous region created by the strike.
+    pub region: AnomalousRegion,
+}
+
+/// A Poisson arrival process of cosmic-ray strikes on a rectangular qubit
+/// plane.
+///
+/// Each code cycle a strike occurs with probability
+/// `f_ano · τ_cyc` (see [`PhysicalParams::anomaly_probability_per_cycle`]);
+/// the strike position is uniform over the plane and creates an
+/// [`AnomalousRegion`] of the configured size, duration and error rate.
+#[derive(Debug, Clone)]
+pub struct CosmicRayProcess {
+    params: PhysicalParams,
+    plane_rows: i32,
+    plane_cols: i32,
+    current_cycle: u64,
+    events: Vec<CosmicRayEvent>,
+}
+
+impl CosmicRayProcess {
+    /// Creates a process over a plane of `plane_rows × plane_cols` grid
+    /// sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane is smaller than a single anomalous region.
+    pub fn new(params: PhysicalParams, plane_rows: i32, plane_cols: i32) -> Self {
+        let extent = 2 * params.anomaly_size as i32;
+        assert!(
+            plane_rows >= extent && plane_cols >= extent,
+            "plane {plane_rows}×{plane_cols} is smaller than one anomalous region ({extent} sites)"
+        );
+        Self { params, plane_rows, plane_cols, current_cycle: 0, events: Vec::new() }
+    }
+
+    /// The physical parameters driving the process.
+    pub fn params(&self) -> &PhysicalParams {
+        &self.params
+    }
+
+    /// The current code cycle (number of [`CosmicRayProcess::advance`] calls).
+    pub fn current_cycle(&self) -> u64 {
+        self.current_cycle
+    }
+
+    /// All strikes generated so far.
+    pub fn events(&self) -> &[CosmicRayEvent] {
+        &self.events
+    }
+
+    /// The regions still active at the current cycle.
+    pub fn active_regions(&self) -> impl Iterator<Item = &AnomalousRegion> {
+        let cycle = self.current_cycle;
+        self.events.iter().map(|e| &e.region).filter(move |r| r.active_at(cycle))
+    }
+
+    /// Advances the process by one code cycle, possibly generating a strike.
+    /// Returns the new strike, if any.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<CosmicRayEvent> {
+        let cycle = self.current_cycle;
+        self.current_cycle += 1;
+        let p_strike = self.params.anomaly_probability_per_cycle();
+        if rng.gen::<f64>() >= p_strike {
+            return None;
+        }
+        let event = CosmicRayEvent { cycle, region: self.sample_region(cycle, rng) };
+        self.events.push(event);
+        Some(event)
+    }
+
+    /// Advances the process by `cycles` code cycles and returns the strikes
+    /// generated.
+    pub fn advance_by<R: Rng + ?Sized>(&mut self, cycles: u64, rng: &mut R) -> Vec<CosmicRayEvent> {
+        (0..cycles).filter_map(|_| self.advance(rng)).collect()
+    }
+
+    /// Samples a region for a strike at `cycle` with a uniformly random
+    /// origin such that the region fits on the plane.
+    pub fn sample_region<R: Rng + ?Sized>(&self, cycle: u64, rng: &mut R) -> AnomalousRegion {
+        let extent = 2 * self.params.anomaly_size as i32;
+        let max_row = self.plane_rows - extent;
+        let max_col = self.plane_cols - extent;
+        let row = if max_row > 0 { rng.gen_range(0..=max_row) } else { 0 };
+        let col = if max_col > 0 { rng.gen_range(0..=max_col) } else { 0 };
+        AnomalousRegion::new(
+            Coord::new(row, col),
+            self.params.anomaly_size,
+            cycle,
+            self.params.anomaly_duration_cycles(),
+            self.params.anomalous_error_rate,
+        )
+    }
+
+    /// Expected number of strikes over `cycles` code cycles.
+    pub fn expected_strikes(&self, cycles: u64) -> f64 {
+        self.params.anomaly_probability_per_cycle() * cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn fast_params() -> PhysicalParams {
+        PhysicalParams {
+            physical_error_rate: 1e-3,
+            anomalous_error_rate: 0.5,
+            anomaly_size: 2,
+            anomaly_frequency_hz: 100.0,
+            anomaly_duration_s: 50e-6,
+            code_cycle_s: 1e-6,
+        }
+    }
+
+    #[test]
+    fn strike_count_matches_poisson_expectation() {
+        let params = fast_params();
+        let mut process = CosmicRayProcess::new(params, 41, 41);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let cycles = 200_000;
+        let events = process.advance_by(cycles, &mut rng);
+        let expected = process.expected_strikes(cycles);
+        assert!((expected - 20.0).abs() < 1e-9);
+        // Poisson(20): 3σ ≈ 13.4
+        assert!(
+            (events.len() as f64 - expected).abs() < 15.0,
+            "observed {} strikes, expected ≈ {expected}",
+            events.len()
+        );
+        assert_eq!(process.current_cycle(), cycles);
+        assert_eq!(process.events().len(), events.len());
+    }
+
+    #[test]
+    fn regions_fit_on_the_plane() {
+        let params = fast_params();
+        let process = CosmicRayProcess::new(params, 21, 31);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..500 {
+            let r = process.sample_region(0, &mut rng);
+            let extent = 2 * params.anomaly_size as i32;
+            assert!(r.origin().row >= 0 && r.origin().row + extent <= 21);
+            assert!(r.origin().col >= 0 && r.origin().col + extent <= 31);
+            assert_eq!(r.duration_cycles(), 50);
+            assert_eq!(r.anomalous_rate(), 0.5);
+        }
+    }
+
+    #[test]
+    fn active_regions_expire() {
+        let params = fast_params();
+        let mut process = CosmicRayProcess::new(params, 41, 41);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // run until we get at least one strike
+        while process.events().is_empty() {
+            process.advance(&mut rng);
+        }
+        assert!(process.active_regions().count() >= 1);
+        // advance well past the duration
+        process.advance_by(10 * params.anomaly_duration_cycles(), &mut rng);
+        let last_event_cycle = process.events().last().unwrap().cycle;
+        if process.current_cycle() > last_event_cycle + params.anomaly_duration_cycles() {
+            assert_eq!(process.active_regions().count(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one anomalous region")]
+    fn tiny_plane_is_rejected() {
+        let _ = CosmicRayProcess::new(fast_params(), 2, 2);
+    }
+
+    #[test]
+    fn zero_frequency_never_strikes() {
+        let mut params = fast_params();
+        params.anomaly_frequency_hz = 0.0;
+        let mut process = CosmicRayProcess::new(params, 41, 41);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let events = process.advance_by(10_000, &mut rng);
+        assert!(events.is_empty());
+    }
+}

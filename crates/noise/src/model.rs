@@ -1,0 +1,234 @@
+//! The per-cycle stochastic Pauli noise model.
+
+use crate::AnomalousRegion;
+use q3de_lattice::{Coord, Pauli, PauliString};
+use rand::Rng;
+
+/// A phenomenological Pauli noise model with a uniform base rate and zero or
+/// more [`AnomalousRegion`]s layered on top.
+///
+/// Following Sec. VII-A of the paper, at the start of each code cycle every
+/// qubit at rate `r` suffers a Pauli `X`, `Y` or `Z` error each with
+/// probability `r/2` (mutually exclusive draws), so the marginal probability
+/// of an `X`-component flip — what the `Z`-syndrome decoding problem sees —
+/// is `P(X) + P(Y) = r`, and likewise for the `Z` component.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseModel {
+    base_rate: f64,
+    anomalies: Vec<AnomalousRegion>,
+}
+
+impl NoiseModel {
+    /// A model with uniform per-cycle rate `base_rate` and no anomalies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_rate` is not in `[0, 2/3]` (the mutually exclusive
+    /// `X/Y/Z` draws each of probability `r/2` must sum to at most one).
+    pub fn uniform(base_rate: f64) -> Self {
+        assert!(
+            (0.0..=2.0 / 3.0).contains(&base_rate),
+            "base rate {base_rate} outside [0, 2/3]"
+        );
+        Self { base_rate, anomalies: Vec::new() }
+    }
+
+    /// The base (normal-qubit) error rate `p`.
+    pub fn base_rate(&self) -> f64 {
+        self.base_rate
+    }
+
+    /// Adds an anomalous region to the model.
+    pub fn add_anomaly(&mut self, region: AnomalousRegion) {
+        self.anomalies.push(region);
+    }
+
+    /// Adds an anomalous region, builder-style.
+    pub fn with_anomaly(mut self, region: AnomalousRegion) -> Self {
+        self.add_anomaly(region);
+        self
+    }
+
+    /// Removes all anomalous regions.
+    pub fn clear_anomalies(&mut self) {
+        self.anomalies.clear();
+    }
+
+    /// The anomalous regions currently registered.
+    pub fn anomalies(&self) -> &[AnomalousRegion] {
+        &self.anomalies
+    }
+
+    /// The anomalous regions active at `cycle`.
+    pub fn active_anomalies(&self, cycle: u64) -> impl Iterator<Item = &AnomalousRegion> {
+        self.anomalies.iter().filter(move |r| r.active_at(cycle))
+    }
+
+    /// The Pauli error rate of the qubit at `coord` during `cycle`: the
+    /// maximum of the base rate and the rates of all covering active regions.
+    pub fn rate_at(&self, coord: Coord, cycle: u64) -> f64 {
+        let mut rate = self.base_rate;
+        for region in &self.anomalies {
+            if region.affects(coord, cycle) {
+                rate = rate.max(region.anomalous_rate());
+            }
+        }
+        rate
+    }
+
+    /// Whether `coord` lies inside an active anomalous region at `cycle`.
+    pub fn is_anomalous(&self, coord: Coord, cycle: u64) -> bool {
+        self.anomalies.iter().any(|r| r.affects(coord, cycle))
+    }
+
+    /// Marginal probability that a qubit with Pauli rate `rate` suffers a
+    /// flip visible to one decoding sector (an `X`- or `Z`-component error):
+    /// `P(X) + P(Y) = rate`.
+    pub fn flip_probability(rate: f64) -> f64 {
+        rate
+    }
+
+    /// Samples the Pauli error suffered by the qubit at `coord` during
+    /// `cycle`: `X`, `Y`, `Z` each with probability `rate/2` and identity
+    /// otherwise.
+    pub fn sample_pauli<R: Rng + ?Sized>(&self, coord: Coord, cycle: u64, rng: &mut R) -> Pauli {
+        let rate = self.rate_at(coord, cycle);
+        Self::sample_pauli_with_rate(rate, rng)
+    }
+
+    /// Samples a Pauli for an explicit rate (used by callers that cache the
+    /// per-qubit rate).
+    pub fn sample_pauli_with_rate<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> Pauli {
+        if rate <= 0.0 {
+            return Pauli::I;
+        }
+        let u: f64 = rng.gen();
+        let half = rate / 2.0;
+        if u < half {
+            Pauli::X
+        } else if u < rate {
+            Pauli::Y
+        } else if u < rate + half {
+            Pauli::Z
+        } else {
+            Pauli::I
+        }
+    }
+
+    /// Samples one cycle of errors over the given qubits and returns them as
+    /// a sparse [`PauliString`].
+    pub fn sample_cycle_errors<R, I>(&self, qubits: I, cycle: u64, rng: &mut R) -> PauliString
+    where
+        R: Rng + ?Sized,
+        I: IntoIterator<Item = Coord>,
+    {
+        let mut errors = PauliString::new();
+        for q in qubits {
+            let p = self.sample_pauli(q, cycle, rng);
+            if !p.is_identity() {
+                errors.apply(q, p);
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_rate_everywhere() {
+        let m = NoiseModel::uniform(0.01);
+        assert_eq!(m.rate_at(Coord::new(0, 0), 0), 0.01);
+        assert_eq!(m.rate_at(Coord::new(100, -3), 12345), 0.01);
+        assert!(!m.is_anomalous(Coord::new(0, 0), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 2/3]")]
+    fn overlarge_base_rate_is_rejected() {
+        let _ = NoiseModel::uniform(0.8);
+    }
+
+    #[test]
+    fn anomaly_overrides_rate_only_when_active_and_inside() {
+        let region = AnomalousRegion::new(Coord::new(4, 4), 2, 10, 20, 0.5);
+        let m = NoiseModel::uniform(1e-3).with_anomaly(region);
+        assert_eq!(m.rate_at(Coord::new(5, 5), 15), 0.5);
+        assert_eq!(m.rate_at(Coord::new(5, 5), 5), 1e-3);
+        assert_eq!(m.rate_at(Coord::new(50, 50), 15), 1e-3);
+        assert!(m.is_anomalous(Coord::new(5, 5), 15));
+        assert_eq!(m.active_anomalies(15).count(), 1);
+        assert_eq!(m.active_anomalies(40).count(), 0);
+    }
+
+    #[test]
+    fn overlapping_anomalies_take_the_maximum_rate() {
+        let a = AnomalousRegion::new(Coord::new(0, 0), 4, 0, 100, 0.2);
+        let b = AnomalousRegion::new(Coord::new(0, 0), 2, 0, 100, 0.5);
+        let m = NoiseModel::uniform(1e-3).with_anomaly(a).with_anomaly(b);
+        assert_eq!(m.rate_at(Coord::new(1, 1), 10), 0.5);
+        assert_eq!(m.rate_at(Coord::new(6, 6), 10), 0.2);
+    }
+
+    #[test]
+    fn sampled_pauli_frequencies_match_rates() {
+        let m = NoiseModel::uniform(0.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let p = m.sample_pauli(Coord::new(0, 0), 0, &mut rng);
+            let idx = match p {
+                Pauli::I => 0,
+                Pauli::X => 1,
+                Pauli::Y => 2,
+                Pauli::Z => 3,
+            };
+            counts[idx] += 1;
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(counts[1]) - 0.1).abs() < 0.01, "X fraction {}", frac(counts[1]));
+        assert!((frac(counts[2]) - 0.1).abs() < 0.01, "Y fraction {}", frac(counts[2]));
+        assert!((frac(counts[3]) - 0.1).abs() < 0.01, "Z fraction {}", frac(counts[3]));
+        assert!((frac(counts[0]) - 0.7).abs() < 0.01, "I fraction {}", frac(counts[0]));
+    }
+
+    #[test]
+    fn zero_rate_never_errors() {
+        let m = NoiseModel::uniform(0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(m.sample_pauli(Coord::new(0, 0), 0, &mut rng), Pauli::I);
+        }
+    }
+
+    #[test]
+    fn sample_cycle_errors_is_sparse() {
+        let m = NoiseModel::uniform(0.05);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let qubits: Vec<Coord> =
+            (0..20).flat_map(|r| (0..20).map(move |c| Coord::new(r, c))).collect();
+        let errors = m.sample_cycle_errors(qubits.iter().copied(), 0, &mut rng);
+        // ~400 qubits at 7.5 % total error rate → ≈ 30 errors; far fewer than 400.
+        assert!(errors.weight() > 5 && errors.weight() < 100, "weight {}", errors.weight());
+    }
+
+    #[test]
+    fn clear_anomalies_restores_uniform_model() {
+        let mut m = NoiseModel::uniform(1e-3)
+            .with_anomaly(AnomalousRegion::new(Coord::new(0, 0), 4, 0, 1000, 0.5));
+        assert!(m.is_anomalous(Coord::new(0, 0), 10));
+        m.clear_anomalies();
+        assert!(!m.is_anomalous(Coord::new(0, 0), 10));
+        assert!(m.anomalies().is_empty());
+    }
+
+    #[test]
+    fn flip_probability_equals_rate() {
+        assert_eq!(NoiseModel::flip_probability(0.01), 0.01);
+    }
+}

@@ -1,0 +1,162 @@
+//! Physical parameters: code-cycle timing and the cosmic-ray observations of
+//! McEwen et al. that the paper adopts as its "realistic assumption".
+
+/// Device- and experiment-level physical parameters.
+///
+/// All rates are *per code cycle* unless the field name says otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicalParams {
+    /// Physical Pauli error rate `p` of a normal qubit per code cycle.
+    pub physical_error_rate: f64,
+    /// Physical Pauli error rate `p_ano` of an anomalous qubit per code cycle.
+    pub anomalous_error_rate: f64,
+    /// Linear size `d_ano` of an anomalous region, in data-qubit units.
+    pub anomaly_size: usize,
+    /// Cosmic-ray strike frequency `f_ano` in Hz for the monitored region.
+    pub anomaly_frequency_hz: f64,
+    /// Duration `τ_ano` of an anomalous region in seconds.
+    pub anomaly_duration_s: f64,
+    /// Duration of one code cycle in seconds (`τ_cyc`, typically 1 µs).
+    pub code_cycle_s: f64,
+}
+
+impl PhysicalParams {
+    /// Probability that a cosmic ray arrives during a single code cycle.
+    ///
+    /// ```
+    /// use q3de_noise::PhysicalParams;
+    /// let p = PhysicalParams::mcewen();
+    /// assert!((p.anomaly_probability_per_cycle() - 1e-6).abs() < 1e-9);
+    /// ```
+    pub fn anomaly_probability_per_cycle(&self) -> f64 {
+        self.anomaly_frequency_hz * self.code_cycle_s
+    }
+
+    /// Duration of an anomalous region expressed in code cycles.
+    pub fn anomaly_duration_cycles(&self) -> u64 {
+        (self.anomaly_duration_s / self.code_cycle_s).round() as u64
+    }
+
+    /// Fraction of time the plane spends with at least one active anomalous
+    /// region, `f_ano · τ_ano`, assuming strikes never overlap (Eq. (1)).
+    pub fn anomaly_duty_cycle(&self) -> f64 {
+        (self.anomaly_frequency_hz * self.anomaly_duration_s).min(1.0)
+    }
+
+    /// The effective logical error rate of Eq. (1):
+    /// `(1 − f·τ)·p_L + f·τ·p_L,ano`.
+    pub fn effective_logical_error_rate(&self, p_l: f64, p_l_ano: f64) -> f64 {
+        let duty = self.anomaly_duty_cycle();
+        (1.0 - duty) * p_l + duty * p_l_ano
+    }
+
+    /// The multiplicative increase of the logical error rate caused by MBBEs,
+    /// `f·τ·p_L,ano / p_L` (the "about 100×" factor quoted in Sec. I).
+    pub fn mbbe_increase_ratio(&self, p_l: f64, p_l_ano: f64) -> f64 {
+        self.anomaly_duty_cycle() * p_l_ano / p_l
+    }
+
+    /// The parameters observed on Google's Sycamore chip by McEwen et al.,
+    /// scaled as the paper does for a logical-qubit-sized patch
+    /// (`f_ano = 1 Hz`, `τ_ano = 25 ms`, `d_ano = 4`, `p_ano = 0.5`,
+    /// 1 µs code cycle).
+    pub fn mcewen() -> Self {
+        McEwenParams::default().into()
+    }
+}
+
+impl Default for PhysicalParams {
+    fn default() -> Self {
+        Self::mcewen()
+    }
+}
+
+/// The raw cosmic-ray observations reported by McEwen et al. (Sycamore),
+/// before the paper's ×10 frequency scaling for many-qubit logical patches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McEwenParams {
+    /// Strike frequency observed in a 26-qubit region: once per ten seconds.
+    pub raw_frequency_hz: f64,
+    /// The paper multiplies the frequency by ten because a long-term logical
+    /// qubit uses several hundred physical qubits.
+    pub frequency_scale: f64,
+    /// Decay constant of the anomalous state, ≈ 25 ms.
+    pub duration_s: f64,
+    /// Anomaly size in data-qubit units, ≈ 4.
+    pub anomaly_size: usize,
+    /// Error rate of anomalous qubits used in the paper's simulations.
+    pub anomalous_error_rate: f64,
+    /// Baseline physical error rate per cycle used in most experiments.
+    pub physical_error_rate: f64,
+    /// Code-cycle duration, 1 µs for superconducting qubits.
+    pub code_cycle_s: f64,
+}
+
+impl Default for McEwenParams {
+    fn default() -> Self {
+        Self {
+            raw_frequency_hz: 0.1,
+            frequency_scale: 10.0,
+            duration_s: 25e-3,
+            anomaly_size: 4,
+            anomalous_error_rate: 0.5,
+            physical_error_rate: 1e-3,
+            code_cycle_s: 1e-6,
+        }
+    }
+}
+
+impl From<McEwenParams> for PhysicalParams {
+    fn from(m: McEwenParams) -> Self {
+        PhysicalParams {
+            physical_error_rate: m.physical_error_rate,
+            anomalous_error_rate: m.anomalous_error_rate,
+            anomaly_size: m.anomaly_size,
+            anomaly_frequency_hz: m.raw_frequency_hz * m.frequency_scale,
+            anomaly_duration_s: m.duration_s,
+            code_cycle_s: m.code_cycle_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcewen_defaults_match_the_paper() {
+        let p = PhysicalParams::mcewen();
+        assert_eq!(p.anomaly_size, 4);
+        assert_eq!(p.anomalous_error_rate, 0.5);
+        assert!((p.anomaly_frequency_hz - 1.0).abs() < 1e-12);
+        assert!((p.anomaly_duration_s - 25e-3).abs() < 1e-12);
+        assert_eq!(p.anomaly_duration_cycles(), 25_000);
+    }
+
+    #[test]
+    fn duty_cycle_and_effective_rate() {
+        let p = PhysicalParams::mcewen();
+        // f·τ = 1 Hz × 25 ms = 2.5 %
+        assert!((p.anomaly_duty_cycle() - 0.025).abs() < 1e-12);
+        // If the anomalous logical error rate is 1000× larger, the effective
+        // rate increases by roughly 25×: 0.975·p_L + 0.025·1000·p_L ≈ 26·p_L.
+        let p_l = 1e-9;
+        let eff = p.effective_logical_error_rate(p_l, 1000.0 * p_l);
+        assert!(eff > 20.0 * p_l && eff < 30.0 * p_l, "effective rate {eff}");
+        assert!((p.mbbe_increase_ratio(p_l, 1000.0 * p_l) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycle_saturates_at_one() {
+        let mut p = PhysicalParams::mcewen();
+        p.anomaly_frequency_hz = 1000.0;
+        assert_eq!(p.anomaly_duty_cycle(), 1.0);
+    }
+
+    #[test]
+    fn per_cycle_probability_is_tiny() {
+        let p = PhysicalParams::mcewen();
+        let per_cycle = p.anomaly_probability_per_cycle();
+        assert!(per_cycle > 0.0 && per_cycle < 1e-5);
+    }
+}

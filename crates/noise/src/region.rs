@@ -1,0 +1,187 @@
+//! Anomalous regions: the spatial and temporal footprint of a single MBBE.
+
+use q3de_lattice::Coord;
+
+/// A square region of the qubit plane whose physical error rate is raised to
+/// `anomalous_rate` for a bounded window of code cycles.
+///
+/// The region covers the `2·size × 2·size` block of grid *sites* whose
+/// top-left corner is `origin`; with `origin` on the data sublattice this is
+/// exactly `size` columns and `size` rows of data qubits — the paper's
+/// anomaly size `d_ano`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalousRegion {
+    origin: Coord,
+    size: usize,
+    onset_cycle: u64,
+    duration_cycles: u64,
+    anomalous_rate: f64,
+}
+
+impl AnomalousRegion {
+    /// Creates a region of anomaly size `size` (data-qubit units) whose
+    /// top-left site is `origin`, active during
+    /// `[onset_cycle, onset_cycle + duration_cycles)`, with per-cycle Pauli
+    /// error rate `anomalous_rate` inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `anomalous_rate` is not a probability.
+    pub fn new(
+        origin: Coord,
+        size: usize,
+        onset_cycle: u64,
+        duration_cycles: u64,
+        anomalous_rate: f64,
+    ) -> Self {
+        assert!(size > 0, "anomaly size must be positive");
+        assert!(
+            (0.0..=1.0).contains(&anomalous_rate),
+            "anomalous rate {anomalous_rate} is not a probability"
+        );
+        Self { origin, size, onset_cycle, duration_cycles, anomalous_rate }
+    }
+
+    /// The top-left grid site of the region.
+    pub fn origin(&self) -> Coord {
+        self.origin
+    }
+
+    /// The anomaly size `d_ano` in data-qubit units.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The code cycle at which the cosmic ray struck.
+    pub fn onset_cycle(&self) -> u64 {
+        self.onset_cycle
+    }
+
+    /// The number of code cycles the region stays anomalous.
+    pub fn duration_cycles(&self) -> u64 {
+        self.duration_cycles
+    }
+
+    /// The last cycle (exclusive) at which the region is active.
+    pub fn end_cycle(&self) -> u64 {
+        self.onset_cycle.saturating_add(self.duration_cycles)
+    }
+
+    /// The per-cycle Pauli error rate of qubits inside the region.
+    pub fn anomalous_rate(&self) -> f64 {
+        self.anomalous_rate
+    }
+
+    /// The geometric centre of the region (used to compare against the
+    /// anomaly-detection unit's position estimate).
+    pub fn center(&self) -> Coord {
+        let half = self.size as i32 - 1;
+        self.origin.offset(half, half)
+    }
+
+    /// Whether the region covers grid site `coord`.
+    ///
+    /// ```
+    /// use q3de_noise::AnomalousRegion;
+    /// use q3de_lattice::Coord;
+    /// let r = AnomalousRegion::new(Coord::new(2, 2), 2, 0, 10, 0.5);
+    /// assert!(r.contains(Coord::new(2, 2)));
+    /// assert!(r.contains(Coord::new(5, 5)));
+    /// assert!(!r.contains(Coord::new(6, 2)));
+    /// ```
+    pub fn contains(&self, coord: Coord) -> bool {
+        let extent = 2 * self.size as i32;
+        coord.row >= self.origin.row
+            && coord.row < self.origin.row + extent
+            && coord.col >= self.origin.col
+            && coord.col < self.origin.col + extent
+    }
+
+    /// Whether the region is active at `cycle`.
+    pub fn active_at(&self, cycle: u64) -> bool {
+        cycle >= self.onset_cycle && cycle < self.end_cycle()
+    }
+
+    /// Whether the region both covers `coord` and is active at `cycle`.
+    pub fn affects(&self, coord: Coord, cycle: u64) -> bool {
+        self.active_at(cycle) && self.contains(coord)
+    }
+
+    /// Returns a copy of the region shifted to a new onset cycle (used when a
+    /// second `op_expand` extends the lifetime of an existing anomaly).
+    pub fn with_duration(mut self, duration_cycles: u64) -> Self {
+        self.duration_cycles = duration_cycles;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_covers_expected_sites() {
+        let r = AnomalousRegion::new(Coord::new(0, 0), 2, 0, 10, 0.5);
+        // 4×4 sites → data qubits at (0,0),(0,2),(2,0),(2,2),(1,1),(3,3),(1,3),(3,1)
+        let mut data_cols = std::collections::BTreeSet::new();
+        for row in 0..8 {
+            for col in 0..8 {
+                let c = Coord::new(row, col);
+                if r.contains(c) && c.is_data_site() && row % 2 == 0 {
+                    data_cols.insert(col);
+                }
+            }
+        }
+        // exactly d_ano = 2 even (data) columns are covered
+        assert_eq!(data_cols.len(), 2);
+    }
+
+    #[test]
+    fn temporal_window_is_half_open() {
+        let r = AnomalousRegion::new(Coord::new(0, 0), 4, 100, 50, 0.5);
+        assert!(!r.active_at(99));
+        assert!(r.active_at(100));
+        assert!(r.active_at(149));
+        assert!(!r.active_at(150));
+        assert_eq!(r.end_cycle(), 150);
+    }
+
+    #[test]
+    fn affects_combines_space_and_time() {
+        let r = AnomalousRegion::new(Coord::new(4, 4), 2, 10, 10, 0.3);
+        assert!(r.affects(Coord::new(5, 5), 15));
+        assert!(!r.affects(Coord::new(5, 5), 25));
+        assert!(!r.affects(Coord::new(0, 0), 15));
+    }
+
+    #[test]
+    fn center_is_inside_the_region() {
+        for size in 1..=6 {
+            let r = AnomalousRegion::new(Coord::new(3, 7), size, 0, 1, 0.5);
+            assert!(r.contains(r.center()), "size {size}");
+        }
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let r = AnomalousRegion::new(Coord::new(1, 2), 3, 7, 11, 0.25);
+        assert_eq!(r.origin(), Coord::new(1, 2));
+        assert_eq!(r.size(), 3);
+        assert_eq!(r.onset_cycle(), 7);
+        assert_eq!(r.duration_cycles(), 11);
+        assert_eq!(r.anomalous_rate(), 0.25);
+        assert_eq!(r.with_duration(100).duration_cycles(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "anomaly size must be positive")]
+    fn zero_size_is_rejected() {
+        let _ = AnomalousRegion::new(Coord::new(0, 0), 0, 0, 1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn invalid_rate_is_rejected() {
+        let _ = AnomalousRegion::new(Coord::new(0, 0), 1, 0, 1, 1.5);
+    }
+}

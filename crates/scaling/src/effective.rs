@@ -1,0 +1,105 @@
+//! Effective error-rate and effective-distance formulas.
+
+/// The effective logical error rate per cycle of Eq. (1):
+/// `(1 − f·τ)·p_L + f·τ·p_L,ano`, where `f` is the MBBE frequency in Hz and
+/// `τ` the MBBE duration in seconds.
+///
+/// ```
+/// use q3de_scaling::effective_logical_error_rate;
+/// // 1 Hz strikes lasting 25 ms that raise p_L by 1000× lift the effective
+/// // rate by roughly 26×.
+/// let eff = effective_logical_error_rate(1e-9, 1e-6, 1.0, 25e-3);
+/// assert!(eff > 2e-8 && eff < 3e-8);
+/// ```
+pub fn effective_logical_error_rate(
+    p_l: f64,
+    p_l_ano: f64,
+    frequency_hz: f64,
+    duration_s: f64,
+) -> f64 {
+    let duty = (frequency_hz * duration_s).clamp(0.0, 1.0);
+    (1.0 - duty) * p_l + duty * p_l_ano
+}
+
+/// The effective code-distance reduction of Eq. (4):
+///
+/// ```text
+/// d − d_eff = round( ln(p_L,ano / p_L) / ( ½ · ln(p_L(d−2) / p_L(d)) ) )
+/// ```
+///
+/// `p_l_ano` is the logical error rate with the MBBE, `p_l_d` without it at
+/// distance `d`, and `p_l_d_minus_2` without it at distance `d − 2`.
+/// Returns `None` when the rates do not allow a meaningful estimate (zero or
+/// non-decreasing rates).
+///
+/// ```
+/// use q3de_scaling::effective_distance_reduction;
+/// // If removing the MBBE lowers p_L by the same factor as going from d−2 to
+/// // d twice, the effective reduction is 4.
+/// let per_step = 0.1_f64; // p_L(d) = 0.1 · p_L(d−2)
+/// let reduction = effective_distance_reduction(1e-4 / per_step.powi(2), 1e-4, 1e-3).unwrap();
+/// assert_eq!(reduction, 4.0);
+/// ```
+pub fn effective_distance_reduction(
+    p_l_ano: f64,
+    p_l_d: f64,
+    p_l_d_minus_2: f64,
+) -> Option<f64> {
+    if p_l_ano <= 0.0 || p_l_d <= 0.0 || p_l_d_minus_2 <= 0.0 {
+        return None;
+    }
+    if p_l_ano < p_l_d || p_l_d_minus_2 <= p_l_d {
+        return None;
+    }
+    let numerator = (p_l_ano / p_l_d).ln();
+    let denominator = 0.5 * (p_l_d_minus_2 / p_l_d).ln();
+    if denominator <= 0.0 {
+        return None;
+    }
+    Some((numerator / denominator).round())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_rate_reduces_to_p_l_without_strikes() {
+        assert_eq!(effective_logical_error_rate(1e-9, 1e-3, 0.0, 25e-3), 1e-9);
+    }
+
+    #[test]
+    fn effective_rate_is_dominated_by_bursts_when_duty_is_high() {
+        let eff = effective_logical_error_rate(1e-9, 1e-3, 40.0, 25e-3);
+        assert_eq!(eff, 1e-3);
+    }
+
+    #[test]
+    fn mcewen_parameters_give_two_orders_of_magnitude_increase() {
+        // Sec. III-A: with f·τ = 2.5 % and p_L,ano/p_L ≈ 4000 (typical for
+        // d = 15 at p = 1e-3), the effective rate increases ~100×.
+        let p_l = 1e-8;
+        let p_l_ano = 4e-5;
+        let eff = effective_logical_error_rate(p_l, p_l_ano, 1.0, 25e-3);
+        let ratio = eff / p_l;
+        assert!(ratio > 50.0 && ratio < 200.0, "increase ratio {ratio}");
+    }
+
+    #[test]
+    fn distance_reduction_matches_first_order_expectations() {
+        // without rollback the reduction should converge to 2·d_ano
+        let per_step = 0.05_f64;
+        let p_l_d = 1e-6;
+        let p_l_dm2 = p_l_d / per_step;
+        // MBBE costs 2·d_ano = 8 → p_L,ano = p_L(d) / per_step⁴
+        let p_l_ano = p_l_d / per_step.powi(4);
+        assert_eq!(effective_distance_reduction(p_l_ano, p_l_d, p_l_dm2), Some(8.0));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(effective_distance_reduction(0.0, 1e-6, 1e-5), None);
+        assert_eq!(effective_distance_reduction(1e-4, 1e-6, 1e-7), None);
+        assert_eq!(effective_distance_reduction(1e-7, 1e-6, 1e-5), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Table III: the additional buffer memory required by decoder re-execution.
+
+/// The memory-overhead model of Table III, parameterised by the code
+/// distance `d` and the detection window `c_win`.
+///
+/// All sizes are per logical qubit, in bits.  The factor 2 accounts for the
+/// two decoding sectors (`X` and `Z`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryOverheadModel {
+    /// Code distance `d`.
+    pub distance: usize,
+    /// Detection window `c_win` in code cycles.
+    pub window: usize,
+}
+
+impl MemoryOverheadModel {
+    /// Creates the model (the paper evaluates `d = 31`, `c_win = 300`).
+    pub fn new(distance: usize, window: usize) -> Self {
+        Self { distance, window }
+    }
+
+    /// The paper's Table III operating point.
+    pub fn table3() -> Self {
+        Self::new(31, 300)
+    }
+
+    /// Syndrome-queue size: `2·d²·(c_win + √(2·c_win))` bits.
+    pub fn syndrome_queue_bits(&self) -> f64 {
+        let d2 = (self.distance * self.distance) as f64;
+        let cwin = self.window as f64;
+        2.0 * d2 * (cwin + (2.0 * cwin).sqrt())
+    }
+
+    /// Active-node-counter size: `2·d²·log₂(c_win)` bits.
+    pub fn active_node_counter_bits(&self) -> f64 {
+        let d2 = (self.distance * self.distance) as f64;
+        2.0 * d2 * (self.window as f64).log2()
+    }
+
+    /// Matching-queue size: `2·d²·√(c_win/2)` bits.
+    pub fn matching_queue_bits(&self) -> f64 {
+        let d2 = (self.distance * self.distance) as f64;
+        2.0 * d2 * (self.window as f64 / 2.0).sqrt()
+    }
+
+    /// Syndrome-queue size of an architecture *without* MBBE support, which
+    /// only needs to retain `d` layers: `2·d³` bits.
+    pub fn baseline_syndrome_queue_bits(&self) -> f64 {
+        2.0 * (self.distance as f64).powi(3)
+    }
+
+    /// Total additional memory (syndrome queue + counters + matching queue).
+    pub fn total_bits(&self) -> f64 {
+        self.syndrome_queue_bits() + self.active_node_counter_bits() + self.matching_queue_bits()
+    }
+
+    /// Ratio of the enlarged syndrome queue to the MBBE-free queue
+    /// ("about ten times larger" in Sec. VIII-C).
+    pub fn syndrome_queue_overhead_ratio(&self) -> f64 {
+        self.syndrome_queue_bits() / self.baseline_syndrome_queue_bits()
+    }
+
+    /// Helper: bits → kibibits, matching the units of Table III.
+    pub fn to_kbit(bits: f64) -> f64 {
+        bits / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values_match_the_paper() {
+        // Table III: syndrome queue 623 kbit, counters 16 kbit, matching
+        // queue 24 kbit for d = 31, c_win = 300.
+        let m = MemoryOverheadModel::table3();
+        let syndrome = MemoryOverheadModel::to_kbit(m.syndrome_queue_bits());
+        let counters = MemoryOverheadModel::to_kbit(m.active_node_counter_bits());
+        let matching = MemoryOverheadModel::to_kbit(m.matching_queue_bits());
+        assert!((syndrome - 623.0).abs() < 15.0, "syndrome queue {syndrome} kbit");
+        assert!((counters - 16.0).abs() < 1.0, "active node counter {counters} kbit");
+        assert!((matching - 24.0).abs() < 1.0, "matching queue {matching} kbit");
+    }
+
+    #[test]
+    fn baseline_queue_is_roughly_ten_times_smaller() {
+        let m = MemoryOverheadModel::table3();
+        // 2·d³ ≈ 58 kbit (Sec. VIII-C) and the ratio is about ten.
+        let baseline = MemoryOverheadModel::to_kbit(m.baseline_syndrome_queue_bits());
+        assert!((baseline - 59.6).abs() < 2.0, "baseline {baseline} kbit");
+        let ratio = m.syndrome_queue_overhead_ratio();
+        assert!(ratio > 8.0 && ratio < 12.0, "overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn total_is_the_sum_of_components() {
+        let m = MemoryOverheadModel::new(21, 200);
+        let total = m.total_bits();
+        let sum = m.syndrome_queue_bits() + m.active_node_counter_bits() + m.matching_queue_bits();
+        assert!((total - sum).abs() < 1e-9);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn overhead_shrinks_when_window_approaches_distance() {
+        // Sec. VIII-C: if c_win is comparable to d the overhead is almost
+        // negligible.
+        let large_window = MemoryOverheadModel::new(31, 300);
+        let small_window = MemoryOverheadModel::new(31, 31);
+        assert!(
+            small_window.syndrome_queue_overhead_ratio()
+                < large_window.syndrome_queue_overhead_ratio() / 5.0
+        );
+    }
+}

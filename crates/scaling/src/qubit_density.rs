@@ -1,0 +1,280 @@
+//! The Fig. 9 scalability model: required chip area and qubit density.
+
+/// Configuration of the scalability model (the paper's Sec. VIII-A setup).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalabilityConfig {
+    /// Target logical error rate per cycle (10⁻¹⁰ in Fig. 9).
+    pub target_logical_error_rate: f64,
+    /// Physical error probability over the threshold value, `p / p_th` (0.1).
+    pub p_over_pth: f64,
+    /// Code-cycle duration in seconds (1 µs).
+    pub code_cycle_s: f64,
+    /// Anomaly size `d_ano` at density ratio 1 (4).
+    pub base_anomaly_size: f64,
+    /// Cosmic-ray frequency at area ratio 1, in Hz (0.1).
+    pub base_frequency_hz: f64,
+    /// MBBE duration `τ_ano` in seconds (25 ms).
+    pub duration_s: f64,
+    /// Anomaly-detection latency `c_lat` in code cycles (30): with Q3DE the
+    /// logical qubit is exposed to the burst only for this long before the
+    /// code expansion protects it.
+    pub detection_latency_cycles: f64,
+    /// Code distance corresponding to area ratio 1 × density ratio 1.  The
+    /// Sycamore-sized reference patch holds roughly `2·5²` qubits, i.e.
+    /// distance 5.
+    pub base_distance: f64,
+    /// Exponent with which the anomaly size grows with the qubit density.
+    /// The quasi-particle diffusion radius is a fixed physical length, so the
+    /// number of data-qubit columns it spans grows with the *linear* qubit
+    /// density, i.e. with the square root of the areal density (0.5).
+    pub anomaly_size_density_exponent: f64,
+    /// Whether the strike frequency grows linearly with the chip area (the
+    /// paper's sweep assumption).
+    pub frequency_scales_with_area: bool,
+}
+
+impl Default for ScalabilityConfig {
+    fn default() -> Self {
+        Self {
+            target_logical_error_rate: 1e-10,
+            p_over_pth: 0.1,
+            code_cycle_s: 1e-6,
+            base_anomaly_size: 4.0,
+            base_frequency_hz: 0.1,
+            duration_s: 25e-3,
+            detection_latency_cycles: 30.0,
+            base_distance: 5.0,
+            anomaly_size_density_exponent: 0.5,
+            frequency_scales_with_area: true,
+        }
+    }
+}
+
+/// One point of the Fig. 9 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalabilityPoint {
+    /// Chip area per logical qubit, relative to the Sycamore reference.
+    pub chip_area_ratio: f64,
+    /// Qubit density, relative to the Sycamore reference.
+    pub qubit_density_ratio: f64,
+    /// The code distance afforded by that area × density budget.
+    pub code_distance: usize,
+    /// The time-averaged logical error rate at that operating point.
+    pub average_logical_error_rate: f64,
+}
+
+/// The analytic scalability model behind Fig. 9.
+///
+/// The paper simulates 10⁸ cycles of Poisson cosmic-ray arrivals; because
+/// strikes are rare and never overlap at the evaluated rates, the
+/// time-average it measures equals the closed-form expectation used here:
+/// a fraction `f·τ` of the time (baseline) or `f·c_lat·τ_cyc` (Q3DE) the
+/// effective distance is reduced by `2·d_ano` (baseline) or `d_ano` (Q3DE,
+/// thanks to decoder re-execution), and the logical error rate follows
+/// `p_L(d) = 0.1 · (p/p_th)^⌊(d_eff+1)/2⌋`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalabilityModel {
+    config: ScalabilityConfig,
+}
+
+impl ScalabilityModel {
+    /// Creates the model.
+    pub fn new(config: ScalabilityConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ScalabilityConfig {
+        &self.config
+    }
+
+    /// The logical error rate of an MBBE-free patch of (possibly effective)
+    /// distance `d_eff`: `0.1 · (p/p_th)^⌊(d_eff+1)/2⌋`, saturating at 0.5
+    /// when the distance is exhausted.
+    pub fn logical_error_rate(&self, d_eff: f64) -> f64 {
+        if d_eff < 1.0 {
+            return 0.5;
+        }
+        let exponent = ((d_eff + 1.0) / 2.0).floor();
+        (0.1 * self.config.p_over_pth.powf(exponent)).min(0.5)
+    }
+
+    /// The code distance afforded by a given area × density budget: the
+    /// number of physical qubits per logical qubit scales as the product of
+    /// the two ratios and the distance as its square root.
+    pub fn code_distance(&self, chip_area_ratio: f64, qubit_density_ratio: f64) -> usize {
+        (self.config.base_distance * (chip_area_ratio * qubit_density_ratio).sqrt()).floor()
+            as usize
+    }
+
+    /// The time-averaged logical error rate of one operating point.
+    pub fn average_rate(
+        &self,
+        chip_area_ratio: f64,
+        qubit_density_ratio: f64,
+        use_q3de: bool,
+    ) -> ScalabilityPoint {
+        let cfg = &self.config;
+        let d = self.code_distance(chip_area_ratio, qubit_density_ratio) as f64;
+        let anomaly_size =
+            cfg.base_anomaly_size * qubit_density_ratio.powf(cfg.anomaly_size_density_exponent);
+        let frequency = if cfg.frequency_scales_with_area {
+            cfg.base_frequency_hz * chip_area_ratio
+        } else {
+            cfg.base_frequency_hz
+        };
+        let (exposure_s, distance_loss) = if use_q3de {
+            (cfg.detection_latency_cycles * cfg.code_cycle_s, anomaly_size)
+        } else {
+            (cfg.duration_s, 2.0 * anomaly_size)
+        };
+        let duty = (frequency * exposure_s).clamp(0.0, 1.0);
+        let healthy = self.logical_error_rate(d);
+        let exposed = self.logical_error_rate(d - distance_loss);
+        ScalabilityPoint {
+            chip_area_ratio,
+            qubit_density_ratio,
+            code_distance: d as usize,
+            average_logical_error_rate: (1.0 - duty) * healthy + duty * exposed,
+        }
+    }
+
+    /// The smallest qubit-density ratio among `candidates` that reaches the
+    /// target logical error rate for the given chip area, or `None` when
+    /// even the largest candidate is insufficient.
+    pub fn required_density(
+        &self,
+        chip_area_ratio: f64,
+        use_q3de: bool,
+        candidates: &[f64],
+    ) -> Option<ScalabilityPoint> {
+        candidates
+            .iter()
+            .map(|&density| self.average_rate(chip_area_ratio, density, use_q3de))
+            .find(|p| p.average_logical_error_rate <= self.config.target_logical_error_rate)
+    }
+
+    /// Sweeps chip-area ratios and returns the required density for each
+    /// (the Fig. 9 curves).
+    pub fn sweep(
+        &self,
+        area_ratios: &[f64],
+        density_candidates: &[f64],
+        use_q3de: bool,
+    ) -> Vec<(f64, Option<ScalabilityPoint>)> {
+        area_ratios
+            .iter()
+            .map(|&a| (a, self.required_density(a, use_q3de, density_candidates)))
+            .collect()
+    }
+}
+
+/// A logarithmically spaced grid of candidate ratios from `min` to `max`.
+pub fn log_grid(min: f64, max: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2 && min > 0.0 && max > min, "invalid log grid parameters");
+    let step = (max / min).powf(1.0 / (points - 1) as f64);
+    (0..points).map(|i| min * step.powi(i as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ScalabilityModel {
+        ScalabilityModel::new(ScalabilityConfig::default())
+    }
+
+    #[test]
+    fn logical_error_rate_follows_the_exponential_law() {
+        let m = model();
+        assert!((m.logical_error_rate(11.0) - 0.1_f64 * 0.1_f64.powi(6)).abs() < 1e-18);
+        assert!(m.logical_error_rate(13.0) < m.logical_error_rate(11.0));
+        assert_eq!(m.logical_error_rate(0.0), 0.5);
+        assert_eq!(m.logical_error_rate(-3.0), 0.5);
+    }
+
+    #[test]
+    fn code_distance_scales_with_the_qubit_budget() {
+        let m = model();
+        assert_eq!(m.code_distance(1.0, 1.0), 5);
+        assert_eq!(m.code_distance(4.0, 1.0), 10);
+        assert_eq!(m.code_distance(1.0, 9.0), 15);
+    }
+
+    #[test]
+    fn q3de_needs_no_more_density_than_the_baseline() {
+        let m = model();
+        let densities = log_grid(1.0, 1000.0, 60);
+        for &area in &[1.0, 3.0, 10.0, 30.0, 100.0] {
+            let q3de = m.required_density(area, true, &densities);
+            let baseline = m.required_density(area, false, &densities);
+            match (q3de, baseline) {
+                (Some(q), Some(b)) => assert!(
+                    q.qubit_density_ratio <= b.qubit_density_ratio + 1e-9,
+                    "area {area}: Q3DE {} vs baseline {}",
+                    q.qubit_density_ratio,
+                    b.qubit_density_ratio
+                ),
+                (Some(_), None) => {} // Q3DE reaches the target, baseline never does
+                (None, Some(_)) => panic!("baseline reached the target but Q3DE did not"),
+                (None, None) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn q3de_saves_about_an_order_of_magnitude_at_moderate_density() {
+        // Fig. 9: "when the qubit density ratio is about ten, the reduction
+        // of qubit count is up to about ten times".
+        let m = model();
+        let densities = log_grid(1.0, 5000.0, 400);
+        let area = 4.0;
+        let q3de = m.required_density(area, true, &densities).expect("Q3DE feasible");
+        let baseline = m.required_density(area, false, &densities).expect("baseline feasible");
+        let ratio = baseline.qubit_density_ratio / q3de.qubit_density_ratio;
+        assert!(ratio > 3.0, "density saving {ratio} should be substantial");
+        assert!(q3de.qubit_density_ratio >= 1.0);
+    }
+
+    #[test]
+    fn without_cosmic_rays_density_is_inverse_to_area() {
+        let mut cfg = ScalabilityConfig::default();
+        cfg.base_frequency_hz = 0.0;
+        let m = ScalabilityModel::new(cfg);
+        let densities = log_grid(0.05, 100.0, 400);
+        let a1 = m.required_density(1.0, false, &densities).unwrap();
+        let a4 = m.required_density(4.0, false, &densities).unwrap();
+        let product1 = a1.qubit_density_ratio * 1.0;
+        let product4 = a4.qubit_density_ratio * 4.0;
+        assert!(
+            (product1 / product4 - 1.0).abs() < 0.25,
+            "area×density should be constant without MBBEs: {product1} vs {product4}"
+        );
+    }
+
+    #[test]
+    fn average_rate_degrades_with_larger_anomalies() {
+        let m = model();
+        let small = m.average_rate(20.0, 4.0, false);
+        let mut cfg = ScalabilityConfig::default();
+        cfg.base_anomaly_size = 8.0;
+        let worse = ScalabilityModel::new(cfg).average_rate(20.0, 4.0, false);
+        assert!(worse.average_logical_error_rate >= small.average_logical_error_rate);
+        assert_eq!(small.code_distance, worse.code_distance);
+    }
+
+    #[test]
+    fn log_grid_is_geometric() {
+        let g = log_grid(1.0, 100.0, 3);
+        assert_eq!(g.len(), 3);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[1] - 10.0).abs() < 1e-9);
+        assert!((g[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid log grid")]
+    fn bad_log_grid_panics() {
+        let _ = log_grid(10.0, 1.0, 5);
+    }
+}

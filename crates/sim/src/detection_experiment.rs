@@ -1,0 +1,303 @@
+//! The anomaly-detection experiment behind Fig. 7.
+
+use q3de_anomaly::{AnomalyDetector, CalibrationStats, DetectorConfig};
+use q3de_lattice::{Coord, ErrorKind, LatticeError, SurfaceCode};
+use rand::Rng;
+
+/// Configuration of a detection experiment: a distance-`d` patch running at
+/// base rate `p`, struck by an anomaly of size `d_ano` and rate
+/// `ratio · p` at a known onset cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionExperimentConfig {
+    /// Code distance `d` of the monitored patch.
+    pub distance: usize,
+    /// Base physical error rate `p`.
+    pub physical_error_rate: f64,
+    /// Ratio `p_ano / p` of anomalous to normal error rates.
+    pub rate_ratio: f64,
+    /// Anomaly size `d_ano` in data-qubit units.
+    pub anomaly_size: usize,
+    /// Cycle at which the anomaly switches on.
+    pub onset_cycle: u64,
+    /// Number of cycles simulated after the onset before a trial is declared
+    /// a miss (true negative).
+    pub post_onset_cycles: u64,
+    /// Confidence level `1 − α` for the per-node threshold.
+    pub confidence: f64,
+    /// Trigger count `n_th`.
+    pub count_threshold: usize,
+}
+
+impl DetectionExperimentConfig {
+    /// The paper's Fig. 7 setting: `d = 21`, `p = 10⁻³`, `d_ano = 4`,
+    /// `1 − α = 0.99`, `n_th = 20`.
+    pub fn fig7(rate_ratio: f64) -> Self {
+        Self {
+            distance: 21,
+            physical_error_rate: 1e-3,
+            rate_ratio,
+            anomaly_size: 4,
+            onset_cycle: 600,
+            post_onset_cycles: 3_000,
+            confidence: 0.99,
+            count_threshold: 20,
+        }
+    }
+
+    /// The anomalous physical error rate `p_ano = ratio · p`, capped at 0.5.
+    pub fn anomalous_rate(&self) -> f64 {
+        (self.physical_error_rate * self.rate_ratio).min(0.5)
+    }
+}
+
+/// Outcome of a single detection trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionTrial {
+    /// A detection fired before the anomaly onset (false positive).
+    pub false_positive: bool,
+    /// Detection latency in cycles, when the anomaly was found after onset.
+    pub latency: Option<u64>,
+    /// Chebyshev distance between the estimated and the true region centre,
+    /// when detected.
+    pub position_error: Option<u32>,
+}
+
+impl DetectionTrial {
+    /// The trial failed: either a false positive or a miss.
+    pub fn is_error(&self) -> bool {
+        self.false_positive || self.latency.is_none()
+    }
+}
+
+/// The Fig. 7 experiment: measure detection error rate, latency and position
+/// error of the anomaly-detection unit as a function of window size.
+#[derive(Debug, Clone)]
+pub struct DetectionExperiment {
+    config: DetectionExperimentConfig,
+    positions: Vec<Coord>,
+    node_mu: f64,
+    hot_mu: f64,
+    true_center: Coord,
+}
+
+impl DetectionExperiment {
+    /// Builds the experiment for the given configuration.
+    ///
+    /// The per-cycle active-node probability is derived from the
+    /// phenomenological calibration formula; cycles are treated as
+    /// independent, which is the same approximation the paper's even-cycle
+    /// CLT analysis makes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the code distance is invalid.
+    pub fn new(config: DetectionExperimentConfig) -> Result<Self, LatticeError> {
+        let code = SurfaceCode::new(config.distance)?;
+        let graph = code.matching_graph(ErrorKind::X);
+        let positions = graph.nodes().to_vec();
+        let node_mu = CalibrationStats::bulk_surface_code(config.physical_error_rate).mu;
+        let hot_mu = CalibrationStats::bulk_surface_code(config.anomalous_rate()).mu;
+        let mid = code.grid_size() / 2;
+        let half = config.anomaly_size as i32;
+        let origin = Coord::new((mid - half).max(0), (mid - half).max(0));
+        let true_center = Coord::new(
+            origin.row + config.anomaly_size as i32 - 1,
+            origin.col + config.anomaly_size as i32 - 1,
+        );
+        Ok(Self { config, positions, node_mu, hot_mu, true_center })
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &DetectionExperimentConfig {
+        &self.config
+    }
+
+    /// The true centre of the injected anomalous region.
+    pub fn true_center(&self) -> Coord {
+        self.true_center
+    }
+
+    /// Whether a syndrome position is inside the injected region.
+    fn in_region(&self, pos: Coord) -> bool {
+        let extent = self.config.anomaly_size as i32;
+        (pos.row - self.true_center.row).abs() <= extent
+            && (pos.col - self.true_center.col).abs() <= extent
+    }
+
+    /// Runs one trial with window size `window`.
+    pub fn run_trial<R: Rng + ?Sized>(&self, window: usize, rng: &mut R) -> DetectionTrial {
+        let calibration = CalibrationStats::bulk_surface_code(self.config.physical_error_rate);
+        let det_config = DetectorConfig {
+            window,
+            confidence: self.config.confidence,
+            count_threshold: self.config.count_threshold,
+            anomaly_lifetime_cycles: u64::MAX / 2,
+            suppression_radius: 2 * self.config.anomaly_size as u32 + 2,
+            calibration,
+        };
+        let mut detector = AnomalyDetector::new(det_config, self.positions.clone());
+
+        let total = self.config.onset_cycle + self.config.post_onset_cycles;
+        let mut layer = vec![false; self.positions.len()];
+        for cycle in 0..total {
+            for (i, &pos) in self.positions.iter().enumerate() {
+                let mu = if cycle >= self.config.onset_cycle && self.in_region(pos) {
+                    self.hot_mu
+                } else {
+                    self.node_mu
+                };
+                layer[i] = rng.gen::<f64>() < mu;
+            }
+            if let Some(found) = detector.observe_layer(&layer) {
+                if cycle < self.config.onset_cycle {
+                    return DetectionTrial {
+                        false_positive: true,
+                        latency: None,
+                        position_error: None,
+                    };
+                }
+                return DetectionTrial {
+                    false_positive: false,
+                    latency: Some(cycle - self.config.onset_cycle),
+                    position_error: Some(found.estimated_center.chebyshev(self.true_center)),
+                };
+            }
+        }
+        DetectionTrial { false_positive: false, latency: None, position_error: None }
+    }
+
+    /// Runs `trials` trials and returns `(error_rate, mean_latency,
+    /// mean_position_error)`, where the error rate counts false positives and
+    /// misses together (the "detection error" of Fig. 7).
+    pub fn run_trials<R: Rng + ?Sized>(
+        &self,
+        window: usize,
+        trials: usize,
+        rng: &mut R,
+    ) -> (f64, f64, f64) {
+        let mut errors = 0usize;
+        let mut latency_sum = 0u64;
+        let mut latency_count = 0usize;
+        let mut pos_sum = 0u64;
+        let mut pos_count = 0usize;
+        for _ in 0..trials {
+            let trial = self.run_trial(window, rng);
+            if trial.is_error() {
+                errors += 1;
+            }
+            if let Some(l) = trial.latency {
+                latency_sum += l;
+                latency_count += 1;
+            }
+            if let Some(p) = trial.position_error {
+                pos_sum += u64::from(p);
+                pos_count += 1;
+            }
+        }
+        let error_rate = errors as f64 / trials.max(1) as f64;
+        let mean_latency =
+            if latency_count > 0 { latency_sum as f64 / latency_count as f64 } else { f64::NAN };
+        let mean_pos =
+            if pos_count > 0 { pos_sum as f64 / pos_count as f64 } else { f64::NAN };
+        (error_rate, mean_latency, mean_pos)
+    }
+
+    /// Finds the smallest window (by doubling search over the candidate
+    /// list) whose detection error rate over `trials` trials is at most
+    /// `target_error`, mirroring the left panel of Fig. 7.
+    pub fn required_window<R: Rng + ?Sized>(
+        &self,
+        candidates: &[usize],
+        target_error: f64,
+        trials: usize,
+        rng: &mut R,
+    ) -> Option<usize> {
+        for &window in candidates {
+            let (error_rate, _, _) = self.run_trials(window, trials, rng);
+            if error_rate <= target_error {
+                return Some(window);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn small_config(ratio: f64) -> DetectionExperimentConfig {
+        DetectionExperimentConfig {
+            distance: 11,
+            physical_error_rate: 1e-3,
+            rate_ratio: ratio,
+            anomaly_size: 4,
+            onset_cycle: 400,
+            post_onset_cycles: 2_500,
+            confidence: 0.99,
+            count_threshold: 15,
+        }
+    }
+
+    #[test]
+    fn strong_burst_is_detected_quickly_and_accurately() {
+        let exp = DetectionExperiment::new(small_config(500.0)).unwrap();
+        let mut r = rng(1);
+        let trial = exp.run_trial(100, &mut r);
+        assert!(!trial.false_positive);
+        let latency = trial.latency.expect("a 500× burst must be detected");
+        assert!(latency < 300, "latency {latency}");
+        assert!(trial.position_error.unwrap() <= 8);
+        assert!(!trial.is_error());
+    }
+
+    #[test]
+    fn weak_burst_needs_a_larger_window() {
+        let exp = DetectionExperiment::new(small_config(5.0)).unwrap();
+        let mut r = rng(2);
+        let (err_small_window, _, _) = exp.run_trials(20, 6, &mut r);
+        let (err_large_window, _, _) = exp.run_trials(400, 6, &mut r);
+        assert!(
+            err_large_window <= err_small_window,
+            "larger window ({err_large_window}) should not be worse ({err_small_window})"
+        );
+    }
+
+    #[test]
+    fn required_window_is_monotone_in_burst_strength() {
+        let strong = DetectionExperiment::new(small_config(200.0)).unwrap();
+        let weak = DetectionExperiment::new(small_config(10.0)).unwrap();
+        let candidates = [25, 50, 100, 200, 400];
+        let mut r = rng(3);
+        let w_strong = strong.required_window(&candidates, 0.34, 3, &mut r);
+        let mut r = rng(4);
+        let w_weak = weak.required_window(&candidates, 0.34, 3, &mut r);
+        let ws = w_strong.expect("strong burst detectable");
+        if let Some(ww) = w_weak {
+            assert!(ws <= ww, "strong burst window {ws} vs weak {ww}");
+        }
+    }
+
+    #[test]
+    fn anomalous_rate_is_capped() {
+        let cfg = DetectionExperimentConfig::fig7(10_000.0);
+        assert_eq!(cfg.anomalous_rate(), 0.5);
+        let cfg = DetectionExperimentConfig::fig7(50.0);
+        assert!((cfg.anomalous_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_center_lies_inside_the_patch() {
+        let exp = DetectionExperiment::new(small_config(100.0)).unwrap();
+        let c = exp.true_center();
+        let grid = 2 * 11 - 1;
+        assert!(c.row >= 0 && c.row < grid && c.col >= 0 && c.col < grid);
+        assert_eq!(exp.config().anomaly_size, 4);
+    }
+}

@@ -1,0 +1,439 @@
+//! The d-cycle idling (memory) experiment.
+
+use q3de_decoder::{DecoderConfig, SurfaceDecoder, SyndromeHistory, WeightModel};
+use q3de_lattice::{Coord, ErrorKind, LatticeError, MatchingGraph, SurfaceCode};
+use q3de_noise::{AnomalousRegion, NoiseModel};
+use rand::Rng;
+
+/// How the decoder is driven in a memory shot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodingStrategy {
+    /// No anomalous region is injected at all (the solid "MBBE free" curves).
+    MbbeFree,
+    /// The anomalous region is injected but the decoder keeps uniform
+    /// weights — the paper's "without rollback" curves.
+    Blind,
+    /// The anomalous region is injected and the decoder re-executes with
+    /// anomaly-aware weights — the paper's "with rollback" curves.
+    AnomalyAware,
+}
+
+/// Description of the anomalous region injected into a memory shot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyInjection {
+    /// Anomaly size `d_ano` in data-qubit units.
+    pub size: usize,
+    /// Physical error rate `p_ano` inside the region.
+    pub rate: f64,
+    /// Top-left grid site of the region; `None` centres it on the patch.
+    pub origin: Option<Coord>,
+}
+
+impl AnomalyInjection {
+    /// The paper's default burst: `d_ano = 4`, `p_ano = 0.5`, centred.
+    pub fn mcewen_default() -> Self {
+        Self { size: 4, rate: 0.5, origin: None }
+    }
+
+    /// A centred burst of the given size and rate.
+    pub fn centered(size: usize, rate: f64) -> Self {
+        Self { size, rate, origin: None }
+    }
+}
+
+/// Configuration of a memory experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryExperimentConfig {
+    /// Code distance `d`.
+    pub distance: usize,
+    /// Number of noisy syndrome-extraction rounds (the paper idles for `d`
+    /// cycles; `None` uses `distance`).
+    pub rounds: Option<usize>,
+    /// Physical error rate `p` of normal qubits per code cycle.
+    pub physical_error_rate: f64,
+    /// The anomalous region to inject, if any.
+    pub anomaly: Option<AnomalyInjection>,
+    /// Decoder configuration.
+    pub decoder: DecoderConfig,
+}
+
+impl MemoryExperimentConfig {
+    /// A configuration with `rounds = d`, no anomaly, default decoder.
+    pub fn new(distance: usize, physical_error_rate: f64) -> Self {
+        Self {
+            distance,
+            rounds: None,
+            physical_error_rate,
+            anomaly: None,
+            decoder: DecoderConfig::default(),
+        }
+    }
+
+    /// Adds an anomaly injection, builder style.
+    pub fn with_anomaly(mut self, anomaly: AnomalyInjection) -> Self {
+        self.anomaly = Some(anomaly);
+        self
+    }
+
+    /// Overrides the number of noisy rounds, builder style.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = Some(rounds);
+        self
+    }
+
+    /// The effective number of noisy rounds.
+    pub fn effective_rounds(&self) -> usize {
+        self.rounds.unwrap_or(self.distance)
+    }
+}
+
+/// Result of a single memory shot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShotOutcome {
+    /// Whether the shot ended in a logical `X` error.
+    pub logical_failure: bool,
+    /// Number of detection events that had to be matched.
+    pub num_detection_events: usize,
+}
+
+/// Aggregated Monte-Carlo estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateResult {
+    /// Number of shots simulated.
+    pub shots: usize,
+    /// Number of shots that failed logically.
+    pub failures: usize,
+    /// Number of noisy rounds per shot.
+    pub rounds: usize,
+}
+
+impl EstimateResult {
+    /// Logical error rate per shot (per `rounds` code cycles).
+    pub fn logical_error_rate(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.shots as f64
+    }
+
+    /// Logical error rate per code cycle,
+    /// `1 − (1 − p_shot)^(1/rounds)` ≈ `p_shot / rounds`.
+    pub fn logical_error_rate_per_cycle(&self) -> f64 {
+        let per_shot = self.logical_error_rate().min(1.0 - 1e-15);
+        1.0 - (1.0 - per_shot).powf(1.0 / self.rounds as f64)
+    }
+
+    /// Standard error of the per-shot estimate (binomial).
+    pub fn standard_error(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let p = self.logical_error_rate();
+        (p * (1.0 - p) / self.shots as f64).sqrt()
+    }
+
+    /// Merges two estimates taken with the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimates used a different number of rounds.
+    pub fn merge(&self, other: &EstimateResult) -> EstimateResult {
+        assert_eq!(self.rounds, other.rounds, "cannot merge estimates with different rounds");
+        EstimateResult {
+            shots: self.shots + other.shots,
+            failures: self.failures + other.failures,
+            rounds: self.rounds,
+        }
+    }
+}
+
+/// A reusable memory-experiment simulator for one parameter point.
+#[derive(Debug, Clone)]
+pub struct MemoryExperiment {
+    config: MemoryExperimentConfig,
+    code: SurfaceCode,
+    graph: MatchingGraph,
+    region: Option<AnomalousRegion>,
+}
+
+impl MemoryExperiment {
+    /// Builds the simulator (code geometry, matching graph and anomalous
+    /// region) for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the code distance is invalid.
+    pub fn new(config: MemoryExperimentConfig) -> Result<Self, LatticeError> {
+        let code = SurfaceCode::new(config.distance)?;
+        let graph = code.matching_graph(ErrorKind::X);
+        let rounds = config.effective_rounds();
+        let region = config.anomaly.map(|a| {
+            let origin = a.origin.unwrap_or_else(|| {
+                // centre the 2·size × 2·size region on the patch
+                let mid = code.grid_size() / 2;
+                let half = a.size as i32;
+                Coord::new((mid - half).max(0), (mid - half).max(0))
+            });
+            // the burst lasts for the whole experiment window
+            AnomalousRegion::new(origin, a.size, 0, rounds as u64 + 1, a.rate)
+        });
+        Ok(Self { config, code, graph, region })
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &MemoryExperimentConfig {
+        &self.config
+    }
+
+    /// The surface code being simulated.
+    pub fn code(&self) -> &SurfaceCode {
+        &self.code
+    }
+
+    /// The injected anomalous region, if any.
+    pub fn region(&self) -> Option<&AnomalousRegion> {
+        self.region.as_ref()
+    }
+
+    /// The noise model a shot with the given strategy experiences.
+    pub fn noise_model(&self, strategy: DecodingStrategy) -> NoiseModel {
+        let mut model = NoiseModel::uniform(self.config.physical_error_rate);
+        if strategy != DecodingStrategy::MbbeFree {
+            if let Some(region) = self.region {
+                model.add_anomaly(region);
+            }
+        }
+        model
+    }
+
+    /// The weight model the decoder uses under the given strategy.
+    pub fn weight_model(&self, strategy: DecodingStrategy) -> WeightModel {
+        match (strategy, self.region) {
+            (DecodingStrategy::AnomalyAware, Some(region)) => {
+                WeightModel::anomaly_aware(self.config.physical_error_rate, vec![region], 0)
+            }
+            _ => WeightModel::uniform(self.config.physical_error_rate),
+        }
+    }
+
+    /// Runs a single memory shot.
+    pub fn run_shot<R: Rng + ?Sized>(
+        &self,
+        strategy: DecodingStrategy,
+        rng: &mut R,
+    ) -> ShotOutcome {
+        let rounds = self.config.effective_rounds();
+        let noise = self.noise_model(strategy);
+        let n = self.graph.num_nodes();
+
+        // cumulative X-component flips per data qubit (edge of the X graph)
+        let mut flipped = vec![false; self.graph.num_edges()];
+        let mut history = SyndromeHistory::new(n);
+
+        for t in 0..rounds {
+            // data-qubit errors at the beginning of the cycle
+            for (edge_index, edge) in self.graph.edges().iter().enumerate() {
+                let pauli = noise.sample_pauli(edge.qubit, t as u64, rng);
+                if pauli.has_x_component() {
+                    flipped[edge_index] = !flipped[edge_index];
+                }
+            }
+            // syndrome extraction with ancilla (measurement) errors
+            let mut layer = vec![false; n];
+            for node in 0..n {
+                let mut parity = false;
+                for &e in self.graph.incident_edges(node) {
+                    if flipped[e] {
+                        parity = !parity;
+                    }
+                }
+                let ancilla_error = noise.sample_pauli(self.graph.node(node), t as u64, rng);
+                if ancilla_error.has_x_component() {
+                    parity = !parity;
+                }
+                layer[node] = parity;
+            }
+            history.push_layer(layer);
+        }
+
+        // final perfect readout layer
+        let mut final_layer = vec![false; n];
+        for (node, slot) in final_layer.iter_mut().enumerate() {
+            let mut parity = false;
+            for &e in self.graph.incident_edges(node) {
+                if flipped[e] {
+                    parity = !parity;
+                }
+            }
+            *slot = parity;
+        }
+        history.push_layer(final_layer);
+
+        // actual logical parity of the accumulated error
+        let error_cut_parity = self
+            .graph
+            .cut_edges()
+            .iter()
+            .filter(|&&e| flipped[e])
+            .count()
+            % 2
+            == 1;
+
+        let decoder = SurfaceDecoder::with_config(&self.graph, self.config.decoder);
+        let outcome = decoder.decode(&history, &self.weight_model(strategy));
+        ShotOutcome {
+            logical_failure: outcome.is_logical_failure(error_cut_parity),
+            num_detection_events: outcome.num_events(),
+        }
+    }
+
+    /// Monte-Carlo estimate of the logical error rate over `shots` shots.
+    pub fn estimate<R: Rng + ?Sized>(
+        &self,
+        shots: usize,
+        strategy: DecodingStrategy,
+        rng: &mut R,
+    ) -> EstimateResult {
+        let failures = (0..shots)
+            .filter(|_| self.run_shot(strategy, rng).logical_failure)
+            .count();
+        EstimateResult { shots, failures, rounds: self.config.effective_rounds() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zero_noise_never_fails() {
+        let exp = MemoryExperiment::new(MemoryExperimentConfig::new(3, 0.0)).unwrap();
+        let mut r = rng(1);
+        let est = exp.estimate(50, DecodingStrategy::MbbeFree, &mut r);
+        assert_eq!(est.failures, 0);
+        assert_eq!(est.logical_error_rate(), 0.0);
+        assert_eq!(est.logical_error_rate_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn shot_reports_detection_events() {
+        let exp = MemoryExperiment::new(MemoryExperimentConfig::new(3, 0.05)).unwrap();
+        let mut r = rng(2);
+        let mut total_events = 0;
+        for _ in 0..20 {
+            total_events += exp.run_shot(DecodingStrategy::MbbeFree, &mut r).num_detection_events;
+        }
+        assert!(total_events > 0, "5 % noise must produce detection events");
+    }
+
+    #[test]
+    fn larger_distance_reduces_logical_error_rate_below_threshold() {
+        // p = 0.8 % is far below the ~3 % threshold, so d = 5 must beat d = 3.
+        let shots = 400;
+        let p = 8e-3;
+        let small =
+            MemoryExperiment::new(MemoryExperimentConfig::new(3, p)).unwrap();
+        let large =
+            MemoryExperiment::new(MemoryExperimentConfig::new(5, p)).unwrap();
+        let e_small = small.estimate(shots, DecodingStrategy::MbbeFree, &mut rng(3));
+        let e_large = large.estimate(shots, DecodingStrategy::MbbeFree, &mut rng(4));
+        assert!(
+            e_large.logical_error_rate() <= e_small.logical_error_rate(),
+            "d=5 ({}) should not be worse than d=3 ({})",
+            e_large.logical_error_rate(),
+            e_small.logical_error_rate()
+        );
+    }
+
+    #[test]
+    fn mbbe_increases_the_logical_error_rate() {
+        let shots = 300;
+        let p = 5e-3;
+        let config = MemoryExperimentConfig::new(5, p)
+            .with_anomaly(AnomalyInjection::centered(2, 0.5));
+        let exp = MemoryExperiment::new(config).unwrap();
+        let free = exp.estimate(shots, DecodingStrategy::MbbeFree, &mut rng(5));
+        let burst = exp.estimate(shots, DecodingStrategy::Blind, &mut rng(6));
+        assert!(
+            burst.logical_error_rate() > free.logical_error_rate(),
+            "burst {} must exceed MBBE-free {}",
+            burst.logical_error_rate(),
+            free.logical_error_rate()
+        );
+    }
+
+    #[test]
+    fn anomaly_aware_decoding_not_worse_than_blind() {
+        let shots = 300;
+        let p = 5e-3;
+        let config = MemoryExperimentConfig::new(5, p)
+            .with_anomaly(AnomalyInjection::centered(2, 0.5));
+        let exp = MemoryExperiment::new(config).unwrap();
+        let blind = exp.estimate(shots, DecodingStrategy::Blind, &mut rng(7));
+        let aware = exp.estimate(shots, DecodingStrategy::AnomalyAware, &mut rng(7));
+        assert!(
+            aware.logical_error_rate() <= blind.logical_error_rate() + 0.05,
+            "aware {} should not be much worse than blind {}",
+            aware.logical_error_rate(),
+            blind.logical_error_rate()
+        );
+    }
+
+    #[test]
+    fn estimate_merge_and_errors() {
+        let a = EstimateResult { shots: 100, failures: 10, rounds: 5 };
+        let b = EstimateResult { shots: 300, failures: 20, rounds: 5 };
+        let m = a.merge(&b);
+        assert_eq!(m.shots, 400);
+        assert_eq!(m.failures, 30);
+        assert!((m.logical_error_rate() - 0.075).abs() < 1e-12);
+        assert!(m.standard_error() > 0.0 && m.standard_error() < 0.05);
+        assert!(m.logical_error_rate_per_cycle() < m.logical_error_rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "different rounds")]
+    fn merging_incompatible_estimates_panics() {
+        let a = EstimateResult { shots: 1, failures: 0, rounds: 5 };
+        let b = EstimateResult { shots: 1, failures: 0, rounds: 7 };
+        let _ = a.merge(&b);
+    }
+
+    #[test]
+    fn region_is_centered_by_default() {
+        let config = MemoryExperimentConfig::new(9, 1e-3)
+            .with_anomaly(AnomalyInjection::mcewen_default());
+        let exp = MemoryExperiment::new(config).unwrap();
+        let region = exp.region().unwrap();
+        let grid = exp.code().grid_size();
+        let center = region.center();
+        assert!((center.row - grid / 2).abs() <= 1);
+        assert!((center.col - grid / 2).abs() <= 1);
+        assert_eq!(region.size(), 4);
+        assert_eq!(region.anomalous_rate(), 0.5);
+    }
+
+    #[test]
+    fn invalid_distance_is_rejected() {
+        assert!(MemoryExperiment::new(MemoryExperimentConfig::new(1, 1e-3)).is_err());
+    }
+
+    #[test]
+    fn weight_model_matches_strategy() {
+        let config = MemoryExperimentConfig::new(5, 1e-3)
+            .with_anomaly(AnomalyInjection::centered(2, 0.5));
+        let exp = MemoryExperiment::new(config).unwrap();
+        assert!(!exp.weight_model(DecodingStrategy::Blind).is_anomaly_aware());
+        assert!(exp.weight_model(DecodingStrategy::AnomalyAware).is_anomaly_aware());
+        assert!(!exp.weight_model(DecodingStrategy::MbbeFree).is_anomaly_aware());
+        // noise models: MBBE-free has no regions, the others have one
+        assert!(exp.noise_model(DecodingStrategy::MbbeFree).anomalies().is_empty());
+        assert_eq!(exp.noise_model(DecodingStrategy::Blind).anomalies().len(), 1);
+    }
+}

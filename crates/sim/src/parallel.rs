@@ -1,0 +1,97 @@
+//! Multi-threaded Monte-Carlo shot runner.
+
+use crossbeam::thread;
+
+/// Runs `shots` independent trials across `num_threads` OS threads and
+/// returns the number of trials for which `shot` returned `true`
+/// (e.g. logical failures).
+///
+/// Each thread receives a distinct stream index `(thread_id, shot_index)` so
+/// the caller can derive independent, reproducible RNG seeds.
+///
+/// ```
+/// use q3de_sim::run_shots_parallel;
+/// // Count "failures" of a deterministic toy predicate.
+/// let failures = run_shots_parallel(100, 4, |thread, shot| (thread + shot) % 7 == 0);
+/// assert!(failures > 0 && failures < 100);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_threads == 0` or if a worker thread panics.
+pub fn run_shots_parallel<F>(shots: usize, num_threads: usize, shot: F) -> usize
+where
+    F: Fn(usize, usize) -> bool + Sync,
+{
+    assert!(num_threads > 0, "at least one worker thread is required");
+    if shots == 0 {
+        return 0;
+    }
+    let num_threads = num_threads.min(shots);
+    let per_thread = shots / num_threads;
+    let remainder = shots % num_threads;
+    let shot_ref = &shot;
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_threads)
+            .map(|thread_id| {
+                let count = per_thread + usize::from(thread_id < remainder);
+                scope.spawn(move |_| {
+                    (0..count).filter(|&shot_index| shot_ref(thread_id, shot_index)).count()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).sum()
+    })
+    .expect("thread scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_shots_are_executed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let failures = run_shots_parallel(103, 5, |_, _| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            true
+        });
+        assert_eq!(failures, 103);
+        assert_eq!(counter.load(Ordering::SeqCst), 103);
+    }
+
+    #[test]
+    fn zero_shots_is_a_noop() {
+        assert_eq!(run_shots_parallel(0, 4, |_, _| true), 0);
+    }
+
+    #[test]
+    fn thread_count_larger_than_shots_is_clamped() {
+        let failures = run_shots_parallel(3, 64, |_, _| true);
+        assert_eq!(failures, 3);
+    }
+
+    #[test]
+    fn results_match_sequential_reference() {
+        let predicate = |t: usize, s: usize| (t * 31 + s * 7) % 5 == 0;
+        let parallel = run_shots_parallel(200, 4, predicate);
+        // sequential reference with the same partitioning (4 threads, 50 each)
+        let mut sequential = 0;
+        for t in 0..4 {
+            for s in 0..50 {
+                if predicate(t, s) {
+                    sequential += 1;
+                }
+            }
+        }
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_is_rejected() {
+        let _ = run_shots_parallel(10, 0, |_, _| false);
+    }
+}

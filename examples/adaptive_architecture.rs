@@ -1,0 +1,58 @@
+//! Architecture-level comparison: instruction throughput and qubit-count
+//! requirements of Q3DE versus the doubled-distance baseline.
+//!
+//! Run with: `cargo run --release --example adaptive_architecture`
+
+use q3de::control::{ArchitectureMode, ThroughputConfig, ThroughputSimulator};
+use q3de::scaling::{qubit_density::log_grid, MemoryOverheadModel, ScalabilityConfig, ScalabilityModel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. Instruction throughput (Fig. 10 style, reduced size).
+    println!("instruction throughput (meas_ZZ per d cycles, 500 instructions):");
+    for (name, mode) in [
+        ("MBBE free", ArchitectureMode::MbbeFree),
+        ("baseline (2d)", ArchitectureMode::Baseline),
+        ("Q3DE", ArchitectureMode::Q3de),
+    ] {
+        let config = ThroughputConfig {
+            plane_size: 11,
+            code_distance: 11,
+            num_instructions: 500,
+            mbbe_probability_per_block_per_d_cycles: 1e-5,
+            mbbe_duration_d_cycles: 1000,
+            mode,
+            max_cycles: 2_000_000,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let report = ThroughputSimulator::new(config).run(&mut rng);
+        println!("  {name:<14} {:6.2}", report.instructions_per_d_cycles);
+    }
+
+    // 2. Required qubit density to reach p_L < 1e-10 (Fig. 9 style).
+    let model = ScalabilityModel::new(ScalabilityConfig::default());
+    let densities = log_grid(1.0, 5000.0, 300);
+    println!("\nrequired qubit-density ratio for p_L < 1e-10:");
+    println!("  chip area ratio |   Q3DE | baseline");
+    for area in [2.0, 4.0, 10.0, 30.0] {
+        let fmt = |p: Option<q3de::scaling::ScalabilityPoint>| match p {
+            Some(point) => format!("{:7.1}", point.qubit_density_ratio),
+            None => "    inf".to_string(),
+        };
+        println!(
+            "  {area:15.0} | {} | {}",
+            fmt(model.required_density(area, true, &densities)),
+            fmt(model.required_density(area, false, &densities))
+        );
+    }
+
+    // 3. Classical memory overhead of the rollback machinery (Table III).
+    let memory = MemoryOverheadModel::table3();
+    println!(
+        "\nclassical memory overhead per logical qubit: {:.0} kbit (syndrome queue {:.0} kbit, ~{:.1}x the MBBE-free queue)",
+        MemoryOverheadModel::to_kbit(memory.total_bits()),
+        MemoryOverheadModel::to_kbit(memory.syndrome_queue_bits()),
+        memory.syndrome_queue_overhead_ratio()
+    );
+}

@@ -1,0 +1,32 @@
+//! A quantum-memory experiment under cosmic rays: compares the logical error
+//! rate of a surface-code memory with no burst, with a burst decoded blindly,
+//! and with a burst decoded by Q3DE's re-executed (anomaly-aware) decoder.
+//!
+//! Run with: `cargo run --release --example cosmic_ray_memory`
+
+use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let shots = 300;
+    let physical_error_rate = 6e-3;
+    println!("distance | MBBE free | without rollback | with rollback   ({shots} shots each)");
+    for distance in [5usize, 7, 9] {
+        let config = MemoryExperimentConfig::new(distance, physical_error_rate)
+            .with_anomaly(AnomalyInjection::centered(2, 0.5));
+        let experiment = MemoryExperiment::new(config).expect("valid distance");
+        let mut rng = ChaCha8Rng::seed_from_u64(distance as u64);
+        let free = experiment.estimate(shots, DecodingStrategy::MbbeFree, &mut rng);
+        let blind = experiment.estimate(shots, DecodingStrategy::Blind, &mut rng);
+        let aware = experiment.estimate(shots, DecodingStrategy::AnomalyAware, &mut rng);
+        println!(
+            "   d={distance}   | {:9.4} | {:16.4} | {:12.4}",
+            free.logical_error_rate(),
+            blind.logical_error_rate(),
+            aware.logical_error_rate()
+        );
+    }
+    println!("\nThe burst lifts the logical error rate well above the MBBE-free value; knowing the");
+    println!("burst location (decoder re-execution) recovers a large part of the loss.");
+}

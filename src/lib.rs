@@ -1,0 +1,2 @@
+//! Workspace root crate: re-exports for integration tests/examples.
+pub use q3de::*;

@@ -1,0 +1,100 @@
+//! Cross-crate integration tests: the full detect → expand → re-decode flow
+//! and the memory experiment built on top of all substrate crates.
+
+use q3de::decoder::SyndromeHistory;
+use q3de::lattice::Coord;
+use q3de::noise::{AnomalousRegion, NoiseModel};
+use q3de::pipeline::{PipelineConfig, Q3dePipeline};
+use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sampled_history(
+    pipeline: &Q3dePipeline,
+    noise: &NoiseModel,
+    rounds: usize,
+    rng: &mut ChaCha8Rng,
+) -> SyndromeHistory {
+    let graph = pipeline.graph();
+    let mut flipped = vec![false; graph.num_edges()];
+    let mut history = SyndromeHistory::new(graph.num_nodes());
+    for t in 0..rounds {
+        for (ei, edge) in graph.edges().iter().enumerate() {
+            if noise.sample_pauli(edge.qubit, t as u64, rng).has_x_component() {
+                flipped[ei] = !flipped[ei];
+            }
+        }
+        let layer: Vec<bool> = (0..graph.num_nodes())
+            .map(|n| {
+                let mut parity =
+                    graph.incident_edges(n).iter().filter(|&&e| flipped[e]).count() % 2 == 1;
+                if noise.sample_pauli(graph.node(n), t as u64, rng).has_x_component() {
+                    parity = !parity;
+                }
+                parity
+            })
+            .collect();
+        history.push_layer(layer);
+    }
+    history
+}
+
+#[test]
+fn quiet_memory_is_stable_below_threshold() {
+    let config = MemoryExperimentConfig::new(5, 4e-3);
+    let experiment = MemoryExperiment::new(config).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let estimate = experiment.estimate(200, DecodingStrategy::MbbeFree, &mut rng);
+    assert!(
+        estimate.logical_error_rate() < 0.05,
+        "well below threshold the memory must be stable, got {}",
+        estimate.logical_error_rate()
+    );
+}
+
+#[test]
+fn mbbe_degrades_and_q3de_recovers_the_memory() {
+    let config = MemoryExperimentConfig::new(5, 5e-3)
+        .with_anomaly(AnomalyInjection::centered(2, 0.5));
+    let experiment = MemoryExperiment::new(config).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let shots = 250;
+    let free = experiment.estimate(shots, DecodingStrategy::MbbeFree, &mut rng);
+    let blind = experiment.estimate(shots, DecodingStrategy::Blind, &mut rng);
+    let aware = experiment.estimate(shots, DecodingStrategy::AnomalyAware, &mut rng);
+    assert!(blind.logical_error_rate() > free.logical_error_rate());
+    assert!(aware.logical_error_rate() <= blind.logical_error_rate() + 0.03);
+}
+
+#[test]
+fn end_to_end_pipeline_detects_expands_and_reexecutes() {
+    let mut config = PipelineConfig::new(7, 1e-3);
+    config.detection_window = 60;
+    config.count_threshold = 8;
+    config.assumed_anomaly_size = 2;
+    let mut pipeline = Q3dePipeline::new(config).unwrap();
+    let burst = AnomalousRegion::new(Coord::new(4, 4), 2, 100, 100_000, 0.5);
+    let noise = NoiseModel::uniform(1e-3).with_anomaly(burst);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let history = sampled_history(&pipeline, &noise, 350, &mut rng);
+    let report = pipeline.process_window(&history, 0);
+    assert!(report.reacted(), "the burst must be detected end to end");
+    assert!(report.expansion_instruction.is_some());
+    assert!(report.decoding.was_rolled_back());
+    assert_eq!(pipeline.pending_expansions(), 1);
+    // The expansion plan the control unit would execute covers the anomaly.
+    let plan = pipeline.expansion_plan().unwrap();
+    assert!(plan.covers_anomaly(2));
+}
+
+#[test]
+fn pipeline_stays_quiet_without_bursts() {
+    let config = PipelineConfig::new(5, 1e-3);
+    let mut pipeline = Q3dePipeline::new(config).unwrap();
+    let noise = NoiseModel::uniform(1e-3);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let history = sampled_history(&pipeline, &noise, 200, &mut rng);
+    let report = pipeline.process_window(&history, 0);
+    assert!(!report.reacted());
+    assert!(!report.decoding.was_rolled_back());
+}
