@@ -24,7 +24,10 @@ impl CalibrationStats {
     ///
     /// Panics if `mu` is not a probability or `sigma` is negative.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!((0.0..=1.0).contains(&mu), "µ must be a probability, got {mu}");
+        assert!(
+            (0.0..=1.0).contains(&mu),
+            "µ must be a probability, got {mu}"
+        );
         assert!(sigma >= 0.0, "σ must be non-negative, got {sigma}");
         Self { mu, sigma }
     }

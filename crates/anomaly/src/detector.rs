@@ -92,7 +92,10 @@ impl AnomalyDetector {
     /// Panics if the window is zero or there are no positions.
     pub fn new(config: DetectorConfig, positions: Vec<Coord>) -> Self {
         assert!(config.window > 0, "detection window must be positive");
-        assert!(!positions.is_empty(), "the detector needs at least one syndrome position");
+        assert!(
+            !positions.is_empty(),
+            "the detector needs at least one syndrome position"
+        );
         let n = positions.len();
         let threshold = config.threshold();
         Self {
@@ -221,7 +224,10 @@ impl AnomalyDetector {
     where
         I: IntoIterator<Item = &'a [bool]>,
     {
-        layers.into_iter().filter_map(|l| self.observe_layer(l)).collect()
+        layers
+            .into_iter()
+            .filter_map(|l| self.observe_layer(l))
+            .collect()
     }
 }
 
@@ -270,8 +276,7 @@ mod tests {
         let cfg = config(100, 1e-3);
         let mu = cfg.calibration.mu;
         let sigma2 = cfg.calibration.variance();
-        let expected = 100.0 * mu
-            + (2.0 * 100.0 * sigma2).sqrt() * crate::stats::inverse_erf(0.99);
+        let expected = 100.0 * mu + (2.0 * 100.0 * sigma2).sqrt() * crate::stats::inverse_erf(0.99);
         assert!((cfg.threshold() - expected).abs() < 1e-12);
         assert!(cfg.threshold() > 100.0 * mu);
     }
@@ -306,7 +311,11 @@ mod tests {
         // active-node probability inside the burst: ~50 % (p_ano = 0.5)
         let mut detection = None;
         for cycle in 0..3_000u64 {
-            let hot = if cycle >= onset { Some((center, 7, 0.5)) } else { None };
+            let hot = if cycle >= onset {
+                Some((center, 7, 0.5))
+            } else {
+                None
+            };
             let layer = bernoulli_layer(&pos, mu, hot, &mut rng);
             if let Some(d) = det.observe_layer(&layer) {
                 detection = Some(d);
@@ -314,7 +323,10 @@ mod tests {
             }
         }
         let d = detection.expect("the burst must be detected");
-        assert!(d.detection_cycle >= onset, "detected before the burst started");
+        assert!(
+            d.detection_cycle >= onset,
+            "detected before the burst started"
+        );
         let latency = d.detection_cycle - onset;
         assert!(latency < 2 * window as u64, "latency {latency} too large");
         assert!(
@@ -359,7 +371,11 @@ mod tests {
                 detections.push(d);
             }
         }
-        assert_eq!(detections.len(), 2, "exactly the two distinct bursts are reported");
+        assert_eq!(
+            detections.len(),
+            2,
+            "exactly the two distinct bursts are reported"
+        );
         assert!(detections[0].estimated_center.chebyshev(first_center) <= 6);
         assert!(detections[1].estimated_center.chebyshev(second_center) <= 6);
         assert!(detections[1].detection_cycle >= 3_000);
@@ -375,8 +391,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let layers: Vec<Vec<bool>> = (0..1_500u64)
             .map(|cycle| {
-                let hot =
-                    if cycle >= 400 { Some((Coord::new(14, 15), 7, 0.5)) } else { None };
+                let hot = if cycle >= 400 {
+                    Some((Coord::new(14, 15), 7, 0.5))
+                } else {
+                    None
+                };
                 bernoulli_layer(&pos, mu, hot, &mut rng)
             })
             .collect();
@@ -391,7 +410,12 @@ mod tests {
         let cfg = config(10, 1e-3);
         let mut det = AnomalyDetector::new(
             cfg,
-            vec![Coord::new(0, 1), Coord::new(0, 3), Coord::new(2, 1), Coord::new(2, 3)],
+            vec![
+                Coord::new(0, 1),
+                Coord::new(0, 3),
+                Coord::new(2, 1),
+                Coord::new(2, 3),
+            ],
         );
         det.observe_layer(&[true, false]);
     }

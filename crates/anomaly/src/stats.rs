@@ -39,7 +39,10 @@ pub fn erf(x: f64) -> f64 {
 ///
 /// Panics if `y` is not strictly inside `(−1, 1)`.
 pub fn inverse_erf(y: f64) -> f64 {
-    assert!(y > -1.0 && y < 1.0, "inverse_erf is only defined on (-1, 1), got {y}");
+    assert!(
+        y > -1.0 && y < 1.0,
+        "inverse_erf is only defined on (-1, 1), got {y}"
+    );
     if y == 0.0 {
         return 0.0;
     }
@@ -68,7 +71,10 @@ pub fn inverse_erf(y: f64) -> f64 {
 ///
 /// Panics if `p` is not strictly inside `(0, 1)`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal quantile needs p in (0, 1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal quantile needs p in (0, 1), got {p}"
+    );
     std::f64::consts::SQRT_2 * inverse_erf(2.0 * p - 1.0)
 }
 
@@ -91,7 +97,11 @@ mod tests {
             (-1.0, -0.8427007929),
         ];
         for (x, expected) in cases {
-            assert!((erf(x) - expected).abs() < 2e-6, "erf({x}) = {} ≠ {expected}", erf(x));
+            assert!(
+                (erf(x) - expected).abs() < 2e-6,
+                "erf({x}) = {} ≠ {expected}",
+                erf(x)
+            );
         }
     }
 

@@ -11,7 +11,11 @@ fn bench_fig3(c: &mut Criterion) {
     group.sample_size(10);
     for (name, anomaly, strategy) in [
         ("d7_mbbe_free", None, DecodingStrategy::MbbeFree),
-        ("d7_with_mbbe", Some(AnomalyInjection::centered(4, 0.5)), DecodingStrategy::Blind),
+        (
+            "d7_with_mbbe",
+            Some(AnomalyInjection::centered(4, 0.5)),
+            DecodingStrategy::Blind,
+        ),
     ] {
         let mut config = MemoryExperimentConfig::new(7, 1e-2);
         if let Some(a) = anomaly {

@@ -9,8 +9,8 @@ use rand_chacha::ChaCha8Rng;
 fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_rollback_shot");
     group.sample_size(10);
-    let config = MemoryExperimentConfig::new(7, 5e-3)
-        .with_anomaly(AnomalyInjection::centered(2, 0.5));
+    let config =
+        MemoryExperimentConfig::new(7, 5e-3).with_anomaly(AnomalyInjection::centered(2, 0.5));
     let experiment = MemoryExperiment::new(config).unwrap();
     for (name, strategy) in [
         ("without_rollback", DecodingStrategy::Blind),

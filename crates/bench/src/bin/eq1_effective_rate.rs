@@ -12,8 +12,7 @@ fn main() {
     let params = PhysicalParams::mcewen();
     let p = 8e-3;
     let d = 7;
-    let config =
-        MemoryExperimentConfig::new(d, p).with_anomaly(AnomalyInjection::centered(4, 0.5));
+    let config = MemoryExperimentConfig::new(d, p).with_anomaly(AnomalyInjection::centered(4, 0.5));
     let experiment = MemoryExperiment::new(config).expect("valid distance");
     let mut rng = args.rng(0);
     let p_l = experiment
@@ -25,11 +24,19 @@ fn main() {
         .logical_error_rate_per_cycle()
         .max(1e-9);
     let effective = params.effective_logical_error_rate(p_l, p_l_ano);
-    println!("Eq. (1) effective logical error rate (d={d}, p={p}, {} shots)", args.samples);
+    println!(
+        "Eq. (1) effective logical error rate (d={d}, p={p}, {} shots)",
+        args.samples
+    );
     println!("  p_L (MBBE free)      = {p_l:.3e}");
     println!("  p_L,ano (during MBBE) = {p_l_ano:.3e}");
-    println!("  duty cycle f*tau      = {:.3}", params.anomaly_duty_cycle());
+    println!(
+        "  duty cycle f*tau      = {:.3}",
+        params.anomaly_duty_cycle()
+    );
     println!("  effective rate        = {effective:.3e}");
     println!("  increase ratio        = {:.1}x", effective / p_l);
-    println!("(the paper quotes an increase of about 100x on average for long-lived logical qubits)");
+    println!(
+        "(the paper quotes an increase of about 100x on average for long-lived logical qubits)"
+    );
 }

@@ -18,14 +18,19 @@ fn main() {
     );
     print_row(
         "d*tau*f_ano ->",
-        &frequencies.iter().map(|f| format!("{f:9.0e}")).collect::<Vec<_>>(),
+        &frequencies
+            .iter()
+            .map(|f| format!("{f:9.0e}"))
+            .collect::<Vec<_>>(),
     );
 
     let run = |mode, prob, duration, salt| {
         let mut config = ThroughputConfig::fig10(mode, prob, duration);
         config.num_instructions = args.samples;
         let mut rng = args.rng(salt);
-        ThroughputSimulator::new(config).run(&mut rng).instructions_per_d_cycles
+        ThroughputSimulator::new(config)
+            .run(&mut rng)
+            .instructions_per_d_cycles
     };
 
     let free: Vec<String> = frequencies
@@ -36,7 +41,12 @@ fn main() {
     let baseline: Vec<String> = frequencies
         .iter()
         .enumerate()
-        .map(|(i, &f)| format!("{:9.2}", run(ArchitectureMode::Baseline, f, 100, 10 + i as u64)))
+        .map(|(i, &f)| {
+            format!(
+                "{:9.2}",
+                run(ArchitectureMode::Baseline, f, 100, 10 + i as u64)
+            )
+        })
         .collect();
     print_row("baseline (2d)", &baseline);
     for &duration in &durations {
@@ -44,11 +54,16 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, &f)| {
-                format!("{:9.2}", run(ArchitectureMode::Q3de, f, duration, 100 + i as u64))
+                format!(
+                    "{:9.2}",
+                    run(ArchitectureMode::Q3de, f, duration, 100 + i as u64)
+                )
             })
             .collect();
         print_row(&format!("Q3DE tau_ano/(d tau_cyc)={duration}"), &q3de);
     }
     println!("\nExpected shape: at realistic MBBE rates (~1e-5) Q3DE throughput approaches the MBBE-free");
-    println!("bound and roughly doubles the baseline; very frequent/long bursts erode the advantage.");
+    println!(
+        "bound and roughly doubles the baseline; very frequent/long bursts erode the advantage."
+    );
 }

@@ -11,12 +11,25 @@ fn main() {
     let distances = [5usize, 9, 13];
     let error_rates = [4e-3, 8e-3, 1.6e-2, 2.4e-2, 3.2e-2, 4e-2];
 
-    println!("Figure 3: logical error rate per shot (d-cycle memory), {} shots/point", args.samples);
-    print_row("configuration", &error_rates.iter().map(|p| format!("p={p:<9.1e}")).collect::<Vec<_>>());
+    println!(
+        "Figure 3: logical error rate per shot (d-cycle memory), {} shots/point",
+        args.samples
+    );
+    print_row(
+        "configuration",
+        &error_rates
+            .iter()
+            .map(|p| format!("p={p:<9.1e}"))
+            .collect::<Vec<_>>(),
+    );
     for &d in &distances {
         for (label, anomaly, strategy) in [
             ("without MBBE", None, DecodingStrategy::MbbeFree),
-            ("with MBBE", Some(AnomalyInjection::centered(4, 0.5)), DecodingStrategy::Blind),
+            (
+                "with MBBE",
+                Some(AnomalyInjection::centered(4, 0.5)),
+                DecodingStrategy::Blind,
+            ),
         ] {
             let mut row = Vec::new();
             for (pi, &p) in error_rates.iter().enumerate() {

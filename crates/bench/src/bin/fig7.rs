@@ -17,7 +17,11 @@ fn main() {
     );
     print_row(
         "ratio p_ano/p",
-        &["window".into(), "latency(cycles)".into(), "position err".into()],
+        &[
+            "window".into(),
+            "latency(cycles)".into(),
+            "position err".into(),
+        ],
     );
     for (i, &ratio) in ratios.iter().enumerate() {
         let mut config = DetectionExperimentConfig::fig7(ratio);
@@ -38,5 +42,7 @@ fn main() {
         }
     }
     println!("\nExpected shape: the required window shrinks rapidly as the burst strength grows;");
-    println!("latency is of the order of the window and the position error stays within a few sites.");
+    println!(
+        "latency is of the order of the window and the position error stays within a few sites."
+    );
 }

@@ -15,10 +15,16 @@ fn main() {
     let anomaly_sizes = [2usize, 4];
 
     for &dano in &anomaly_sizes {
-        println!("\nFigure 8 (anomaly size = {dano}), {} shots/point", args.samples);
+        println!(
+            "\nFigure 8 (anomaly size = {dano}), {} shots/point",
+            args.samples
+        );
         print_row(
             "configuration",
-            &error_rates.iter().map(|p| format!("p={p:<9.1e}")).collect::<Vec<_>>(),
+            &error_rates
+                .iter()
+                .map(|p| format!("p={p:<9.1e}"))
+                .collect::<Vec<_>>(),
         );
         for &d in &distances {
             let mut free_rates = Vec::new();
@@ -37,13 +43,25 @@ fn main() {
                 blind_rates.push(blind.logical_error_rate());
                 aware_rates.push(aware.logical_error_rate());
             }
-            print_row(&format!("d={d} MBBE free"), &free_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>());
-            print_row(&format!("d={d} without rollback"), &blind_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>());
-            print_row(&format!("d={d} with rollback"), &aware_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>());
+            print_row(
+                &format!("d={d} MBBE free"),
+                &free_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>(),
+            );
+            print_row(
+                &format!("d={d} without rollback"),
+                &blind_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>(),
+            );
+            print_row(
+                &format!("d={d} with rollback"),
+                &aware_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>(),
+            );
         }
 
         // Effective code-distance reduction at the lowest error rate, Eq. (4).
-        println!("effective code-distance reduction (Eq. 4, p = {}):", error_rates[0]);
+        println!(
+            "effective code-distance reduction (Eq. 4, p = {}):",
+            error_rates[0]
+        );
         for &d in &distances[1..] {
             let p = error_rates[0];
             let shots = args.samples;
@@ -54,7 +72,10 @@ fn main() {
                 }
                 let experiment = MemoryExperiment::new(config).expect("valid distance");
                 let mut rng = args.rng(salt);
-                experiment.estimate(shots, strategy, &mut rng).logical_error_rate().max(1e-6)
+                experiment
+                    .estimate(shots, strategy, &mut rng)
+                    .logical_error_rate()
+                    .max(1e-6)
             };
             let p_l_d = estimate(d, DecodingStrategy::MbbeFree, d as u64);
             let p_l_dm2 = estimate(d - 2, DecodingStrategy::MbbeFree, d as u64 + 1);
@@ -69,5 +90,7 @@ fn main() {
         }
     }
     println!("\nExpected shape: rollback curves sit between the MBBE-free and no-rollback curves;");
-    println!("the distance reduction converges towards 2*d_ano without rollback and d_ano with it.");
+    println!(
+        "the distance reduction converges towards 2*d_ano without rollback and d_ano with it."
+    );
 }

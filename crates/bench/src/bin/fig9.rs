@@ -29,11 +29,17 @@ fn main() {
     };
 
     println!("Figure 9: required qubit-density ratio per chip-area ratio (target p_L < 1e-10)");
-    print_row("chip area ratio", &areas.iter().map(|a| format!("{a:8.1}")).collect::<Vec<_>>());
+    print_row(
+        "chip area ratio",
+        &areas.iter().map(|a| format!("{a:8.1}")).collect::<Vec<_>>(),
+    );
 
     // panel 1: anomaly-size variants
     for size in [4.0, 2.0, 1.0] {
-        let config = ScalabilityConfig { base_anomaly_size: size, ..ScalabilityConfig::default() };
+        let config = ScalabilityConfig {
+            base_anomaly_size: size,
+            ..ScalabilityConfig::default()
+        };
         sweep(&format!("size={size}"), config);
     }
     // panel 2: error-duration variants (affects only the baseline exposure)

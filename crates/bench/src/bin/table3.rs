@@ -10,9 +10,21 @@ fn main() {
     println!("Table III: memory overheads per logical qubit (d = 31, c_win = 300)");
     println!("{:<22}{:>14}{:>14}", "unit", "size (kbit)", "paper (kbit)");
     let rows = [
-        ("syndrome queue", MemoryOverheadModel::to_kbit(model.syndrome_queue_bits()), 623.0),
-        ("active node counter", MemoryOverheadModel::to_kbit(model.active_node_counter_bits()), 16.0),
-        ("matching queue", MemoryOverheadModel::to_kbit(model.matching_queue_bits()), 24.0),
+        (
+            "syndrome queue",
+            MemoryOverheadModel::to_kbit(model.syndrome_queue_bits()),
+            623.0,
+        ),
+        (
+            "active node counter",
+            MemoryOverheadModel::to_kbit(model.active_node_counter_bits()),
+            16.0,
+        ),
+        (
+            "matching queue",
+            MemoryOverheadModel::to_kbit(model.matching_queue_bits()),
+            24.0,
+        ),
     ];
     for (name, ours, paper) in rows {
         println!("{name:<22}{ours:>14.1}{paper:>14.1}");

@@ -7,13 +7,22 @@ use q3de::scaling::{DecoderHardwareModel, DecoderVariant};
 
 fn main() {
     let model = DecoderHardwareModel::new();
-    println!("Table IV: greedy-decoder resource model (calibrated against the paper's HLS results)");
-    println!("{:<16}{:>10}{:>10}{:>14}", "configuration", "FF", "LUT", "match/us");
+    println!(
+        "Table IV: greedy-decoder resource model (calibrated against the paper's HLS results)"
+    );
+    println!(
+        "{:<16}{:>10}{:>10}{:>14}",
+        "configuration", "FF", "LUT", "match/us"
+    );
     for row in model.table4() {
         let name = format!(
             "{} - {}",
             row.anq_entries,
-            if row.variant == DecoderVariant::Q3de { "Q3DE" } else { "BASE" }
+            if row.variant == DecoderVariant::Q3de {
+                "Q3DE"
+            } else {
+                "BASE"
+            }
         );
         println!(
             "{name:<16}{:>10.0}{:>10.0}{:>14.2}",

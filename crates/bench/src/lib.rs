@@ -46,7 +46,11 @@ impl ExperimentArgs {
             }
             i += 1;
         }
-        Self { samples, seed, json }
+        Self {
+            samples,
+            seed,
+            json,
+        }
     }
 
     /// A reproducible RNG derived from the seed and a per-series salt.
@@ -71,11 +75,19 @@ mod tests {
 
     #[test]
     fn default_args_are_used_without_cli_flags() {
-        let args = ExperimentArgs { samples: 100, seed: 1, json: false };
+        let args = ExperimentArgs {
+            samples: 100,
+            seed: 1,
+            json: false,
+        };
         let mut a = args.rng(0);
         let mut b = args.rng(0);
         use rand::Rng;
-        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "same salt gives the same stream");
+        assert_eq!(
+            a.gen::<u64>(),
+            b.gen::<u64>(),
+            "same salt gives the same stream"
+        );
         let mut c = args.rng(1);
         assert_ne!(a.gen::<u64>(), c.gen::<u64>());
     }

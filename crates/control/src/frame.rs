@@ -36,12 +36,18 @@ impl PauliFrame {
 
     /// The `(x, z)` correction bits of a logical qubit.
     pub fn correction(&self, qubit: LogicalQubitId) -> (bool, bool) {
-        self.corrections.get(&qubit).copied().unwrap_or((false, false))
+        self.corrections
+            .get(&qubit)
+            .copied()
+            .unwrap_or((false, false))
     }
 
     /// Applies (and records) an update.
     pub fn apply(&mut self, update: FrameUpdate) {
-        let entry = self.corrections.entry(update.qubit).or_insert((false, false));
+        let entry = self
+            .corrections
+            .entry(update.qubit)
+            .or_insert((false, false));
         entry.0 ^= update.flip_x;
         entry.1 ^= update.flip_z;
         self.history.push(update);
@@ -51,12 +57,22 @@ impl PauliFrame {
     /// (the typical consequence of a decoded `Z`-sector matching crossing the
     /// cut).
     pub fn flip_x(&mut self, qubit: LogicalQubitId, cycle: u64) {
-        self.apply(FrameUpdate { qubit, flip_x: true, flip_z: false, cycle });
+        self.apply(FrameUpdate {
+            qubit,
+            flip_x: true,
+            flip_z: false,
+            cycle,
+        });
     }
 
     /// Convenience: toggle the logical `Z` correction of `qubit` at `cycle`.
     pub fn flip_z(&mut self, qubit: LogicalQubitId, cycle: u64) {
-        self.apply(FrameUpdate { qubit, flip_x: false, flip_z: true, cycle });
+        self.apply(FrameUpdate {
+            qubit,
+            flip_x: false,
+            flip_z: true,
+            cycle,
+        });
     }
 
     /// Tracks a logical Hadamard on `qubit`: the `X` and `Z` correction bits
@@ -65,10 +81,20 @@ impl PauliFrame {
         let (x, z) = self.correction(qubit);
         if x != z {
             // swapping differing bits toggles both
-            self.apply(FrameUpdate { qubit, flip_x: true, flip_z: true, cycle });
+            self.apply(FrameUpdate {
+                qubit,
+                flip_x: true,
+                flip_z: true,
+                cycle,
+            });
         } else {
             // record a no-op marker so the history reflects the instruction
-            self.apply(FrameUpdate { qubit, flip_x: false, flip_z: false, cycle });
+            self.apply(FrameUpdate {
+                qubit,
+                flip_x: false,
+                flip_z: false,
+                cycle,
+            });
         }
     }
 

@@ -97,7 +97,10 @@ impl Instruction {
     /// Whether the instruction requires vacant routing/expansion space on the
     /// qubit plane in addition to its target blocks.
     pub fn needs_ancilla_space(&self) -> bool {
-        matches!(self, Instruction::MeasZz { .. } | Instruction::OpExpand { .. })
+        matches!(
+            self,
+            Instruction::MeasZz { .. } | Instruction::OpExpand { .. }
+        )
     }
 
     /// Latency of the instruction in code cycles when executed on logical
@@ -144,7 +147,10 @@ impl fmt::Display for Instruction {
                 write!(f, "meas_ZZ q{} q{} -> r{}", a.0, b.0, register.0)
             }
             Instruction::Read { register } => write!(f, "read r{}", register.0),
-            Instruction::OpExpand { target, keep_cycles } => {
+            Instruction::OpExpand {
+                target,
+                keep_cycles,
+            } => {
                 write!(f, "op_expand q{} for {keep_cycles} cycles", target.0)
             }
         }
@@ -163,7 +169,11 @@ mod tests {
 
     #[test]
     fn targets_and_registers() {
-        let m = Instruction::MeasZz { a: Q0, b: Q1, register: R0 };
+        let m = Instruction::MeasZz {
+            a: Q0,
+            b: Q1,
+            register: R0,
+        };
         assert_eq!(m.targets(), vec![Q0, Q1]);
         assert_eq!(m.register(), Some(R0));
         assert!(m.is_measurement());
@@ -175,28 +185,46 @@ mod tests {
 
     #[test]
     fn latencies_scale_with_distance() {
-        let m = Instruction::MeasZz { a: Q0, b: Q1, register: R0 };
+        let m = Instruction::MeasZz {
+            a: Q0,
+            b: Q1,
+            register: R0,
+        };
         assert_eq!(m.latency_cycles(11), 11);
         assert_eq!(m.latency_cycles(22), 22);
         assert_eq!(Instruction::Read { register: R0 }.latency_cycles(11), 0);
         assert_eq!(Instruction::InitZero { target: Q0 }.latency_cycles(11), 1);
         assert_eq!(Instruction::OpH { target: Q0 }.latency_cycles(7), 7);
         assert_eq!(
-            Instruction::OpExpand { target: Q0, keep_cycles: 100 }.latency_cycles(9),
+            Instruction::OpExpand {
+                target: Q0,
+                keep_cycles: 100
+            }
+            .latency_cycles(9),
             9
         );
     }
 
     #[test]
     fn commutation_is_based_on_disjoint_resources() {
-        let a = Instruction::MeasZz { a: Q0, b: Q1, register: R0 };
+        let a = Instruction::MeasZz {
+            a: Q0,
+            b: Q1,
+            register: R0,
+        };
         let b = Instruction::OpH { target: Q2 };
         let c = Instruction::OpH { target: Q1 };
-        let d = Instruction::MeasZ { target: Q2, register: R0 };
+        let d = Instruction::MeasZ {
+            target: Q2,
+            register: R0,
+        };
         assert!(a.commutes_with(&b));
         assert!(!a.commutes_with(&c));
         assert!(!a.commutes_with(&d), "same register conflicts");
-        assert!(!b.commutes_with(&d), "same target qubit conflicts even without a register");
+        assert!(
+            !b.commutes_with(&d),
+            "same target qubit conflicts even without a register"
+        );
         assert!(
             d.commutes_with(&Instruction::OpH { target: Q1 }),
             "register vs no register is fine for disjoint qubits"
@@ -207,9 +235,16 @@ mod tests {
 
     #[test]
     fn display_is_assembly_like() {
-        let m = Instruction::MeasZz { a: Q0, b: Q1, register: R0 };
+        let m = Instruction::MeasZz {
+            a: Q0,
+            b: Q1,
+            register: R0,
+        };
         assert_eq!(format!("{m}"), "meas_ZZ q0 q1 -> r0");
-        let e = Instruction::OpExpand { target: Q2, keep_cycles: 50 };
+        let e = Instruction::OpExpand {
+            target: Q2,
+            keep_cycles: 50,
+        };
         assert_eq!(format!("{e}"), "op_expand q2 for 50 cycles");
     }
 }

@@ -58,7 +58,10 @@ impl QubitPlane {
     ///
     /// Panics if the plane is smaller than 3×3 blocks.
     pub fn checkerboard(rows: usize, cols: usize) -> Self {
-        assert!(rows >= 3 && cols >= 3, "the qubit plane needs at least 3×3 blocks");
+        assert!(
+            rows >= 3 && cols >= 3,
+            "the qubit plane needs at least 3×3 blocks"
+        );
         let mut states = vec![BlockState::Vacant; rows * cols];
         let mut logical_positions = HashMap::new();
         let mut next_id = 0usize;
@@ -70,7 +73,12 @@ impl QubitPlane {
                 logical_positions.insert(id, BlockCoord::new(row, col));
             }
         }
-        Self { rows, cols, states, logical_positions }
+        Self {
+            rows,
+            cols,
+            states,
+            logical_positions,
+        }
     }
 
     /// Number of block rows.
@@ -101,7 +109,10 @@ impl QubitPlane {
     }
 
     fn index(&self, block: BlockCoord) -> usize {
-        assert!(block.row < self.rows && block.col < self.cols, "block {block:?} out of range");
+        assert!(
+            block.row < self.rows && block.col < self.cols,
+            "block {block:?} out of range"
+        );
         block.row * self.cols + block.col
     }
 
@@ -164,7 +175,10 @@ impl QubitPlane {
     ///
     /// Panics if the block is not currently available.
     pub fn reserve(&mut self, block: BlockCoord, cycle: u64, until_cycle: u64) {
-        assert!(self.is_available(block, cycle), "block {block:?} is not available");
+        assert!(
+            self.is_available(block, cycle),
+            "block {block:?} is not available"
+        );
         let idx = self.index(block);
         self.states[idx] = BlockState::Reserved { until_cycle };
     }
@@ -260,8 +274,13 @@ impl QubitPlane {
     ///
     /// Panics if the expansion is not currently possible.
     pub fn expand(&mut self, qubit: LogicalQubitId, cycle: u64, until_cycle: u64) {
-        assert!(self.can_expand(qubit, cycle), "qubit {qubit:?} cannot expand at cycle {cycle}");
-        let blocks = self.expansion_blocks(qubit).expect("expansion blocks exist");
+        assert!(
+            self.can_expand(qubit, cycle),
+            "qubit {qubit:?} cannot expand at cycle {cycle}"
+        );
+        let blocks = self
+            .expansion_blocks(qubit)
+            .expect("expansion blocks exist");
         for b in blocks {
             self.reserve(b, cycle, until_cycle);
         }
@@ -292,7 +311,9 @@ mod tests {
         let plane = QubitPlane::checkerboard(5, 5);
         let qubits = plane.logical_qubits();
         // qubits at (1,1), (1,3), (3,1), (3,3)
-        let route = plane.find_route(qubits[0], qubits[1], 0).expect("route exists");
+        let route = plane
+            .find_route(qubits[0], qubits[1], 0)
+            .expect("route exists");
         assert!(!route.is_empty());
         for block in &route {
             assert!(plane.is_available(*block, 0));
@@ -351,7 +372,10 @@ mod tests {
             assert!(!plane.is_available(b, 0));
         }
         assert!(!plane.can_expand(q, 0), "cannot expand twice concurrently");
-        assert!(plane.can_expand(q, 200), "expansion space frees after expiry");
+        assert!(
+            plane.can_expand(q, 200),
+            "expansion space frees after expiry"
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl SyndromeQueue {
     ///
     /// Panics if either parameter is zero.
     pub fn new(capacity_layers: usize, bits_per_layer: usize) -> Self {
-        assert!(capacity_layers > 0, "the syndrome queue needs a positive capacity");
+        assert!(
+            capacity_layers > 0,
+            "the syndrome queue needs a positive capacity"
+        );
         assert!(bits_per_layer > 0, "layers must contain at least one bit");
         Self {
             capacity_layers,
@@ -116,8 +119,15 @@ impl MatchingQueue {
     ///
     /// Panics if either parameter is zero.
     pub fn new(batch_cycles: usize, capacity_batches: usize) -> Self {
-        assert!(batch_cycles > 0 && capacity_batches > 0, "queue dimensions must be positive");
-        Self { batch_cycles, batches: VecDeque::new(), capacity_batches }
+        assert!(
+            batch_cycles > 0 && capacity_batches > 0,
+            "queue dimensions must be positive"
+        );
+        Self {
+            batch_cycles,
+            batches: VecDeque::new(),
+            capacity_batches,
+        }
     }
 
     /// The batch length `c_bat` that minimises total buffer memory for a
@@ -202,9 +212,7 @@ impl ExpansionQueue {
     /// Enqueues a request.  If a request for the same qubit is already
     /// pending, its keep time is extended instead (Sec. V-B).
     pub fn request(&mut self, request: ExpansionRequest) {
-        if let Some(existing) =
-            self.pending.iter_mut().find(|r| r.target == request.target)
-        {
+        if let Some(existing) = self.pending.iter_mut().find(|r| r.target == request.target) {
             existing.keep_cycles = existing.keep_cycles.max(
                 request.requested_cycle + request.keep_cycles
                     - existing.requested_cycle.min(request.requested_cycle),
@@ -296,11 +304,23 @@ mod tests {
     fn expansion_queue_merges_repeated_requests() {
         let mut q = ExpansionQueue::new();
         let q0 = LogicalQubitId(0);
-        q.request(ExpansionRequest { target: q0, requested_cycle: 100, keep_cycles: 1_000 });
-        q.request(ExpansionRequest { target: q0, requested_cycle: 500, keep_cycles: 1_000 });
+        q.request(ExpansionRequest {
+            target: q0,
+            requested_cycle: 100,
+            keep_cycles: 1_000,
+        });
+        q.request(ExpansionRequest {
+            target: q0,
+            requested_cycle: 500,
+            keep_cycles: 1_000,
+        });
         assert_eq!(q.len(), 1, "repeated requests for the same qubit merge");
         let merged = q.pop().unwrap();
-        assert!(merged.keep_cycles >= 1_400, "keep time was extended, got {}", merged.keep_cycles);
+        assert!(
+            merged.keep_cycles >= 1_400,
+            "keep time was extended, got {}",
+            merged.keep_cycles
+        );
         assert!(q.is_empty());
     }
 

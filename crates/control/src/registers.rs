@@ -38,7 +38,11 @@ impl ClassicalRegisterFile {
     pub fn write_raw(&mut self, register: RegisterId, value: bool, measured_cycle: u64) {
         self.entries.insert(
             register,
-            RegisterEntry { value, measured_cycle, error_corrected: false },
+            RegisterEntry {
+                value,
+                measured_cycle,
+                error_corrected: false,
+            },
         );
     }
 

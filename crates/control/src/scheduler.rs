@@ -109,7 +109,10 @@ impl Scheduler {
     }
 
     fn busy_qubits(&self) -> Vec<LogicalQubitId> {
-        self.in_flight.iter().flat_map(|f| f.instruction.targets()).collect()
+        self.in_flight
+            .iter()
+            .flat_map(|f| f.instruction.targets())
+            .collect()
     }
 
     /// Advances the scheduler by one code cycle.
@@ -138,7 +141,10 @@ impl Scheduler {
                 continue;
             }
             let targets = candidate.targets();
-            if targets.iter().any(|t| busy.contains(t) || blocked_targets.contains(t)) {
+            if targets
+                .iter()
+                .any(|t| busy.contains(t) || blocked_targets.contains(t))
+            {
                 blocked_targets.extend(targets);
                 continue;
             }
@@ -163,8 +169,7 @@ impl Scheduler {
     }
 
     fn try_reserve_resources(&mut self, instruction: &Instruction, cycle: u64) -> bool {
-        let latency =
-            instruction.latency_cycles(self.code_distance) * self.latency_factor;
+        let latency = instruction.latency_cycles(self.code_distance) * self.latency_factor;
         let until = cycle + latency.max(1);
         match instruction {
             Instruction::MeasZz { a, b, .. } => match self.plane.find_route(*a, *b, cycle) {
@@ -176,9 +181,13 @@ impl Scheduler {
                 }
                 None => false,
             },
-            Instruction::OpExpand { target, keep_cycles } => {
+            Instruction::OpExpand {
+                target,
+                keep_cycles,
+            } => {
                 if self.plane.can_expand(*target, cycle) {
-                    self.plane.expand(*target, cycle, cycle + keep_cycles.max(&1));
+                    self.plane
+                        .expand(*target, cycle, cycle + keep_cycles.max(&1));
                     true
                 } else {
                     false
@@ -276,11 +285,14 @@ impl ThroughputSimulator {
                     break candidate;
                 }
             };
-            scheduler.enqueue(Instruction::MeasZz { a, b, register: RegisterId(i) });
+            scheduler.enqueue(Instruction::MeasZz {
+                a,
+                b,
+                register: RegisterId(i),
+            });
         }
 
-        let per_cycle_probability =
-            cfg.mbbe_probability_per_block_per_d_cycles / d as f64;
+        let per_cycle_probability = cfg.mbbe_probability_per_block_per_d_cycles / d as f64;
         let duration = cfg.mbbe_duration_d_cycles * d as u64;
         let apply_mbbes = cfg.mode == ArchitectureMode::Q3de;
 
@@ -386,7 +398,10 @@ mod tests {
         };
         let single = run(1);
         let double = run(2);
-        assert!(double > single, "doubled latency ({double}) must be slower than ({single})");
+        assert!(
+            double > single,
+            "doubled latency ({double}) must be slower than ({single})"
+        );
         assert!((double as f64 / single as f64) > 1.5);
     }
 
@@ -404,7 +419,9 @@ mod tests {
                 mode,
                 max_cycles: 50_000,
             };
-            ThroughputSimulator::new(config).run(&mut rng(9)).instructions_per_d_cycles
+            ThroughputSimulator::new(config)
+                .run(&mut rng(9))
+                .instructions_per_d_cycles
         };
         let free = shots(ArchitectureMode::MbbeFree, 0.0);
         let q3de_rare = shots(ArchitectureMode::Q3de, 1e-5);
@@ -422,7 +439,9 @@ mod tests {
 
     #[test]
     fn frequent_mbbes_degrade_q3de_throughput() {
-        let run = |prob| {
+        // Averaged over several seeds: a single short run is too noisy to
+        // order the two regimes reliably.
+        let run = |prob, seed| {
             let config = ThroughputConfig {
                 plane_size: 7,
                 code_distance: 5,
@@ -432,17 +451,23 @@ mod tests {
                 mode: ArchitectureMode::Q3de,
                 max_cycles: 60_000,
             };
-            ThroughputSimulator::new(config).run(&mut rng(11))
+            ThroughputSimulator::new(config).run(&mut rng(seed))
         };
-        let rare = run(1e-6);
-        let frequent = run(5e-3);
+        let seeds = [11u64, 12, 13, 14, 15, 16, 17, 18];
+        let mean = |prob| {
+            seeds
+                .iter()
+                .map(|&s| run(prob, s).instructions_per_d_cycles)
+                .sum::<f64>()
+                / seeds.len() as f64
+        };
+        let rare = mean(1e-6);
+        let frequent = mean(2e-2);
         assert!(
-            frequent.instructions_per_d_cycles <= rare.instructions_per_d_cycles,
-            "frequent strikes ({}) should not beat rare strikes ({})",
-            frequent.instructions_per_d_cycles,
-            rare.instructions_per_d_cycles
+            frequent <= rare,
+            "frequent strikes ({frequent}) should not beat rare strikes ({rare})"
         );
-        assert_eq!(rare.completed, 50);
+        assert_eq!(run(1e-6, 11).completed, 50);
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct DecoderConfig {
 
 impl Default for DecoderConfig {
     fn default() -> Self {
-        Self { exact_cluster_threshold: 16, refine_rounds: 64 }
+        Self {
+            exact_cluster_threshold: 16,
+            refine_rounds: 64,
+        }
     }
 }
 
@@ -57,7 +60,11 @@ impl DecodeOutcome {
     /// number of times — true exactly when an odd number of events were
     /// matched to the low (cut-adjacent) boundary.
     pub fn correction_crosses_cut(&self) -> bool {
-        self.boundary_matches.iter().filter(|(_, side, _)| *side == BoundarySide::Low).count() % 2
+        self.boundary_matches
+            .iter()
+            .filter(|(_, side, _)| *side == BoundarySide::Low)
+            .count()
+            % 2
             == 1
     }
 
@@ -147,7 +154,7 @@ impl<'g> SurfaceDecoder<'g> {
         // Cluster decomposition via union-find: link i and j when pairing
         // them could beat sending both to the boundary.
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -164,8 +171,11 @@ impl<'g> SurfaceDecoder<'g> {
                 }
             }
         }
-        let mut clusters: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
+        // BTreeMap, not HashMap: cluster iteration order decides the order of
+        // matched pairs and the float summation order of `total_weight`, so it
+        // must be deterministic for seeded runs to be reproducible.
+        let mut clusters: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for i in 0..n {
             let root = find(&mut parent, i);
             clusters.entry(root).or_default().push(i);
@@ -278,7 +288,10 @@ mod tests {
         let code = SurfaceCode::new(5).unwrap();
         for &q in code.data_qubits() {
             let error: PauliString = [(q, Pauli::X)].into_iter().collect();
-            assert!(!decode_static(&code, &error), "single X on {q} was not corrected");
+            assert!(
+                !decode_static(&code, &error),
+                "single X on {q} was not corrected"
+            );
         }
     }
 
@@ -286,11 +299,13 @@ mod tests {
     fn small_error_chains_are_corrected() {
         let code = SurfaceCode::new(5).unwrap();
         // any horizontal chain of ⌊(d−1)/2⌋ = 2 errors is correctable
-        let error: PauliString =
-            [(Coord::new(0, 0), Pauli::X), (Coord::new(0, 2), Pauli::X)].into_iter().collect();
+        let error: PauliString = [(Coord::new(0, 0), Pauli::X), (Coord::new(0, 2), Pauli::X)]
+            .into_iter()
+            .collect();
         assert!(!decode_static(&code, &error));
-        let error2: PauliString =
-            [(Coord::new(4, 4), Pauli::X), (Coord::new(4, 6), Pauli::X)].into_iter().collect();
+        let error2: PauliString = [(Coord::new(4, 4), Pauli::X), (Coord::new(4, 6), Pauli::X)]
+            .into_iter()
+            .collect();
         assert!(!decode_static(&code, &error2));
     }
 
@@ -299,8 +314,11 @@ mod tests {
         // A full logical X chain has trivial syndrome; the decoder does
         // nothing and the residual is a logical error.
         let code = SurfaceCode::new(5).unwrap();
-        let error: PauliString =
-            code.logical_x_support().into_iter().map(|q| (q, Pauli::X)).collect();
+        let error: PauliString = code
+            .logical_x_support()
+            .into_iter()
+            .map(|q| (q, Pauli::X))
+            .collect();
         assert!(decode_static(&code, &error));
     }
 
@@ -316,9 +334,13 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert!(decode_static(&code, &chain3), "weight-3 chain on d=5 should fail");
-        let chain2: PauliString =
-            [(Coord::new(0, 0), Pauli::X), (Coord::new(0, 2), Pauli::X)].into_iter().collect();
+        assert!(
+            decode_static(&code, &chain3),
+            "weight-3 chain on d=5 should fail"
+        );
+        let chain2: PauliString = [(Coord::new(0, 0), Pauli::X), (Coord::new(0, 2), Pauli::X)]
+            .into_iter()
+            .collect();
         assert!(!decode_static(&code, &chain2));
     }
 
@@ -373,8 +395,7 @@ mod tests {
         let graph = code.matching_graph(ErrorKind::X);
         let decoder = SurfaceDecoder::new(&graph);
         // anomalous band: columns 2..6 of every row (size 2 region at col 2)
-        let region =
-            q3de_noise::AnomalousRegion::new(Coord::new(0, 2), 4, 0, 100, 0.5);
+        let region = q3de_noise::AnomalousRegion::new(Coord::new(0, 2), 4, 0, 100, 0.5);
         // actual error: X on the three data qubits of row 0 inside the band
         let error: PauliString = [
             (Coord::new(0, 2), Pauli::X),
@@ -387,12 +408,15 @@ mod tests {
         let parity = error_cut_parity(&code, &error);
 
         let blind = decoder.decode(&history, &WeightModel::uniform(1e-3));
-        let aware = decoder.decode(
-            &history,
-            &WeightModel::anomaly_aware(1e-3, vec![region], 0),
+        let aware = decoder.decode(&history, &WeightModel::anomaly_aware(1e-3, vec![region], 0));
+        assert!(
+            blind.is_logical_failure(parity),
+            "blind decoding should mis-correct"
         );
-        assert!(blind.is_logical_failure(parity), "blind decoding should mis-correct");
-        assert!(!aware.is_logical_failure(parity), "anomaly-aware decoding should succeed");
+        assert!(
+            !aware.is_logical_failure(parity),
+            "anomaly-aware decoding should succeed"
+        );
     }
 
     #[test]
@@ -401,8 +425,9 @@ mod tests {
         let graph = code.matching_graph(ErrorKind::X);
         let decoder = SurfaceDecoder::new(&graph);
         // two well-separated single errors → two independent clusters
-        let error: PauliString =
-            [(Coord::new(0, 0), Pauli::X), (Coord::new(12, 12), Pauli::X)].into_iter().collect();
+        let error: PauliString = [(Coord::new(0, 0), Pauli::X), (Coord::new(12, 12), Pauli::X)]
+            .into_iter()
+            .collect();
         let history = static_history(&code, &error, 2);
         let outcome = decoder.decode(&history, &WeightModel::uniform(1e-3));
         assert!(outcome.num_clusters >= 2);

@@ -65,7 +65,10 @@ impl<'g> ReExecutingDecoder<'g> {
 
     /// Creates a re-executing decoder with an explicit decoder configuration.
     pub fn with_config(graph: &'g MatchingGraph, base_rate: f64, config: DecoderConfig) -> Self {
-        Self { decoder: SurfaceDecoder::with_config(graph, config), base_rate }
+        Self {
+            decoder: SurfaceDecoder::with_config(graph, config),
+            base_rate,
+        }
     }
 
     /// The underlying single-pass decoder.
@@ -89,7 +92,9 @@ impl<'g> ReExecutingDecoder<'g> {
         detected_regions: Option<&[AnomalousRegion]>,
         window_start_cycle: u64,
     ) -> ReExecutionOutcome {
-        let first_pass = self.decoder.decode(history, &WeightModel::uniform(self.base_rate));
+        let first_pass = self
+            .decoder
+            .decode(history, &WeightModel::uniform(self.base_rate));
         let second_pass = match detected_regions {
             Some(regions) if !regions.is_empty() => {
                 let model = WeightModel::anomaly_aware(
@@ -101,7 +106,10 @@ impl<'g> ReExecutingDecoder<'g> {
             }
             _ => None,
         };
-        ReExecutionOutcome { first_pass, second_pass }
+        ReExecutionOutcome {
+            first_pass,
+            second_pass,
+        }
     }
 }
 

@@ -44,7 +44,11 @@ impl<'g> SpaceTimeCosts<'g> {
     /// Panics if `num_layers == 0`.
     pub fn new(graph: &'g MatchingGraph, num_layers: usize, model: WeightModel) -> Self {
         assert!(num_layers > 0, "at least one event layer is required");
-        Self { graph, num_layers, model }
+        Self {
+            graph,
+            num_layers,
+            model,
+        }
     }
 
     /// The layer graph this oracle operates on.
@@ -117,7 +121,10 @@ impl<'g> SpaceTimeCosts<'g> {
     ) -> (Vec<f64>, (f64, f64)) {
         match &self.model {
             WeightModel::Uniform { .. } => {
-                let costs = targets.iter().map(|&t| self.cost_between(source, t)).collect();
+                let costs = targets
+                    .iter()
+                    .map(|&t| self.cost_between(source, t))
+                    .collect();
                 (costs, self.boundary_costs(source))
             }
             WeightModel::AnomalyAware { .. } => self.dijkstra(source, targets),
@@ -142,7 +149,10 @@ impl<'g> SpaceTimeCosts<'g> {
         impl Ord for HeapEntry {
             fn cmp(&self, other: &Self) -> Ordering {
                 // reversed: BinaryHeap is a max-heap
-                other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+                other
+                    .cost
+                    .partial_cmp(&self.cost)
+                    .unwrap_or(Ordering::Equal)
             }
         }
         impl PartialOrd for HeapEntry {
@@ -160,7 +170,10 @@ impl<'g> SpaceTimeCosts<'g> {
         let start = self.state_index(source.node, source.layer);
         dist[start] = 0.0;
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry { cost: 0.0, state: start });
+        heap.push(HeapEntry {
+            cost: 0.0,
+            state: start,
+        });
 
         while let Some(HeapEntry { cost, state }) = heap.pop() {
             if cost > dist[state] {
@@ -178,7 +191,10 @@ impl<'g> SpaceTimeCosts<'g> {
                         let next = self.state_index(neighbor, layer);
                         if cost + w < dist[next] {
                             dist[next] = cost + w;
-                            heap.push(HeapEntry { cost: cost + w, state: next });
+                            heap.push(HeapEntry {
+                                cost: cost + w,
+                                state: next,
+                            });
                         }
                     }
                     None => match self.boundary_side(edge) {
@@ -195,7 +211,10 @@ impl<'g> SpaceTimeCosts<'g> {
                 let next = self.state_index(node, layer + 1);
                 if cost + w < dist[next] {
                     dist[next] = cost + w;
-                    heap.push(HeapEntry { cost: cost + w, state: next });
+                    heap.push(HeapEntry {
+                        cost: cost + w,
+                        state: next,
+                    });
                 }
             }
             if layer > 0 {
@@ -203,7 +222,10 @@ impl<'g> SpaceTimeCosts<'g> {
                 let next = self.state_index(node, layer - 1);
                 if cost + w < dist[next] {
                     dist[next] = cost + w;
-                    heap.push(HeapEntry { cost: cost + w, state: next });
+                    heap.push(HeapEntry {
+                        cost: cost + w,
+                        state: next,
+                    });
                 }
             }
         }
@@ -237,14 +259,20 @@ mod tests {
         let events: Vec<DetectionEvent> = vec![
             DetectionEvent { layer: 0, node: 0 },
             DetectionEvent { layer: 2, node: 7 },
-            DetectionEvent { layer: 5, node: g.num_nodes() - 1 },
+            DetectionEvent {
+                layer: 5,
+                node: g.num_nodes() - 1,
+            },
             DetectionEvent { layer: 3, node: 11 },
         ];
         for &a in &events {
             for &b in &events {
                 let cu = uniform.cost_between(a, b);
                 let cd = dijkstra.cost_between(a, b);
-                assert!((cu - cd).abs() < 1e-9, "{a} → {b}: uniform {cu} vs dijkstra {cd}");
+                assert!(
+                    (cu - cd).abs() < 1e-9,
+                    "{a} → {b}: uniform {cu} vs dijkstra {cd}"
+                );
             }
             let (ul, uh) = uniform.boundary_costs(a);
             let (dl, dh) = dijkstra.boundary_costs(a);
@@ -259,7 +287,10 @@ mod tests {
         let costs = SpaceTimeCosts::new(&g, 5, WeightModel::uniform(1e-3));
         let a = DetectionEvent { layer: 0, node: 0 };
         let near = DetectionEvent { layer: 0, node: 1 };
-        let far = DetectionEvent { layer: 4, node: g.num_nodes() - 1 };
+        let far = DetectionEvent {
+            layer: 4,
+            node: g.num_nodes() - 1,
+        };
         assert!(costs.cost_between(a, near) < costs.cost_between(a, far));
         assert_eq!(costs.cost_between(a, a), 0.0);
     }
@@ -270,11 +301,13 @@ mod tests {
         // Anomaly with p_ano = 0.5 covering the whole patch during layers 0..10:
         // every space edge becomes free, so any same-layer pair costs ~0.
         let region = AnomalousRegion::new(Coord::new(0, 0), 5, 0, 10, 0.5);
-        let aware =
-            SpaceTimeCosts::new(&g, 5, WeightModel::anomaly_aware(1e-3, vec![region], 0));
+        let aware = SpaceTimeCosts::new(&g, 5, WeightModel::anomaly_aware(1e-3, vec![region], 0));
         let blind = SpaceTimeCosts::new(&g, 5, WeightModel::uniform(1e-3));
         let a = DetectionEvent { layer: 0, node: 0 };
-        let b = DetectionEvent { layer: 0, node: g.num_nodes() - 1 };
+        let b = DetectionEvent {
+            layer: 0,
+            node: g.num_nodes() - 1,
+        };
         assert!(aware.cost_between(a, b) < 1e-9);
         assert!(blind.cost_between(a, b) > 1.0);
         // boundary costs also collapse
@@ -288,13 +321,18 @@ mod tests {
         // Anomaly covering only the middle rows: a path that detours through
         // the free region beats the straight expensive path.
         let region = AnomalousRegion::new(Coord::new(2, 0), 5, 0, 10, 0.5);
-        let aware =
-            SpaceTimeCosts::new(&g, 3, WeightModel::anomaly_aware(1e-3, vec![region], 0));
+        let aware = SpaceTimeCosts::new(&g, 3, WeightModel::anomaly_aware(1e-3, vec![region], 0));
         // two nodes in the top row (row 0), far apart horizontally
         let left = g.node_index(Coord::new(0, 1)).unwrap();
         let right = g.node_index(Coord::new(0, 7)).unwrap();
-        let a = DetectionEvent { layer: 0, node: left };
-        let b = DetectionEvent { layer: 0, node: right };
+        let a = DetectionEvent {
+            layer: 0,
+            node: left,
+        };
+        let b = DetectionEvent {
+            layer: 0,
+            node: right,
+        };
         let straight = 3.0 * WeightModel::weight_of_rate(1e-3);
         let cost = aware.cost_between(a, b);
         // detour: down into the anomaly (row 2 is inside), across for free,

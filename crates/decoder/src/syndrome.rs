@@ -35,7 +35,10 @@ pub struct SyndromeHistory {
 impl SyndromeHistory {
     /// Creates an empty history over `num_nodes` stabilizer nodes.
     pub fn new(num_nodes: usize) -> Self {
-        Self { num_nodes, layers: Vec::new() }
+        Self {
+            num_nodes,
+            layers: Vec::new(),
+        }
     }
 
     /// Number of stabilizer nodes per layer.
@@ -111,7 +114,9 @@ impl SyndromeHistory {
     /// Number of active nodes in the given layer (used by the anomaly
     /// detection unit).
     pub fn active_count_in_layer(&self, layer: usize) -> usize {
-        (0..self.num_nodes).filter(|&n| self.is_active(layer, n)).collect::<Vec<_>>().len()
+        (0..self.num_nodes)
+            .filter(|&n| self.is_active(layer, n))
+            .count()
     }
 
     /// Truncates the history to its first `num_layers` layers, discarding the
@@ -128,8 +133,14 @@ impl SyndromeHistory {
     ///
     /// Panics if the range is out of bounds or inverted.
     pub fn window(&self, start: usize, end: usize) -> SyndromeHistory {
-        assert!(start <= end && end <= self.layers.len(), "invalid window {start}..{end}");
-        SyndromeHistory { num_nodes: self.num_nodes, layers: self.layers[start..end].to_vec() }
+        assert!(
+            start <= end && end <= self.layers.len(),
+            "invalid window {start}..{end}"
+        );
+        SyndromeHistory {
+            num_nodes: self.num_nodes,
+            layers: self.layers[start..end].to_vec(),
+        }
     }
 
     /// Total number of detection events.
@@ -165,7 +176,10 @@ mod tests {
         let events = h.detection_events();
         assert_eq!(
             events,
-            vec![DetectionEvent { layer: 0, node: 1 }, DetectionEvent { layer: 0, node: 3 }]
+            vec![
+                DetectionEvent { layer: 0, node: 1 },
+                DetectionEvent { layer: 0, node: 3 }
+            ]
         );
     }
 
@@ -193,7 +207,10 @@ mod tests {
         let events = h.detection_events();
         assert_eq!(
             events,
-            vec![DetectionEvent { layer: 1, node: 0 }, DetectionEvent { layer: 2, node: 0 }]
+            vec![
+                DetectionEvent { layer: 1, node: 0 },
+                DetectionEvent { layer: 2, node: 0 }
+            ]
         );
     }
 
@@ -216,7 +233,7 @@ mod tests {
         }
         let w = h.window(1, 4);
         assert_eq!(w.num_layers(), 3);
-        assert_eq!(w.value(0, 1), true);
+        assert!(w.value(0, 1));
         h.truncate(2);
         assert_eq!(h.num_layers(), 2);
     }

@@ -46,7 +46,11 @@ impl WeightModel {
         regions: Vec<AnomalousRegion>,
         window_start_cycle: u64,
     ) -> Self {
-        WeightModel::AnomalyAware { base_rate, regions, window_start_cycle }
+        WeightModel::AnomalyAware {
+            base_rate,
+            regions,
+            window_start_cycle,
+        }
     }
 
     /// Builds an anomaly-aware model from a [`NoiseModel`] (taking over its
@@ -77,7 +81,11 @@ impl WeightModel {
     pub fn rate_at(&self, coord: Coord, layer: usize) -> f64 {
         match self {
             WeightModel::Uniform { error_rate } => *error_rate,
-            WeightModel::AnomalyAware { base_rate, regions, window_start_cycle } => {
+            WeightModel::AnomalyAware {
+                base_rate,
+                regions,
+                window_start_cycle,
+            } => {
                 let cycle = window_start_cycle + layer as u64;
                 let mut rate = *base_rate;
                 for r in regions {
@@ -130,7 +138,10 @@ mod tests {
         let m = WeightModel::anomaly_aware(1e-3, vec![region], 0);
         // inside the region and window (layer 20 → cycle 20)
         let inside = m.weight_at(Coord::new(1, 1), 20);
-        assert!(inside.abs() < 1e-12, "p_ano = 0.5 gives zero weight, got {inside}");
+        assert!(
+            inside.abs() < 1e-12,
+            "p_ano = 0.5 gives zero weight, got {inside}"
+        );
         // outside the active window the weight reverts to the base weight
         let before = m.weight_at(Coord::new(1, 1), 5);
         assert!((before - m.base_weight()).abs() < 1e-12);
@@ -162,8 +173,13 @@ mod tests {
 
     #[test]
     fn from_noise_model_copies_regions() {
-        let noise = q3de_noise::NoiseModel::uniform(1e-2)
-            .with_anomaly(AnomalousRegion::new(Coord::new(2, 2), 2, 0, 50, 0.4));
+        let noise = q3de_noise::NoiseModel::uniform(1e-2).with_anomaly(AnomalousRegion::new(
+            Coord::new(2, 2),
+            2,
+            0,
+            50,
+            0.4,
+        ));
         let m = WeightModel::from_noise_model(&noise, 0);
         assert!(m.is_anomaly_aware());
         assert_eq!(m.base_rate(), 1e-2);

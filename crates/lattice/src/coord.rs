@@ -45,7 +45,9 @@ impl Coord {
 
     /// Chebyshev (L∞) distance to another coordinate.
     pub fn chebyshev(self, other: Coord) -> u32 {
-        self.row.abs_diff(other.row).max(self.col.abs_diff(other.col))
+        self.row
+            .abs_diff(other.row)
+            .max(self.col.abs_diff(other.col))
     }
 
     /// The four nearest-neighbour sites (up, down, left, right).

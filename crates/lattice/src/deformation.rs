@@ -98,7 +98,11 @@ impl ExpansionPlan {
                 // (left/right) boundaries, so they are prepared in |0⟩; the
                 // (odd, odd) sublattice extends the smooth boundaries and is
                 // prepared in |+⟩ (Fig. 5, step 1).
-                let basis = if q.row % 2 == 0 { PreparationBasis::Z } else { PreparationBasis::X };
+                let basis = if q.row % 2 == 0 {
+                    PreparationBasis::Z
+                } else {
+                    PreparationBasis::X
+                };
                 (q, basis)
             })
             .collect();
@@ -112,7 +116,11 @@ impl ExpansionPlan {
 
         let mut added_stabilizers = Vec::new();
         let mut modified_stabilizers = Vec::new();
-        for stab in expanded.z_stabilizers().iter().chain(expanded.x_stabilizers()) {
+        for stab in expanded
+            .z_stabilizers()
+            .iter()
+            .chain(expanded.x_stabilizers())
+        {
             match original_by_ancilla.get(&stab.ancilla) {
                 None => added_stabilizers.push(stab.clone()),
                 Some(before) if before.support != stab.support => {
@@ -125,7 +133,13 @@ impl ExpansionPlan {
             }
         }
 
-        Ok(Self { original, expanded, new_data_qubits, added_stabilizers, modified_stabilizers })
+        Ok(Self {
+            original,
+            expanded,
+            new_data_qubits,
+            added_stabilizers,
+            modified_stabilizers,
+        })
     }
 
     /// Convenience constructor for the paper's default policy: double the
@@ -259,7 +273,10 @@ mod tests {
             plan.original().z_stabilizers().len() + plan.original().x_stabilizers().len();
         let expanded_count =
             plan.expanded().z_stabilizers().len() + plan.expanded().x_stabilizers().len();
-        assert_eq!(original_count + plan.added_stabilizers().len(), expanded_count);
+        assert_eq!(
+            original_count + plan.added_stabilizers().len(),
+            expanded_count
+        );
     }
 
     #[test]
@@ -321,11 +338,26 @@ mod tests {
     fn deformation_state_transitions() {
         let mut s = DeformationState::default();
         assert!(!s.is_expanded());
-        s = DeformationState::Expanded { since_cycle: 10, until_cycle: 100 };
+        s = DeformationState::Expanded {
+            since_cycle: 10,
+            until_cycle: 100,
+        };
         assert!(s.is_expanded());
         s.extend_until(50);
-        assert_eq!(s, DeformationState::Expanded { since_cycle: 10, until_cycle: 100 });
+        assert_eq!(
+            s,
+            DeformationState::Expanded {
+                since_cycle: 10,
+                until_cycle: 100
+            }
+        );
         s.extend_until(200);
-        assert_eq!(s, DeformationState::Expanded { since_cycle: 10, until_cycle: 200 });
+        assert_eq!(
+            s,
+            DeformationState::Expanded {
+                since_cycle: 10,
+                until_cycle: 200
+            }
+        );
     }
 }

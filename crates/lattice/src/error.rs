@@ -54,11 +54,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = LatticeError::DistanceTooSmall { requested: 1, minimum: 2 };
+        let e = LatticeError::DistanceTooSmall {
+            requested: 1,
+            minimum: 2,
+        };
         assert!(format!("{e}").contains("too small"));
-        let e = LatticeError::InvalidSite { coord: (1, 2), expected: "data qubit" };
+        let e = LatticeError::InvalidSite {
+            coord: (1, 2),
+            expected: "data qubit",
+        };
         assert!(format!("{e}").contains("data qubit"));
-        let e = LatticeError::InvalidDeformation { reason: "d_exp <= d".into() };
+        let e = LatticeError::InvalidDeformation {
+            reason: "d_exp <= d".into(),
+        };
         assert!(format!("{e}").contains("d_exp"));
     }
 

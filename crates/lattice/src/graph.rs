@@ -42,7 +42,11 @@ impl GraphEdge {
         if self.a == from {
             self.b
         } else {
-            assert_eq!(self.b, Some(from), "node {from} is not an endpoint of this edge");
+            assert_eq!(
+                self.b,
+                Some(from),
+                "node {from} is not an endpoint of this edge"
+            );
             Some(self.a)
         }
     }
@@ -84,8 +88,16 @@ impl MatchingGraph {
                 .collect();
             let edge_index = edges.len();
             let edge = match incident.as_slice() {
-                [a] => GraphEdge { a: *a, b: None, qubit },
-                [a, b] => GraphEdge { a: *a, b: Some(*b), qubit },
+                [a] => GraphEdge {
+                    a: *a,
+                    b: None,
+                    qubit,
+                },
+                [a, b] => GraphEdge {
+                    a: *a,
+                    b: Some(*b),
+                    qubit,
+                },
                 other => unreachable!(
                     "data qubit {qubit} is adjacent to {} detecting stabilizers",
                     other.len()
@@ -186,7 +198,11 @@ impl MatchingGraph {
 
     /// Indices of all boundary edges.
     pub fn boundary_edges(&self) -> impl Iterator<Item = EdgeIndex> + '_ {
-        self.edges.iter().enumerate().filter(|(_, e)| e.is_boundary()).map(|(i, _)| i)
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_boundary())
+            .map(|(i, _)| i)
     }
 
     /// The homological cut used for the logical-failure check: the boundary
@@ -240,7 +256,7 @@ impl MatchingGraph {
         };
         // The node sits at odd offset from the boundary; (offset + 1) / 2
         // edges reach it.
-        ((low as u32 + 1) / 2, (high as u32 + 1) / 2)
+        ((low as u32).div_ceil(2), (high as u32).div_ceil(2))
     }
 
     /// Graph distance from a node to the nearest boundary in the uniform
@@ -273,7 +289,11 @@ mod tests {
             assert_eq!(gz.num_edges(), code.num_data_qubits());
             let boundary_x = gx.boundary_edges().count();
             let boundary_z = gz.boundary_edges().count();
-            assert_eq!(boundary_x, 2 * d, "X graph has d boundary edges per rough side");
+            assert_eq!(
+                boundary_x,
+                2 * d,
+                "X graph has d boundary edges per rough side"
+            );
             assert_eq!(boundary_z, 2 * d);
         }
     }
@@ -304,8 +324,12 @@ mod tests {
         for &q in code.data_qubits() {
             let err: PauliString = [(q, Pauli::X)].into_iter().collect();
             let syn = code.syndrome(StabilizerKind::Z, &err);
-            let flipped: Vec<NodeIndex> =
-                syn.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+            let flipped: Vec<NodeIndex> = syn
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i)
+                .collect();
             let e = gx.edge(gx.edge_of_qubit(q).unwrap());
             let mut expected = vec![e.a];
             if let Some(b) = e.b {
@@ -348,8 +372,11 @@ mod tests {
             let _ = zs;
         }
         for xs in code.x_stabilizers() {
-            let chain: Vec<EdgeIndex> =
-                xs.support.iter().map(|&q| gx.edge_of_qubit(q).unwrap()).collect();
+            let chain: Vec<EdgeIndex> = xs
+                .support
+                .iter()
+                .map(|&q| gx.edge_of_qubit(q).unwrap())
+                .collect();
             assert!(
                 !gx.logical_parity(chain.iter().copied()),
                 "plaquette at {} crosses the cut an odd number of times",
@@ -362,7 +389,16 @@ mod tests {
     fn duplicate_edges_cancel_in_logical_parity() {
         let (code, gx, _) = graphs(3);
         let cut = gx.cut_edges()[0];
-        assert!(gx.logical_parity([cut].into_iter().chain(code.logical_x_support().into_iter().map(|q| gx.edge_of_qubit(q).unwrap())).chain([cut])));
+        assert!(gx.logical_parity(
+            [cut]
+                .into_iter()
+                .chain(
+                    code.logical_x_support()
+                        .into_iter()
+                        .map(|q| gx.edge_of_qubit(q).unwrap())
+                )
+                .chain([cut])
+        ));
         assert!(!gx.logical_parity([cut, cut]));
     }
 

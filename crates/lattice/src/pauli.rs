@@ -197,12 +197,18 @@ impl PauliString {
     /// Restricts the string to its `X` components: the set of coordinates
     /// whose factor has an `X` component (`X` or `Y`).
     pub fn x_support(&self) -> Vec<Coord> {
-        self.iter().filter(|(_, p)| p.has_x_component()).map(|(c, _)| c).collect()
+        self.iter()
+            .filter(|(_, p)| p.has_x_component())
+            .map(|(c, _)| c)
+            .collect()
     }
 
     /// Restricts the string to its `Z` components (`Z` or `Y` factors).
     pub fn z_support(&self) -> Vec<Coord> {
-        self.iter().filter(|(_, p)| p.has_z_component()).map(|(c, _)| c).collect()
+        self.iter()
+            .filter(|(_, p)| p.has_z_component())
+            .map(|(c, _)| c)
+            .collect()
     }
 }
 
@@ -295,10 +301,12 @@ mod tests {
 
     #[test]
     fn compose_is_elementwise_product() {
-        let a: PauliString =
-            [(Coord::new(0, 0), Pauli::X), (Coord::new(1, 1), Pauli::Z)].into_iter().collect();
-        let b: PauliString =
-            [(Coord::new(0, 0), Pauli::Z), (Coord::new(2, 2), Pauli::Y)].into_iter().collect();
+        let a: PauliString = [(Coord::new(0, 0), Pauli::X), (Coord::new(1, 1), Pauli::Z)]
+            .into_iter()
+            .collect();
+        let b: PauliString = [(Coord::new(0, 0), Pauli::Z), (Coord::new(2, 2), Pauli::Y)]
+            .into_iter()
+            .collect();
         let mut c = a.clone();
         c.compose(&b);
         assert_eq!(c.get(Coord::new(0, 0)), Pauli::Y);
@@ -308,8 +316,9 @@ mod tests {
 
     #[test]
     fn syndrome_parity_of_check() {
-        let err: PauliString =
-            [(Coord::new(0, 0), Pauli::X), (Coord::new(0, 2), Pauli::X)].into_iter().collect();
+        let err: PauliString = [(Coord::new(0, 0), Pauli::X), (Coord::new(0, 2), Pauli::X)]
+            .into_iter()
+            .collect();
         // Z-check over both X errors: even parity.
         assert!(!err.anticommutes_with_check(
             Pauli::Z,

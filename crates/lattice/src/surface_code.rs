@@ -152,11 +152,13 @@ impl SurfaceCode {
                         let support: Vec<Coord> = c
                             .neighbors()
                             .into_iter()
-                            .filter(|n| {
-                                n.row >= 0 && n.col >= 0 && n.row < size && n.col < size
-                            })
+                            .filter(|n| n.row >= 0 && n.col >= 0 && n.row < size && n.col < size)
                             .collect();
-                        let stab = Stabilizer { ancilla: c, kind, support };
+                        let stab = Stabilizer {
+                            ancilla: c,
+                            kind,
+                            support,
+                        };
                         if kind == StabilizerKind::Z {
                             z_stabilizers.push(stab);
                         } else {
@@ -167,7 +169,13 @@ impl SurfaceCode {
             }
         }
 
-        Ok(Self { distance, data_qubits, z_stabilizers, x_stabilizers, roles })
+        Ok(Self {
+            distance,
+            data_qubits,
+            z_stabilizers,
+            x_stabilizers,
+            roles,
+        })
     }
 
     /// The code distance `d`.
@@ -243,13 +251,17 @@ impl SurfaceCode {
     /// The support of the canonical logical `X` operator: the `d` data qubits
     /// of the top row.
     pub fn logical_x_support(&self) -> Vec<Coord> {
-        (0..self.distance as i32).map(|i| Coord::new(0, 2 * i)).collect()
+        (0..self.distance as i32)
+            .map(|i| Coord::new(0, 2 * i))
+            .collect()
     }
 
     /// The support of the canonical logical `Z` operator: the `d` data qubits
     /// of the left column.
     pub fn logical_z_support(&self) -> Vec<Coord> {
-        (0..self.distance as i32).map(|i| Coord::new(2 * i, 0)).collect()
+        (0..self.distance as i32)
+            .map(|i| Coord::new(2 * i, 0))
+            .collect()
     }
 
     /// Whether `residual` (typically `error ⊕ correction`) acts as a logical
@@ -259,13 +271,13 @@ impl SurfaceCode {
     /// The caller is responsible for ensuring `residual` has trivial
     /// syndrome; otherwise the result is representative-dependent.
     pub fn has_logical_x_error(&self, residual: &PauliString) -> bool {
-        residual.anticommutes_with_check(Pauli::Z, self.logical_z_support().into_iter())
+        residual.anticommutes_with_check(Pauli::Z, self.logical_z_support())
     }
 
     /// Whether `residual` acts as a logical `Z`, i.e. anti-commutes with the
     /// logical `X` operator.
     pub fn has_logical_z_error(&self, residual: &PauliString) -> bool {
-        residual.anticommutes_with_check(Pauli::X, self.logical_x_support().into_iter())
+        residual.anticommutes_with_check(Pauli::X, self.logical_x_support())
     }
 
     /// Builds the 2D matching ("layer") graph for decoding errors of `kind`.
@@ -282,7 +294,10 @@ mod tests {
     fn distance_one_is_rejected() {
         assert!(matches!(
             SurfaceCode::new(1),
-            Err(LatticeError::DistanceTooSmall { requested: 1, minimum: 2 })
+            Err(LatticeError::DistanceTooSmall {
+                requested: 1,
+                minimum: 2
+            })
         ));
     }
 
@@ -290,9 +305,21 @@ mod tests {
     fn qubit_counts_match_formulas() {
         for d in 2..=9usize {
             let code = SurfaceCode::new(d).unwrap();
-            assert_eq!(code.num_data_qubits(), d * d + (d - 1) * (d - 1), "data qubits, d={d}");
-            assert_eq!(code.num_ancilla_qubits(), 2 * d * (d - 1), "ancillas, d={d}");
-            assert_eq!(code.num_physical_qubits(), (2 * d - 1) * (2 * d - 1), "total, d={d}");
+            assert_eq!(
+                code.num_data_qubits(),
+                d * d + (d - 1) * (d - 1),
+                "data qubits, d={d}"
+            );
+            assert_eq!(
+                code.num_ancilla_qubits(),
+                2 * d * (d - 1),
+                "ancillas, d={d}"
+            );
+            assert_eq!(
+                code.num_physical_qubits(),
+                (2 * d - 1) * (2 * d - 1),
+                "total, d={d}"
+            );
             assert_eq!(code.z_stabilizers().len(), d * (d - 1));
             assert_eq!(code.x_stabilizers().len(), d * (d - 1));
         }
@@ -302,7 +329,11 @@ mod tests {
     fn stabilizer_supports_have_two_to_four_qubits() {
         let code = SurfaceCode::new(5).unwrap();
         for s in code.z_stabilizers().iter().chain(code.x_stabilizers()) {
-            assert!((2..=4).contains(&s.support.len()), "support size {}", s.support.len());
+            assert!(
+                (2..=4).contains(&s.support.len()),
+                "support size {}",
+                s.support.len()
+            );
             for q in &s.support {
                 assert_eq!(code.role(*q), Some(QubitRole::Data));
             }
@@ -339,7 +370,11 @@ mod tests {
             let overlap: Vec<_> = lx.iter().filter(|c| lz.contains(c)).collect();
             assert_eq!(overlap.len(), 1);
             for q in lx.iter().chain(lz.iter()) {
-                assert_eq!(code.role(*q), Some(QubitRole::Data), "logical support on data qubits");
+                assert_eq!(
+                    code.role(*q),
+                    Some(QubitRole::Data),
+                    "logical support on data qubits"
+                );
             }
         }
     }
@@ -347,20 +382,32 @@ mod tests {
     #[test]
     fn logical_x_operator_commutes_with_all_z_stabilizers() {
         let code = SurfaceCode::new(5).unwrap();
-        let logical_x: PauliString =
-            code.logical_x_support().into_iter().map(|c| (c, Pauli::X)).collect();
+        let logical_x: PauliString = code
+            .logical_x_support()
+            .into_iter()
+            .map(|c| (c, Pauli::X))
+            .collect();
         let syndrome = code.syndrome(StabilizerKind::Z, &logical_x);
-        assert!(syndrome.iter().all(|&s| !s), "logical X must be undetected by Z stabilizers");
+        assert!(
+            syndrome.iter().all(|&s| !s),
+            "logical X must be undetected by Z stabilizers"
+        );
         assert!(code.has_logical_x_error(&logical_x));
     }
 
     #[test]
     fn logical_z_operator_commutes_with_all_x_stabilizers() {
         let code = SurfaceCode::new(5).unwrap();
-        let logical_z: PauliString =
-            code.logical_z_support().into_iter().map(|c| (c, Pauli::Z)).collect();
+        let logical_z: PauliString = code
+            .logical_z_support()
+            .into_iter()
+            .map(|c| (c, Pauli::Z))
+            .collect();
         let syndrome = code.syndrome(StabilizerKind::X, &logical_z);
-        assert!(syndrome.iter().all(|&s| !s), "logical Z must be undetected by X stabilizers");
+        assert!(
+            syndrome.iter().all(|&s| !s),
+            "logical Z must be undetected by X stabilizers"
+        );
         assert!(code.has_logical_z_error(&logical_z));
     }
 
@@ -372,7 +419,11 @@ mod tests {
         for zs in code.z_stabilizers() {
             let op: PauliString = zs.support.iter().map(|&c| (c, Pauli::Z)).collect();
             let syn = code.syndrome(StabilizerKind::X, &op);
-            assert!(syn.iter().all(|&b| !b), "Z stabilizer at {} anticommutes", zs.ancilla);
+            assert!(
+                syn.iter().all(|&b| !b),
+                "Z stabilizer at {} anticommutes",
+                zs.ancilla
+            );
         }
     }
 

@@ -32,7 +32,9 @@ impl GreedyMatcher {
     /// Creates a greedy matcher that ignores candidate pairs costlier than
     /// `max_cost` (the radius cap `d` of the paper's radius sweep).
     pub fn with_max_cost(max_cost: f64) -> Self {
-        Self { max_cost: Some(max_cost) }
+        Self {
+            max_cost: Some(max_cost),
+        }
     }
 }
 
@@ -59,7 +61,7 @@ impl Matcher for GreedyMatcher {
             }
             for j in (i + 1)..n {
                 let pc = problem.pair_cost(i, j);
-                if pc.is_finite() && self.max_cost.map_or(true, |cap| pc <= cap) {
+                if pc.is_finite() && self.max_cost.is_none_or(|cap| pc <= cap) {
                     candidates.push((pc, Candidate::Pair(i, j)));
                 }
             }
@@ -197,11 +199,7 @@ mod tests {
         // A chain 0-1-2-3 with two well separated tight pairs and a remote
         // boundary: greedy pairs (0,1) and (2,3), which is also optimal.
         let positions = [0.0f64, 1.0, 5.0, 6.0];
-        let p = MatchingProblem::from_fn(
-            4,
-            |i, j| (positions[i] - positions[j]).abs(),
-            |_| 10.0,
-        );
+        let p = MatchingProblem::from_fn(4, |i, j| (positions[i] - positions[j]).abs(), |_| 10.0);
         let g = GreedyMatcher::new().solve(&p);
         let e = ExactMatcher::default().solve(&p);
         assert_eq!(

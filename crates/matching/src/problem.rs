@@ -41,8 +41,14 @@ impl MatchingProblem {
     /// negative or NaN.
     pub fn set_pair_cost(&mut self, i: usize, j: usize, cost: f64) {
         assert!(i != j, "cannot pair node {i} with itself");
-        assert!(i < self.num_nodes && j < self.num_nodes, "node index out of range");
-        assert!(cost >= 0.0, "matching costs must be non-negative, got {cost}");
+        assert!(
+            i < self.num_nodes && j < self.num_nodes,
+            "node index out of range"
+        );
+        assert!(
+            cost >= 0.0,
+            "matching costs must be non-negative, got {cost}"
+        );
         self.pair_costs[i * self.num_nodes + j] = cost;
         self.pair_costs[j * self.num_nodes + i] = cost;
     }
@@ -54,7 +60,10 @@ impl MatchingProblem {
     /// Panics if `i` is out of range or `cost` is negative or NaN.
     pub fn set_boundary_cost(&mut self, i: usize, cost: f64) {
         assert!(i < self.num_nodes, "node index out of range");
-        assert!(cost >= 0.0, "matching costs must be non-negative, got {cost}");
+        assert!(
+            cost >= 0.0,
+            "matching costs must be non-negative, got {cost}"
+        );
         self.boundary_costs[i] = cost;
     }
 
@@ -129,7 +138,9 @@ impl Matching {
 
     /// An all-boundary matching over `n` nodes (useful as a starting point).
     pub fn all_boundary(n: usize) -> Self {
-        Self { assignment: vec![MatchTarget::Boundary; n] }
+        Self {
+            assignment: vec![MatchTarget::Boundary; n],
+        }
     }
 
     /// Number of nodes in the matching.
@@ -158,10 +169,13 @@ impl Matching {
 
     /// Iterates over the node–node pairs, each reported once with `i < j`.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.assignment.iter().enumerate().filter_map(|(i, &t)| match t {
-            MatchTarget::Node(j) if i < j => Some((i, j)),
-            _ => None,
-        })
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| match t {
+                MatchTarget::Node(j) if i < j => Some((i, j)),
+                _ => None,
+            })
     }
 
     /// Iterates over the nodes matched to the boundary.
@@ -180,9 +194,7 @@ impl Matching {
         self.assignment.iter().enumerate().all(|(i, &t)| match t {
             MatchTarget::Boundary => true,
             MatchTarget::Node(j) => {
-                j < self.assignment.len()
-                    && j != i
-                    && self.assignment[j] == MatchTarget::Node(i)
+                j < self.assignment.len() && j != i && self.assignment[j] == MatchTarget::Node(i)
             }
         })
     }

@@ -156,8 +156,12 @@ impl RefinedGreedyMatcher {
                         current_pair + problem.boundary_cost(b) + problem.boundary_cost(c);
                     let opt1 = problem.pair_cost(a, b) + problem.pair_cost(pa, c);
                     let opt2 = problem.pair_cost(a, c) + problem.pair_cost(pa, b);
-                    let (cand, swapped) = if opt1 <= opt2 { (opt1, false) } else { (opt2, true) };
-                    if cand + eps < current && best.map_or(true, |(bc, ..)| cand < bc) {
+                    let (cand, swapped) = if opt1 <= opt2 {
+                        (opt1, false)
+                    } else {
+                        (opt2, true)
+                    };
+                    if cand + eps < current && best.is_none_or(|(bc, ..)| cand < bc) {
                         best = Some((cand, b, c, swapped));
                     }
                 }
@@ -204,14 +208,20 @@ pub struct AutoMatcher {
 
 impl Default for AutoMatcher {
     fn default() -> Self {
-        Self { exact_threshold: 16, refined: RefinedGreedyMatcher::default() }
+        Self {
+            exact_threshold: 16,
+            refined: RefinedGreedyMatcher::default(),
+        }
     }
 }
 
 impl AutoMatcher {
     /// Creates an automatic matcher with an explicit exact-solver threshold.
     pub fn with_exact_threshold(exact_threshold: usize) -> Self {
-        Self { exact_threshold, ..Self::default() }
+        Self {
+            exact_threshold,
+            ..Self::default()
+        }
     }
 }
 
@@ -233,7 +243,8 @@ impl Matcher for AutoMatcher {
 mod tests {
     use super::*;
     use crate::ExactMatcher;
-    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn refined_repairs_the_greedy_trap() {
@@ -302,37 +313,58 @@ mod tests {
         )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
+    // Seeded-RNG property tests (128 random cases each, mirroring the
+    // proptest suite this replaced — the offline build cannot fetch proptest).
+    const PROPERTY_CASES: usize = 128;
 
-        /// The refined greedy matcher attains the exact optimum on random
-        /// geometric (line) instances of up to 4 nodes and is otherwise
-        /// bracketed between the exact optimum and the plain greedy cost.
-        #[test]
-        fn refined_is_bracketed_on_line_instances(
-            positions in prop::collection::vec(0.0f64..100.0, 1..10)
-        ) {
+    fn random_positions(
+        rng: &mut ChaCha8Rng,
+        len_range: std::ops::Range<usize>,
+        span: f64,
+    ) -> Vec<f64> {
+        let len = rng.gen_range(len_range);
+        (0..len).map(|_| rng.gen_range(0.0..span)).collect()
+    }
+
+    /// The refined greedy matcher attains the exact optimum on random
+    /// geometric (line) instances of up to 4 nodes and is otherwise
+    /// bracketed between the exact optimum and the plain greedy cost.
+    #[test]
+    fn refined_is_bracketed_on_line_instances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x51);
+        for _ in 0..PROPERTY_CASES {
+            let positions = random_positions(&mut rng, 1..10, 100.0);
             let p = line_instance(&positions, 100.0);
             let exact = ExactMatcher::default().solve(&p).total_cost(&p);
             let greedy = GreedyMatcher::new().solve(&p).total_cost(&p);
             let refined = RefinedGreedyMatcher::default().solve(&p).total_cost(&p);
-            prop_assert!(refined >= exact - 1e-9, "refined {refined} below exact {exact}");
-            prop_assert!(refined <= greedy + 1e-9, "refined {refined} above greedy {greedy}");
+            assert!(
+                refined >= exact - 1e-9,
+                "refined {refined} below exact {exact}"
+            );
+            assert!(
+                refined <= greedy + 1e-9,
+                "refined {refined} above greedy {greedy}"
+            );
             if positions.len() <= 4 {
-                prop_assert!((refined - exact).abs() < 1e-6,
-                    "refined {refined} vs exact {exact} on {positions:?}");
+                assert!(
+                    (refined - exact).abs() < 1e-6,
+                    "refined {refined} vs exact {exact} on {positions:?}"
+                );
             }
         }
+    }
 
-        /// On arbitrary random cost matrices the refined matcher is always
-        /// feasible, never better than the exact optimum (sanity) and never
-        /// worse than the greedy initialisation.
-        #[test]
-        fn refined_is_feasible_and_bracketed_on_random_instances(
-            seed_costs in prop::collection::vec(0.1f64..10.0, 36),
-            boundary in prop::collection::vec(0.1f64..10.0, 6),
-        ) {
+    /// On arbitrary random cost matrices the refined matcher is always
+    /// feasible, never better than the exact optimum (sanity) and never
+    /// worse than the greedy initialisation.
+    #[test]
+    fn refined_is_feasible_and_bracketed_on_random_instances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x52);
+        for _ in 0..PROPERTY_CASES {
             let n = 6;
+            let seed_costs: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.1..10.0)).collect();
+            let boundary: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..10.0)).collect();
             let p = MatchingProblem::from_fn(
                 n,
                 |i, j| seed_costs[i * n + j].min(seed_costs[j * n + i]),
@@ -341,34 +373,41 @@ mod tests {
             let exact = ExactMatcher::default().solve(&p).total_cost(&p);
             let greedy = GreedyMatcher::new().solve(&p).total_cost(&p);
             let refined_m = RefinedGreedyMatcher::default().solve(&p);
-            prop_assert!(refined_m.is_complete());
+            assert!(refined_m.is_complete());
             let refined = refined_m.total_cost(&p);
-            prop_assert!(refined >= exact - 1e-9);
-            prop_assert!(refined <= greedy + 1e-9);
+            assert!(refined >= exact - 1e-9);
+            assert!(refined <= greedy + 1e-9);
         }
+    }
 
-        /// The automatic matcher is exactly optimal whenever the instance
-        /// fits under its exact-solver threshold.
-        #[test]
-        fn auto_is_optimal_below_threshold(
-            positions in prop::collection::vec(0.0f64..100.0, 1..13)
-        ) {
+    /// The automatic matcher is exactly optimal whenever the instance
+    /// fits under its exact-solver threshold.
+    #[test]
+    fn auto_is_optimal_below_threshold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x53);
+        for _ in 0..PROPERTY_CASES {
+            let positions = random_positions(&mut rng, 1..13, 100.0);
             let p = line_instance(&positions, 100.0);
             let exact = ExactMatcher::default().solve(&p).total_cost(&p);
             let auto = AutoMatcher::default().solve(&p).total_cost(&p);
-            prop_assert!((auto - exact).abs() < 1e-9);
+            assert!(
+                (auto - exact).abs() < 1e-9,
+                "auto {auto} vs exact {exact} on {positions:?}"
+            );
         }
+    }
 
-        /// The greedy matcher is always feasible and never better than exact.
-        #[test]
-        fn greedy_is_feasible_and_bounded_below_by_exact(
-            positions in prop::collection::vec(0.0f64..50.0, 1..12)
-        ) {
+    /// The greedy matcher is always feasible and never better than exact.
+    #[test]
+    fn greedy_is_feasible_and_bounded_below_by_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x54);
+        for _ in 0..PROPERTY_CASES {
+            let positions = random_positions(&mut rng, 1..12, 50.0);
             let p = line_instance(&positions, 50.0);
             let exact = ExactMatcher::default().solve(&p).total_cost(&p);
             let greedy_m = GreedyMatcher::new().solve(&p);
-            prop_assert!(greedy_m.is_complete());
-            prop_assert!(greedy_m.total_cost(&p) >= exact - 1e-9);
+            assert!(greedy_m.is_complete());
+            assert!(greedy_m.total_cost(&p) >= exact - 1e-9);
         }
     }
 }

@@ -42,7 +42,13 @@ impl CosmicRayProcess {
             plane_rows >= extent && plane_cols >= extent,
             "plane {plane_rows}×{plane_cols} is smaller than one anomalous region ({extent} sites)"
         );
-        Self { params, plane_rows, plane_cols, current_cycle: 0, events: Vec::new() }
+        Self {
+            params,
+            plane_rows,
+            plane_cols,
+            current_cycle: 0,
+            events: Vec::new(),
+        }
     }
 
     /// The physical parameters driving the process.
@@ -63,7 +69,10 @@ impl CosmicRayProcess {
     /// The regions still active at the current cycle.
     pub fn active_regions(&self) -> impl Iterator<Item = &AnomalousRegion> {
         let cycle = self.current_cycle;
-        self.events.iter().map(|e| &e.region).filter(move |r| r.active_at(cycle))
+        self.events
+            .iter()
+            .map(|e| &e.region)
+            .filter(move |r| r.active_at(cycle))
     }
 
     /// Advances the process by one code cycle, possibly generating a strike.
@@ -75,7 +84,10 @@ impl CosmicRayProcess {
         if rng.gen::<f64>() >= p_strike {
             return None;
         }
-        let event = CosmicRayEvent { cycle, region: self.sample_region(cycle, rng) };
+        let event = CosmicRayEvent {
+            cycle,
+            region: self.sample_region(cycle, rng),
+        };
         self.events.push(event);
         Some(event)
     }
@@ -92,8 +104,16 @@ impl CosmicRayProcess {
         let extent = 2 * self.params.anomaly_size as i32;
         let max_row = self.plane_rows - extent;
         let max_col = self.plane_cols - extent;
-        let row = if max_row > 0 { rng.gen_range(0..=max_row) } else { 0 };
-        let col = if max_col > 0 { rng.gen_range(0..=max_col) } else { 0 };
+        let row = if max_row > 0 {
+            rng.gen_range(0..=max_row)
+        } else {
+            0
+        };
+        let col = if max_col > 0 {
+            rng.gen_range(0..=max_col)
+        } else {
+            0
+        };
         AnomalousRegion::new(
             Coord::new(row, col),
             self.params.anomaly_size,

@@ -30,7 +30,10 @@ impl NoiseModel {
             (0.0..=2.0 / 3.0).contains(&base_rate),
             "base rate {base_rate} outside [0, 2/3]"
         );
-        Self { base_rate, anomalies: Vec::new() }
+        Self {
+            base_rate,
+            anomalies: Vec::new(),
+        }
     }
 
     /// The base (normal-qubit) error rate `p`.
@@ -191,10 +194,26 @@ mod tests {
             counts[idx] += 1;
         }
         let frac = |c: usize| c as f64 / n as f64;
-        assert!((frac(counts[1]) - 0.1).abs() < 0.01, "X fraction {}", frac(counts[1]));
-        assert!((frac(counts[2]) - 0.1).abs() < 0.01, "Y fraction {}", frac(counts[2]));
-        assert!((frac(counts[3]) - 0.1).abs() < 0.01, "Z fraction {}", frac(counts[3]));
-        assert!((frac(counts[0]) - 0.7).abs() < 0.01, "I fraction {}", frac(counts[0]));
+        assert!(
+            (frac(counts[1]) - 0.1).abs() < 0.01,
+            "X fraction {}",
+            frac(counts[1])
+        );
+        assert!(
+            (frac(counts[2]) - 0.1).abs() < 0.01,
+            "Y fraction {}",
+            frac(counts[2])
+        );
+        assert!(
+            (frac(counts[3]) - 0.1).abs() < 0.01,
+            "Z fraction {}",
+            frac(counts[3])
+        );
+        assert!(
+            (frac(counts[0]) - 0.7).abs() < 0.01,
+            "I fraction {}",
+            frac(counts[0])
+        );
     }
 
     #[test]
@@ -210,17 +229,27 @@ mod tests {
     fn sample_cycle_errors_is_sparse() {
         let m = NoiseModel::uniform(0.05);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let qubits: Vec<Coord> =
-            (0..20).flat_map(|r| (0..20).map(move |c| Coord::new(r, c))).collect();
+        let qubits: Vec<Coord> = (0..20)
+            .flat_map(|r| (0..20).map(move |c| Coord::new(r, c)))
+            .collect();
         let errors = m.sample_cycle_errors(qubits.iter().copied(), 0, &mut rng);
         // ~400 qubits at 7.5 % total error rate → ≈ 30 errors; far fewer than 400.
-        assert!(errors.weight() > 5 && errors.weight() < 100, "weight {}", errors.weight());
+        assert!(
+            errors.weight() > 5 && errors.weight() < 100,
+            "weight {}",
+            errors.weight()
+        );
     }
 
     #[test]
     fn clear_anomalies_restores_uniform_model() {
-        let mut m = NoiseModel::uniform(1e-3)
-            .with_anomaly(AnomalousRegion::new(Coord::new(0, 0), 4, 0, 1000, 0.5));
+        let mut m = NoiseModel::uniform(1e-3).with_anomaly(AnomalousRegion::new(
+            Coord::new(0, 0),
+            4,
+            0,
+            1000,
+            0.5,
+        ));
         assert!(m.is_anomalous(Coord::new(0, 0), 10));
         m.clear_anomalies();
         assert!(!m.is_anomalous(Coord::new(0, 0), 10));

@@ -39,7 +39,13 @@ impl AnomalousRegion {
             (0.0..=1.0).contains(&anomalous_rate),
             "anomalous rate {anomalous_rate} is not a probability"
         );
-        Self { origin, size, onset_cycle, duration_cycles, anomalous_rate }
+        Self {
+            origin,
+            size,
+            onset_cycle,
+            duration_cycles,
+            anomalous_rate,
+        }
     }
 
     /// The top-left grid site of the region.

@@ -65,19 +65,19 @@ pub mod pipeline;
 
 pub use pipeline::{EpisodeReport, PipelineConfig, Q3dePipeline};
 
-/// Planar surface-code geometry, matching graphs and code deformation.
-pub use q3de_lattice as lattice;
-/// Stochastic Pauli noise, anomalous regions and the cosmic-ray process.
-pub use q3de_noise as noise;
-/// Matching engines (exact, greedy, refined).
-pub use q3de_matching as matching;
-/// Space-time decoders with anomaly-aware weighting and re-execution.
-pub use q3de_decoder as decoder;
 /// The statistical anomaly-detection unit.
 pub use q3de_anomaly as anomaly;
-/// Monte-Carlo memory and detection experiments.
-pub use q3de_sim as sim;
 /// The FTQC control unit: ISA, qubit plane, scheduler, queues, Pauli frame.
 pub use q3de_control as control;
+/// Space-time decoders with anomaly-aware weighting and re-execution.
+pub use q3de_decoder as decoder;
+/// Planar surface-code geometry, matching graphs and code deformation.
+pub use q3de_lattice as lattice;
+/// Matching engines (exact, greedy, refined).
+pub use q3de_matching as matching;
+/// Stochastic Pauli noise, anomalous regions and the cosmic-ray process.
+pub use q3de_noise as noise;
 /// Scalability, memory-overhead and decoder-hardware models.
 pub use q3de_scaling as scaling;
+/// Monte-Carlo memory and detection experiments.
+pub use q3de_sim as sim;

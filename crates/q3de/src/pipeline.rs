@@ -1,10 +1,12 @@
 //! The end-to-end Q3DE pipeline for a single logical qubit.
 
 use q3de_anomaly::{AnomalyDetector, CalibrationStats, DetectedAnomaly, DetectorConfig};
-use q3de_control::{ExpansionQueue, Instruction, LogicalQubitId};
 use q3de_control::queues::ExpansionRequest;
+use q3de_control::{ExpansionQueue, Instruction, LogicalQubitId};
 use q3de_decoder::{ReExecutingDecoder, ReExecutionOutcome, SyndromeHistory};
-use q3de_lattice::{deformation::ExpansionPlan, ErrorKind, LatticeError, MatchingGraph, SurfaceCode};
+use q3de_lattice::{
+    deformation::ExpansionPlan, ErrorKind, LatticeError, MatchingGraph, SurfaceCode,
+};
 use q3de_noise::AnomalousRegion;
 
 /// Configuration of the [`Q3dePipeline`].
@@ -167,8 +169,9 @@ impl Q3dePipeline {
         // 1. Anomaly detection on the active-node stream of this window.
         let mut detection = None;
         for layer in 0..history.num_layers() {
-            let active: Vec<bool> =
-                (0..history.num_nodes()).map(|n| history.is_active(layer, n)).collect();
+            let active: Vec<bool> = (0..history.num_nodes())
+                .map(|n| history.is_active(layer, n))
+                .collect();
             if let Some(found) = self.detector.observe_layer(&active) {
                 detection = Some(found);
             }
@@ -189,7 +192,9 @@ impl Q3dePipeline {
                     keep_cycles: self.config.expansion_keep_cycles,
                 };
                 let size = self.config.assumed_anomaly_size;
-                let origin = found.estimated_center.offset(-(size as i32) + 1, -(size as i32) + 1);
+                let origin = found
+                    .estimated_center
+                    .offset(-(size as i32) + 1, -(size as i32) + 1);
                 let region = AnomalousRegion::new(
                     origin,
                     size,
@@ -207,11 +212,20 @@ impl Q3dePipeline {
         let regions: Vec<AnomalousRegion> = assumed_region.into_iter().collect();
         let decoding = decoder.decode(
             history,
-            if regions.is_empty() { None } else { Some(&regions) },
+            if regions.is_empty() {
+                None
+            } else {
+                Some(&regions)
+            },
             window_start_cycle,
         );
 
-        EpisodeReport { detection, expansion_instruction, assumed_region, decoding }
+        EpisodeReport {
+            detection,
+            expansion_instruction,
+            assumed_region,
+            decoding,
+        }
     }
 }
 
@@ -237,7 +251,10 @@ mod tests {
         let mut history = SyndromeHistory::new(graph.num_nodes());
         for t in 0..rounds {
             for (ei, edge) in graph.edges().iter().enumerate() {
-                if noise.sample_pauli(edge.qubit, t as u64, rng).has_x_component() {
+                if noise
+                    .sample_pauli(edge.qubit, t as u64, rng)
+                    .has_x_component()
+                {
                     flipped[ei] = !flipped[ei];
                 }
             }
@@ -250,7 +267,10 @@ mod tests {
                         .count()
                         % 2
                         == 1;
-                    if noise.sample_pauli(graph.node(n), t as u64, rng).has_x_component() {
+                    if noise
+                        .sample_pauli(graph.node(n), t as u64, rng)
+                        .has_x_component()
+                    {
                         parity = !parity;
                     }
                     parity
@@ -293,7 +313,10 @@ mod tests {
         assert!(detection.estimated_center.chebyshev(region.center()) <= 6);
         assert!(matches!(
             report.expansion_instruction,
-            Some(Instruction::OpExpand { target: LogicalQubitId(0), .. })
+            Some(Instruction::OpExpand {
+                target: LogicalQubitId(0),
+                ..
+            })
         ));
         assert!(report.decoding.was_rolled_back());
         assert_eq!(pipeline.pending_expansions(), 1);

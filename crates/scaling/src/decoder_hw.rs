@@ -99,10 +99,15 @@ impl DecoderHardwareModel {
 
     /// Reproduces the four rows of Table IV.
     pub fn table4(&self) -> Vec<DecoderResources> {
-        [(40, DecoderVariant::Base), (40, DecoderVariant::Q3de), (80, DecoderVariant::Base), (80, DecoderVariant::Q3de)]
-            .into_iter()
-            .map(|(entries, variant)| self.estimate(entries, variant))
-            .collect()
+        [
+            (40, DecoderVariant::Base),
+            (40, DecoderVariant::Q3de),
+            (80, DecoderVariant::Base),
+            (80, DecoderVariant::Q3de),
+        ]
+        .into_iter()
+        .map(|(entries, variant)| self.estimate(entries, variant))
+        .collect()
     }
 
     /// The ANQ entry count needed so that queue overflow is rarer than the
@@ -151,8 +156,16 @@ mod tests {
         for (entries, variant, ff, lut, throughput) in PUBLISHED {
             let est = model.estimate(entries, variant);
             let rel = |a: f64, b: f64| (a - b).abs() / b;
-            assert!(rel(est.flip_flops, ff) < 0.12, "FF {entries:?} {variant:?}: {}", est.flip_flops);
-            assert!(rel(est.luts, lut) < 0.12, "LUT {entries:?} {variant:?}: {}", est.luts);
+            assert!(
+                rel(est.flip_flops, ff) < 0.12,
+                "FF {entries:?} {variant:?}: {}",
+                est.flip_flops
+            );
+            assert!(
+                rel(est.luts, lut) < 0.12,
+                "LUT {entries:?} {variant:?}: {}",
+                est.luts
+            );
             assert!(
                 rel(est.matches_per_us, throughput) < 0.15,
                 "throughput {entries:?} {variant:?}: {}",
@@ -173,7 +186,10 @@ mod tests {
                 "LUT overhead at {entries} entries is {overhead:.2}"
             );
             let slowdown = 1.0 - q3de.matches_per_us / base.matches_per_us;
-            assert!(slowdown < 0.10, "throughput slow-down {slowdown:.2} too large");
+            assert!(
+                slowdown < 0.10,
+                "throughput slow-down {slowdown:.2} too large"
+            );
         }
     }
 

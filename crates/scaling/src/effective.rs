@@ -40,11 +40,7 @@ pub fn effective_logical_error_rate(
 /// let reduction = effective_distance_reduction(1e-4 / per_step.powi(2), 1e-4, 1e-3).unwrap();
 /// assert_eq!(reduction, 4.0);
 /// ```
-pub fn effective_distance_reduction(
-    p_l_ano: f64,
-    p_l_d: f64,
-    p_l_d_minus_2: f64,
-) -> Option<f64> {
+pub fn effective_distance_reduction(p_l_ano: f64, p_l_d: f64, p_l_d_minus_2: f64) -> Option<f64> {
     if p_l_ano <= 0.0 || p_l_d <= 0.0 || p_l_d_minus_2 <= 0.0 {
         return None;
     }
@@ -93,7 +89,10 @@ mod tests {
         let p_l_dm2 = p_l_d / per_step;
         // MBBE costs 2·d_ano = 8 → p_L,ano = p_L(d) / per_step⁴
         let p_l_ano = p_l_d / per_step.powi(4);
-        assert_eq!(effective_distance_reduction(p_l_ano, p_l_d, p_l_dm2), Some(8.0));
+        assert_eq!(
+            effective_distance_reduction(p_l_ano, p_l_d, p_l_dm2),
+            Some(8.0)
+        );
     }
 
     #[test]

@@ -78,9 +78,18 @@ mod tests {
         let syndrome = MemoryOverheadModel::to_kbit(m.syndrome_queue_bits());
         let counters = MemoryOverheadModel::to_kbit(m.active_node_counter_bits());
         let matching = MemoryOverheadModel::to_kbit(m.matching_queue_bits());
-        assert!((syndrome - 623.0).abs() < 15.0, "syndrome queue {syndrome} kbit");
-        assert!((counters - 16.0).abs() < 1.0, "active node counter {counters} kbit");
-        assert!((matching - 24.0).abs() < 1.0, "matching queue {matching} kbit");
+        assert!(
+            (syndrome - 623.0).abs() < 15.0,
+            "syndrome queue {syndrome} kbit"
+        );
+        assert!(
+            (counters - 16.0).abs() < 1.0,
+            "active node counter {counters} kbit"
+        );
+        assert!(
+            (matching - 24.0).abs() < 1.0,
+            "matching queue {matching} kbit"
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl ScalabilityModel {
             cfg.base_frequency_hz
         };
         let (exposure_s, distance_loss) = if use_q3de {
-            (cfg.detection_latency_cycles * cfg.code_cycle_s, anomaly_size)
+            (
+                cfg.detection_latency_cycles * cfg.code_cycle_s,
+                anomaly_size,
+            )
         } else {
             (cfg.duration_s, 2.0 * anomaly_size)
         };
@@ -171,7 +174,10 @@ impl ScalabilityModel {
 
 /// A logarithmically spaced grid of candidate ratios from `min` to `max`.
 pub fn log_grid(min: f64, max: f64, points: usize) -> Vec<f64> {
-    assert!(points >= 2 && min > 0.0 && max > min, "invalid log grid parameters");
+    assert!(
+        points >= 2 && min > 0.0 && max > min,
+        "invalid log grid parameters"
+    );
     let step = (max / min).powf(1.0 / (points - 1) as f64);
     (0..points).map(|i| min * step.powi(i as i32)).collect()
 }
@@ -229,8 +235,12 @@ mod tests {
         let m = model();
         let densities = log_grid(1.0, 5000.0, 400);
         let area = 4.0;
-        let q3de = m.required_density(area, true, &densities).expect("Q3DE feasible");
-        let baseline = m.required_density(area, false, &densities).expect("baseline feasible");
+        let q3de = m
+            .required_density(area, true, &densities)
+            .expect("Q3DE feasible");
+        let baseline = m
+            .required_density(area, false, &densities)
+            .expect("baseline feasible");
         let ratio = baseline.qubit_density_ratio / q3de.qubit_density_ratio;
         assert!(ratio > 3.0, "density saving {ratio} should be substantial");
         assert!(q3de.qubit_density_ratio >= 1.0);
@@ -238,8 +248,10 @@ mod tests {
 
     #[test]
     fn without_cosmic_rays_density_is_inverse_to_area() {
-        let mut cfg = ScalabilityConfig::default();
-        cfg.base_frequency_hz = 0.0;
+        let cfg = ScalabilityConfig {
+            base_frequency_hz: 0.0,
+            ..ScalabilityConfig::default()
+        };
         let m = ScalabilityModel::new(cfg);
         let densities = log_grid(0.05, 100.0, 400);
         let a1 = m.required_density(1.0, false, &densities).unwrap();
@@ -256,8 +268,10 @@ mod tests {
     fn average_rate_degrades_with_larger_anomalies() {
         let m = model();
         let small = m.average_rate(20.0, 4.0, false);
-        let mut cfg = ScalabilityConfig::default();
-        cfg.base_anomaly_size = 8.0;
+        let cfg = ScalabilityConfig {
+            base_anomaly_size: 8.0,
+            ..ScalabilityConfig::default()
+        };
         let worse = ScalabilityModel::new(cfg).average_rate(20.0, 4.0, false);
         assert!(worse.average_logical_error_rate >= small.average_logical_error_rate);
         assert_eq!(small.code_distance, worse.code_distance);

@@ -104,7 +104,13 @@ impl DetectionExperiment {
             origin.row + config.anomaly_size as i32 - 1,
             origin.col + config.anomaly_size as i32 - 1,
         );
-        Ok(Self { config, positions, node_mu, hot_mu, true_center })
+        Ok(Self {
+            config,
+            positions,
+            node_mu,
+            hot_mu,
+            true_center,
+        })
     }
 
     /// The experiment configuration.
@@ -163,7 +169,11 @@ impl DetectionExperiment {
                 };
             }
         }
-        DetectionTrial { false_positive: false, latency: None, position_error: None }
+        DetectionTrial {
+            false_positive: false,
+            latency: None,
+            position_error: None,
+        }
     }
 
     /// Runs `trials` trials and returns `(error_rate, mean_latency,
@@ -195,10 +205,16 @@ impl DetectionExperiment {
             }
         }
         let error_rate = errors as f64 / trials.max(1) as f64;
-        let mean_latency =
-            if latency_count > 0 { latency_sum as f64 / latency_count as f64 } else { f64::NAN };
-        let mean_pos =
-            if pos_count > 0 { pos_sum as f64 / pos_count as f64 } else { f64::NAN };
+        let mean_latency = if latency_count > 0 {
+            latency_sum as f64 / latency_count as f64
+        } else {
+            f64::NAN
+        };
+        let mean_pos = if pos_count > 0 {
+            pos_sum as f64 / pos_count as f64
+        } else {
+            f64::NAN
+        };
         (error_rate, mean_latency, mean_pos)
     }
 

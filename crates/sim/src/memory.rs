@@ -32,12 +32,20 @@ pub struct AnomalyInjection {
 impl AnomalyInjection {
     /// The paper's default burst: `d_ano = 4`, `p_ano = 0.5`, centred.
     pub fn mcewen_default() -> Self {
-        Self { size: 4, rate: 0.5, origin: None }
+        Self {
+            size: 4,
+            rate: 0.5,
+            origin: None,
+        }
     }
 
     /// A centred burst of the given size and rate.
     pub fn centered(size: usize, rate: f64) -> Self {
-        Self { size, rate, origin: None }
+        Self {
+            size,
+            rate,
+            origin: None,
+        }
     }
 }
 
@@ -138,7 +146,10 @@ impl EstimateResult {
     ///
     /// Panics if the two estimates used a different number of rounds.
     pub fn merge(&self, other: &EstimateResult) -> EstimateResult {
-        assert_eq!(self.rounds, other.rounds, "cannot merge estimates with different rounds");
+        assert_eq!(
+            self.rounds, other.rounds,
+            "cannot merge estimates with different rounds"
+        );
         EstimateResult {
             shots: self.shots + other.shots,
             failures: self.failures + other.failures,
@@ -177,7 +188,12 @@ impl MemoryExperiment {
             // the burst lasts for the whole experiment window
             AnomalousRegion::new(origin, a.size, 0, rounds as u64 + 1, a.rate)
         });
-        Ok(Self { config, code, graph, region })
+        Ok(Self {
+            config,
+            code,
+            graph,
+            region,
+        })
     }
 
     /// The experiment configuration.
@@ -240,7 +256,7 @@ impl MemoryExperiment {
             }
             // syndrome extraction with ancilla (measurement) errors
             let mut layer = vec![false; n];
-            for node in 0..n {
+            for (node, slot) in layer.iter_mut().enumerate() {
                 let mut parity = false;
                 for &e in self.graph.incident_edges(node) {
                     if flipped[e] {
@@ -251,7 +267,7 @@ impl MemoryExperiment {
                 if ancilla_error.has_x_component() {
                     parity = !parity;
                 }
-                layer[node] = parity;
+                *slot = parity;
             }
             history.push_layer(layer);
         }
@@ -297,7 +313,11 @@ impl MemoryExperiment {
         let failures = (0..shots)
             .filter(|_| self.run_shot(strategy, rng).logical_failure)
             .count();
-        EstimateResult { shots, failures, rounds: self.config.effective_rounds() }
+        EstimateResult {
+            shots,
+            failures,
+            rounds: self.config.effective_rounds(),
+        }
     }
 }
 
@@ -327,7 +347,9 @@ mod tests {
         let mut r = rng(2);
         let mut total_events = 0;
         for _ in 0..20 {
-            total_events += exp.run_shot(DecodingStrategy::MbbeFree, &mut r).num_detection_events;
+            total_events += exp
+                .run_shot(DecodingStrategy::MbbeFree, &mut r)
+                .num_detection_events;
         }
         assert!(total_events > 0, "5 % noise must produce detection events");
     }
@@ -337,10 +359,8 @@ mod tests {
         // p = 0.8 % is far below the ~3 % threshold, so d = 5 must beat d = 3.
         let shots = 400;
         let p = 8e-3;
-        let small =
-            MemoryExperiment::new(MemoryExperimentConfig::new(3, p)).unwrap();
-        let large =
-            MemoryExperiment::new(MemoryExperimentConfig::new(5, p)).unwrap();
+        let small = MemoryExperiment::new(MemoryExperimentConfig::new(3, p)).unwrap();
+        let large = MemoryExperiment::new(MemoryExperimentConfig::new(5, p)).unwrap();
         let e_small = small.estimate(shots, DecodingStrategy::MbbeFree, &mut rng(3));
         let e_large = large.estimate(shots, DecodingStrategy::MbbeFree, &mut rng(4));
         assert!(
@@ -355,8 +375,8 @@ mod tests {
     fn mbbe_increases_the_logical_error_rate() {
         let shots = 300;
         let p = 5e-3;
-        let config = MemoryExperimentConfig::new(5, p)
-            .with_anomaly(AnomalyInjection::centered(2, 0.5));
+        let config =
+            MemoryExperimentConfig::new(5, p).with_anomaly(AnomalyInjection::centered(2, 0.5));
         let exp = MemoryExperiment::new(config).unwrap();
         let free = exp.estimate(shots, DecodingStrategy::MbbeFree, &mut rng(5));
         let burst = exp.estimate(shots, DecodingStrategy::Blind, &mut rng(6));
@@ -372,8 +392,8 @@ mod tests {
     fn anomaly_aware_decoding_not_worse_than_blind() {
         let shots = 300;
         let p = 5e-3;
-        let config = MemoryExperimentConfig::new(5, p)
-            .with_anomaly(AnomalyInjection::centered(2, 0.5));
+        let config =
+            MemoryExperimentConfig::new(5, p).with_anomaly(AnomalyInjection::centered(2, 0.5));
         let exp = MemoryExperiment::new(config).unwrap();
         let blind = exp.estimate(shots, DecodingStrategy::Blind, &mut rng(7));
         let aware = exp.estimate(shots, DecodingStrategy::AnomalyAware, &mut rng(7));
@@ -387,8 +407,16 @@ mod tests {
 
     #[test]
     fn estimate_merge_and_errors() {
-        let a = EstimateResult { shots: 100, failures: 10, rounds: 5 };
-        let b = EstimateResult { shots: 300, failures: 20, rounds: 5 };
+        let a = EstimateResult {
+            shots: 100,
+            failures: 10,
+            rounds: 5,
+        };
+        let b = EstimateResult {
+            shots: 300,
+            failures: 20,
+            rounds: 5,
+        };
         let m = a.merge(&b);
         assert_eq!(m.shots, 400);
         assert_eq!(m.failures, 30);
@@ -400,15 +428,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "different rounds")]
     fn merging_incompatible_estimates_panics() {
-        let a = EstimateResult { shots: 1, failures: 0, rounds: 5 };
-        let b = EstimateResult { shots: 1, failures: 0, rounds: 7 };
+        let a = EstimateResult {
+            shots: 1,
+            failures: 0,
+            rounds: 5,
+        };
+        let b = EstimateResult {
+            shots: 1,
+            failures: 0,
+            rounds: 7,
+        };
         let _ = a.merge(&b);
     }
 
     #[test]
     fn region_is_centered_by_default() {
-        let config = MemoryExperimentConfig::new(9, 1e-3)
-            .with_anomaly(AnomalyInjection::mcewen_default());
+        let config =
+            MemoryExperimentConfig::new(9, 1e-3).with_anomaly(AnomalyInjection::mcewen_default());
         let exp = MemoryExperiment::new(config).unwrap();
         let region = exp.region().unwrap();
         let grid = exp.code().grid_size();
@@ -426,14 +462,24 @@ mod tests {
 
     #[test]
     fn weight_model_matches_strategy() {
-        let config = MemoryExperimentConfig::new(5, 1e-3)
-            .with_anomaly(AnomalyInjection::centered(2, 0.5));
+        let config =
+            MemoryExperimentConfig::new(5, 1e-3).with_anomaly(AnomalyInjection::centered(2, 0.5));
         let exp = MemoryExperiment::new(config).unwrap();
         assert!(!exp.weight_model(DecodingStrategy::Blind).is_anomaly_aware());
-        assert!(exp.weight_model(DecodingStrategy::AnomalyAware).is_anomaly_aware());
-        assert!(!exp.weight_model(DecodingStrategy::MbbeFree).is_anomaly_aware());
+        assert!(exp
+            .weight_model(DecodingStrategy::AnomalyAware)
+            .is_anomaly_aware());
+        assert!(!exp
+            .weight_model(DecodingStrategy::MbbeFree)
+            .is_anomaly_aware());
         // noise models: MBBE-free has no regions, the others have one
-        assert!(exp.noise_model(DecodingStrategy::MbbeFree).anomalies().is_empty());
-        assert_eq!(exp.noise_model(DecodingStrategy::Blind).anomalies().len(), 1);
+        assert!(exp
+            .noise_model(DecodingStrategy::MbbeFree)
+            .anomalies()
+            .is_empty());
+        assert_eq!(
+            exp.noise_model(DecodingStrategy::Blind).anomalies().len(),
+            1
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Multi-threaded Monte-Carlo shot runner.
 
-use crossbeam::thread;
+use std::thread;
 
 /// Runs `shots` independent trials across `num_threads` OS threads and
 /// returns the number of trials for which `shot` returned `true`
@@ -36,14 +36,18 @@ where
         let handles: Vec<_> = (0..num_threads)
             .map(|thread_id| {
                 let count = per_thread + usize::from(thread_id < remainder);
-                scope.spawn(move |_| {
-                    (0..count).filter(|&shot_index| shot_ref(thread_id, shot_index)).count()
+                scope.spawn(move || {
+                    (0..count)
+                        .filter(|&shot_index| shot_ref(thread_id, shot_index))
+                        .count()
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .sum()
     })
-    .expect("thread scope failed")
 }
 
 #[cfg(test)]
@@ -75,7 +79,7 @@ mod tests {
 
     #[test]
     fn results_match_sequential_reference() {
-        let predicate = |t: usize, s: usize| (t * 31 + s * 7) % 5 == 0;
+        let predicate = |t: usize, s: usize| (t * 31 + s * 7).is_multiple_of(5);
         let parallel = run_shots_parallel(200, 4, predicate);
         // sequential reference with the same partitioning (4 threads, 50 each)
         let mut sequential = 0;

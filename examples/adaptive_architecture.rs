@@ -4,7 +4,9 @@
 //! Run with: `cargo run --release --example adaptive_architecture`
 
 use q3de::control::{ArchitectureMode, ThroughputConfig, ThroughputSimulator};
-use q3de::scaling::{qubit_density::log_grid, MemoryOverheadModel, ScalabilityConfig, ScalabilityModel};
+use q3de::scaling::{
+    qubit_density::log_grid, MemoryOverheadModel, ScalabilityConfig, ScalabilityModel,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 

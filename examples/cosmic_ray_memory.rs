@@ -27,6 +27,8 @@ fn main() {
             aware.logical_error_rate()
         );
     }
-    println!("\nThe burst lifts the logical error rate well above the MBBE-free value; knowing the");
+    println!(
+        "\nThe burst lifts the logical error rate well above the MBBE-free value; knowing the"
+    );
     println!("burst location (decoder re-execution) recovers a large part of the loss.");
 }

@@ -37,15 +37,26 @@ fn main() {
     let mut history = SyndromeHistory::new(graph.num_nodes());
     for cycle in 0..400u64 {
         for (edge_index, edge) in graph.edges().iter().enumerate() {
-            if noise.sample_pauli(edge.qubit, cycle, &mut rng).has_x_component() {
+            if noise
+                .sample_pauli(edge.qubit, cycle, &mut rng)
+                .has_x_component()
+            {
                 flipped[edge_index] = !flipped[edge_index];
             }
         }
         let layer: Vec<bool> = (0..graph.num_nodes())
             .map(|node| {
-                let mut parity =
-                    graph.incident_edges(node).iter().filter(|&&e| flipped[e]).count() % 2 == 1;
-                if noise.sample_pauli(graph.node(node), cycle, &mut rng).has_x_component() {
+                let mut parity = graph
+                    .incident_edges(node)
+                    .iter()
+                    .filter(|&&e| flipped[e])
+                    .count()
+                    % 2
+                    == 1;
+                if noise
+                    .sample_pauli(graph.node(node), cycle, &mut rng)
+                    .has_x_component()
+                {
                     parity = !parity;
                 }
                 parity
@@ -63,7 +74,10 @@ fn main() {
                 found.estimated_center,
                 burst.center()
             );
-            println!("emitted instruction: {}", report.expansion_instruction.as_ref().unwrap());
+            println!(
+                "emitted instruction: {}",
+                report.expansion_instruction.as_ref().unwrap()
+            );
             println!(
                 "decoder re-executed: {} (correction parity changed: {})",
                 report.decoding.was_rolled_back(),

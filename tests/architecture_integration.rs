@@ -3,7 +3,9 @@
 
 use q3de::control::{ArchitectureMode, ThroughputConfig, ThroughputSimulator};
 use q3de::noise::{CosmicRayProcess, PhysicalParams};
-use q3de::scaling::{qubit_density::log_grid, MemoryOverheadModel, ScalabilityConfig, ScalabilityModel};
+use q3de::scaling::{
+    qubit_density::log_grid, MemoryOverheadModel, ScalabilityConfig, ScalabilityModel,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -20,20 +22,33 @@ fn q3de_throughput_beats_the_baseline_at_realistic_mbbe_rates() {
             max_cycles: 100_000,
         };
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        ThroughputSimulator::new(config).run(&mut rng).instructions_per_d_cycles
+        ThroughputSimulator::new(config)
+            .run(&mut rng)
+            .instructions_per_d_cycles
     };
     let q3de = run(ArchitectureMode::Q3de);
     let baseline = run(ArchitectureMode::Baseline);
-    assert!(q3de > baseline, "Q3DE {q3de} should beat the doubled-distance baseline {baseline}");
-    assert!(q3de / baseline > 1.5, "the advantage should approach 2x, got {}", q3de / baseline);
+    assert!(
+        q3de > baseline,
+        "Q3DE {q3de} should beat the doubled-distance baseline {baseline}"
+    );
+    assert!(
+        q3de / baseline > 1.5,
+        "the advantage should approach 2x, got {}",
+        q3de / baseline
+    );
 }
 
 #[test]
 fn scalability_model_shows_q3de_reducing_qubit_requirements() {
     let model = ScalabilityModel::new(ScalabilityConfig::default());
     let densities = log_grid(1.0, 5000.0, 300);
-    let q3de = model.required_density(4.0, true, &densities).expect("Q3DE feasible");
-    let baseline = model.required_density(4.0, false, &densities).expect("baseline feasible");
+    let q3de = model
+        .required_density(4.0, true, &densities)
+        .expect("Q3DE feasible");
+    let baseline = model
+        .required_density(4.0, false, &densities)
+        .expect("baseline feasible");
     assert!(q3de.qubit_density_ratio < baseline.qubit_density_ratio);
 }
 
@@ -56,5 +71,8 @@ fn cosmic_ray_process_matches_mcewen_statistics() {
 fn memory_overhead_stays_in_the_hundreds_of_kilobits() {
     let model = MemoryOverheadModel::table3();
     let total = MemoryOverheadModel::to_kbit(model.total_bits());
-    assert!(total > 500.0 && total < 1000.0, "total overhead {total} kbit");
+    assert!(
+        total > 500.0 && total < 1000.0,
+        "total overhead {total} kbit"
+    );
 }

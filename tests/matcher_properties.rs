@@ -1,0 +1,151 @@
+//! Cross-matcher property tests over random matching problems.
+//!
+//! For small random `MatchingProblem`s the exact dynamic-programming matcher
+//! is the ground truth: the greedy matcher may never beat it, and every
+//! matcher must return a *perfect* matching — each defect either paired with
+//! exactly one other defect (symmetrically) or matched to the boundary.
+
+use q3de::matching::{
+    ExactMatcher, GreedyMatcher, MatchTarget, Matcher, MatchingProblem, RefinedGreedyMatcher,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const CASES: usize = 150;
+
+/// A random symmetric problem with positive pair and boundary costs.
+fn random_problem(rng: &mut ChaCha8Rng, max_nodes: usize) -> MatchingProblem {
+    let n = rng.gen_range(0..=max_nodes);
+    let pair: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.05..20.0)).collect();
+    let boundary: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..20.0)).collect();
+    MatchingProblem::from_fn(
+        n,
+        |i, j| pair[i * n + j].min(pair[j * n + i]),
+        |i| boundary[i],
+    )
+}
+
+/// Asserts that `matching` is a perfect matching of `problem`: complete, and
+/// an involution (i matched to j implies j matched to i, and never i to i).
+fn assert_perfect(matching: &q3de::matching::Matching, problem: &MatchingProblem, who: &str) {
+    assert!(
+        matching.is_complete(),
+        "{who}: matching must cover every defect"
+    );
+    assert_eq!(
+        matching.len(),
+        problem.num_nodes(),
+        "{who}: one target per defect"
+    );
+    for (i, target) in matching.iter() {
+        match target {
+            MatchTarget::Boundary => {}
+            MatchTarget::Node(j) => {
+                assert_ne!(i, j, "{who}: defect {i} cannot be matched to itself");
+                assert_eq!(
+                    matching.target(j),
+                    MatchTarget::Node(i),
+                    "{who}: pairing must be symmetric ({i} -> {j})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn greedy_is_perfect_and_never_beats_exact() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let problem = random_problem(&mut rng, 10);
+        let exact = ExactMatcher::default().solve(&problem);
+        let greedy = GreedyMatcher::new().solve(&problem);
+
+        assert_perfect(&exact, &problem, "exact");
+        assert_perfect(&greedy, &problem, "greedy");
+
+        let exact_cost = exact.total_cost(&problem);
+        let greedy_cost = greedy.total_cost(&problem);
+        assert!(
+            greedy_cost >= exact_cost - 1e-9,
+            "case {case}: greedy ({greedy_cost}) beat the exact optimum ({exact_cost}) \
+             on a {}-defect problem",
+            problem.num_nodes()
+        );
+    }
+}
+
+#[test]
+fn refined_greedy_is_bracketed_between_exact_and_greedy() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let problem = random_problem(&mut rng, 9);
+        let exact_cost = ExactMatcher::default().solve(&problem).total_cost(&problem);
+        let greedy_cost = GreedyMatcher::new().solve(&problem).total_cost(&problem);
+        let refined = RefinedGreedyMatcher::default().solve(&problem);
+        assert_perfect(&refined, &problem, "refined");
+        let refined_cost = refined.total_cost(&problem);
+        assert!(
+            refined_cost >= exact_cost - 1e-9,
+            "case {case}: refined ({refined_cost}) beat exact ({exact_cost})"
+        );
+        assert!(
+            refined_cost <= greedy_cost + 1e-9,
+            "case {case}: refinement made greedy worse ({refined_cost} > {greedy_cost})"
+        );
+    }
+}
+
+#[test]
+fn matchers_agree_on_trivial_problems() {
+    // Zero defects: the empty matching, cost 0, for every engine.
+    let empty = MatchingProblem::new(0);
+    for (name, matching) in [
+        ("exact", ExactMatcher::default().solve(&empty)),
+        ("greedy", GreedyMatcher::new().solve(&empty)),
+        ("refined", RefinedGreedyMatcher::default().solve(&empty)),
+    ] {
+        assert!(
+            matching.is_complete(),
+            "{name} must handle the empty problem"
+        );
+        assert_eq!(matching.total_cost(&empty), 0.0, "{name} empty cost");
+    }
+
+    // One defect: boundary matching is the only perfect option.
+    let single = MatchingProblem::from_fn(1, |_, _| 1.0, |_| 2.5);
+    for (name, matching) in [
+        ("exact", ExactMatcher::default().solve(&single)),
+        ("greedy", GreedyMatcher::new().solve(&single)),
+        ("refined", RefinedGreedyMatcher::default().solve(&single)),
+    ] {
+        assert_eq!(
+            matching.target(0),
+            MatchTarget::Boundary,
+            "{name} single defect"
+        );
+        assert_eq!(
+            matching.total_cost(&single),
+            2.5,
+            "{name} single-defect cost"
+        );
+    }
+}
+
+#[test]
+fn greedy_matches_exact_when_pairing_is_forced() {
+    // Two defects with a pair cost far below either boundary cost: both
+    // engines must pair them, and the costs coincide exactly.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF0FCED);
+    for _ in 0..CASES {
+        let pair_cost = rng.gen_range(0.01..0.5);
+        let b0 = rng.gen_range(5.0..10.0);
+        let b1 = rng.gen_range(5.0..10.0);
+        let problem =
+            MatchingProblem::from_fn(2, |_, _| pair_cost, |i| if i == 0 { b0 } else { b1 });
+        let exact = ExactMatcher::default().solve(&problem);
+        let greedy = GreedyMatcher::new().solve(&problem);
+        assert_eq!(exact.target(0), MatchTarget::Node(1));
+        assert_eq!(greedy.target(0), MatchTarget::Node(1));
+        assert!((exact.total_cost(&problem) - greedy.total_cost(&problem)).abs() < 1e-12);
+    }
+}

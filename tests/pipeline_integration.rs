@@ -20,15 +20,26 @@ fn sampled_history(
     let mut history = SyndromeHistory::new(graph.num_nodes());
     for t in 0..rounds {
         for (ei, edge) in graph.edges().iter().enumerate() {
-            if noise.sample_pauli(edge.qubit, t as u64, rng).has_x_component() {
+            if noise
+                .sample_pauli(edge.qubit, t as u64, rng)
+                .has_x_component()
+            {
                 flipped[ei] = !flipped[ei];
             }
         }
         let layer: Vec<bool> = (0..graph.num_nodes())
             .map(|n| {
-                let mut parity =
-                    graph.incident_edges(n).iter().filter(|&&e| flipped[e]).count() % 2 == 1;
-                if noise.sample_pauli(graph.node(n), t as u64, rng).has_x_component() {
+                let mut parity = graph
+                    .incident_edges(n)
+                    .iter()
+                    .filter(|&&e| flipped[e])
+                    .count()
+                    % 2
+                    == 1;
+                if noise
+                    .sample_pauli(graph.node(n), t as u64, rng)
+                    .has_x_component()
+                {
                     parity = !parity;
                 }
                 parity
@@ -54,8 +65,8 @@ fn quiet_memory_is_stable_below_threshold() {
 
 #[test]
 fn mbbe_degrades_and_q3de_recovers_the_memory() {
-    let config = MemoryExperimentConfig::new(5, 5e-3)
-        .with_anomaly(AnomalyInjection::centered(2, 0.5));
+    let config =
+        MemoryExperimentConfig::new(5, 5e-3).with_anomaly(AnomalyInjection::centered(2, 0.5));
     let experiment = MemoryExperiment::new(config).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let shots = 250;

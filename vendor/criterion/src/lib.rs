@@ -1,0 +1,231 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) bench harness used by
+//! this workspace's `benches/` targets.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides just enough API — [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! for the seven figure/table benches to compile (`cargo test --benches
+//! --no-run`) and run (`cargo bench`).  Timing is a simple mean over
+//! `sample_size` iterations of the routine, reported on stdout; there is no
+//! statistical analysis, plotting or baseline comparison.
+//!
+//! Like real criterion, the harness understands `cargo bench -- --test`
+//! (smoke mode: each routine runs once) and treats any other trailing
+//! positional argument as a substring filter on benchmark names.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measures a single benchmark routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured number of iterations and records
+    /// the total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Entry point of the (stub) benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags real criterion accepts that the stub can ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id, sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let iterations = if self.test_mode {
+            1
+        } else {
+            sample_size.max(1) as u64
+        };
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / iterations as f64;
+        println!(
+            "bench: {id:<40} {:>12.3} µs/iter ({iterations} iters)",
+            mean * 1e6
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks a routine under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&id, sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut bencher = Bencher {
+            iterations: 5,
+            elapsed: Duration::ZERO,
+        };
+        let mut calls = 0u64;
+        bencher.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn group_inherits_and_overrides_sample_size() {
+        let mut criterion = Criterion {
+            sample_size: 3,
+            test_mode: false,
+            filter: None,
+        };
+        let mut calls = 0u64;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.bench_function("inherit", |b| b.iter(|| calls += 1));
+            group.sample_size(7);
+            group.bench_function("override", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert_eq!(calls, 3 + 7);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benches() {
+        let mut criterion = Criterion {
+            sample_size: 2,
+            test_mode: false,
+            filter: Some("keep".into()),
+        };
+        let mut calls = 0u64;
+        criterion.bench_function("keep_this", |b| b.iter(|| calls += 1));
+        criterion.bench_function("drop_this", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut criterion = Criterion {
+            sample_size: 50,
+            test_mode: true,
+            filter: None,
+        };
+        let mut calls = 0u64;
+        criterion.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

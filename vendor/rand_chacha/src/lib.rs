@@ -1,0 +1,197 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate, implementing a genuine ChaCha8 keystream generator over the
+//! vendored `rand` traits.
+//!
+//! The output stream is **not** bit-compatible with the upstream
+//! `rand_chacha` crate (which the offline build environment cannot fetch),
+//! but it is a faithful ChaCha8 core: 256-bit key, 64-bit block counter,
+//! 8 rounds (4 column/diagonal double-rounds), 64-byte blocks consumed as
+//! sixteen little-endian `u32` words.  Determinism is exact: the same seed
+//! always produces the same stream, which is all the workspace's
+//! reproducibility guarantees require.
+
+#![deny(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+const WORDS_PER_BLOCK: usize = 16;
+
+/// A deterministic ChaCha8 random number generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; WORDS_PER_BLOCK],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants, key, 64-bit counter, zero nonce.
+        let mut state: [u32; WORDS_PER_BLOCK] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let input = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buffer = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buffer: [0; WORDS_PER_BLOCK],
+            index: WORDS_PER_BLOCK,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_gives_identical_streams() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let collisions = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn clones_continue_the_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        for _ in 0..40 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn blocks_change_with_the_counter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn quarter_round_matches_rfc8439_vector() {
+        // RFC 8439 §2.1.1 quarter-round test vector.
+        let mut state = [0u32; WORDS_PER_BLOCK];
+        state[0] = 0x1111_1111;
+        state[1] = 0x0102_0304;
+        state[2] = 0x9b8d_6f43;
+        state[3] = 0x0123_4567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a_92f4);
+        assert_eq!(state[1], 0xcb1c_f8ce);
+        assert_eq!(state[2], 0x4581_472e);
+        assert_eq!(state[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn all_zero_seed_matches_ecrypt_chacha8_test_vector() {
+        // ECRYPT/eSTREAM ChaCha8 vector: 256-bit zero key, zero IV; the
+        // keystream begins 3e 00 ef 2f 89 5f 40 d6 7f 5b b8 e8 1f 09 a5 a1.
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let words: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        assert_eq!(
+            words,
+            vec![0x2fef_003e, 0xd640_5f89, 0xe8b8_5b7f, 0xa1a5_091f],
+            "keystream should match the published ChaCha8 test vector"
+        );
+    }
+
+    #[test]
+    fn output_has_balanced_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        // 64,000 bits total; expect ~32,000 ones.
+        assert!((30_000..34_000).contains(&ones), "got {ones} one-bits");
+    }
+}
