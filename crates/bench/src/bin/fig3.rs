@@ -5,6 +5,7 @@
 
 use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
 use q3de_bench::{print_row, sci, ExperimentArgs};
+use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let args = ExperimentArgs::parse(400);
@@ -12,8 +13,9 @@ fn main() {
     let error_rates = [4e-3, 8e-3, 1.6e-2, 2.4e-2, 3.2e-2, 4e-2];
 
     println!(
-        "Figure 3: logical error rate per shot (d-cycle memory), {} shots/point",
-        args.samples
+        "Figure 3: logical error rate per shot (d-cycle memory), {} shots/point, {} matcher",
+        args.samples,
+        args.matcher.name()
     );
     print_row(
         "configuration",
@@ -33,13 +35,16 @@ fn main() {
         ] {
             let mut row = Vec::new();
             for (pi, &p) in error_rates.iter().enumerate() {
-                let mut config = MemoryExperimentConfig::new(d, p);
+                let mut config = MemoryExperimentConfig::new(d, p).with_matcher(args.matcher);
                 if let Some(a) = anomaly {
                     config = config.with_anomaly(a);
                 }
                 let experiment = MemoryExperiment::new(config).expect("valid distance");
-                let mut rng = args.rng((d * 100 + pi) as u64);
-                let estimate = experiment.estimate(args.samples, strategy, &mut rng);
+                let estimate = experiment.estimate_parallel::<ChaCha8Rng>(
+                    args.samples,
+                    strategy,
+                    args.stream_seed((d * 100 + pi) as u64),
+                );
                 row.push(sci(estimate.logical_error_rate()));
                 if args.json {
                     println!(

@@ -7,6 +7,7 @@
 use q3de::scaling::effective_distance_reduction;
 use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
 use q3de_bench::{print_row, sci, ExperimentArgs};
+use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let args = ExperimentArgs::parse(300);
@@ -16,8 +17,9 @@ fn main() {
 
     for &dano in &anomaly_sizes {
         println!(
-            "\nFigure 8 (anomaly size = {dano}), {} shots/point",
-            args.samples
+            "\nFigure 8 (anomaly size = {dano}), {} shots/point, {} matcher",
+            args.samples,
+            args.matcher.name()
         );
         print_row(
             "configuration",
@@ -32,13 +34,28 @@ fn main() {
             let mut aware_rates = Vec::new();
             for (pi, &p) in error_rates.iter().enumerate() {
                 let config = MemoryExperimentConfig::new(d, p)
+                    .with_matcher(args.matcher)
                     .with_anomaly(AnomalyInjection::centered(dano, 0.5));
                 let experiment = MemoryExperiment::new(config).expect("valid distance");
-                let mut rng = args.rng((dano * 1000 + d * 10 + pi) as u64);
-                let free = experiment.estimate(args.samples, DecodingStrategy::MbbeFree, &mut rng);
-                let blind = experiment.estimate(args.samples, DecodingStrategy::Blind, &mut rng);
-                let aware =
-                    experiment.estimate(args.samples, DecodingStrategy::AnomalyAware, &mut rng);
+                // stride-4 salts: stream_seed is additive in the salt, so a
+                // unit stride would alias one strategy's streams with its
+                // neighbour data point's
+                let salt = 4 * (dano * 1000 + d * 10 + pi) as u64;
+                let free = experiment.estimate_parallel::<ChaCha8Rng>(
+                    args.samples,
+                    DecodingStrategy::MbbeFree,
+                    args.stream_seed(salt),
+                );
+                let blind = experiment.estimate_parallel::<ChaCha8Rng>(
+                    args.samples,
+                    DecodingStrategy::Blind,
+                    args.stream_seed(salt + 1),
+                );
+                let aware = experiment.estimate_parallel::<ChaCha8Rng>(
+                    args.samples,
+                    DecodingStrategy::AnomalyAware,
+                    args.stream_seed(salt + 2),
+                );
                 free_rates.push(free.logical_error_rate());
                 blind_rates.push(blind.logical_error_rate());
                 aware_rates.push(aware.logical_error_rate());
@@ -65,22 +82,25 @@ fn main() {
         for &d in &distances[1..] {
             let p = error_rates[0];
             let shots = args.samples;
+            // disjoint stride-4 salt block, offset past the row salts and
+            // folded over dano so no two estimates share a stream
+            let eq4_salt =
+                |dist: usize, k: u64| 4 * (50_000 + dano as u64 * 1_000 + dist as u64) + k;
             let estimate = |dist: usize, strategy, salt: u64| {
-                let mut config = MemoryExperimentConfig::new(dist, p);
+                let mut config = MemoryExperimentConfig::new(dist, p).with_matcher(args.matcher);
                 if strategy != DecodingStrategy::MbbeFree {
                     config = config.with_anomaly(AnomalyInjection::centered(dano, 0.5));
                 }
                 let experiment = MemoryExperiment::new(config).expect("valid distance");
-                let mut rng = args.rng(salt);
                 experiment
-                    .estimate(shots, strategy, &mut rng)
+                    .estimate_parallel::<ChaCha8Rng>(shots, strategy, args.stream_seed(salt))
                     .logical_error_rate()
                     .max(1e-6)
             };
-            let p_l_d = estimate(d, DecodingStrategy::MbbeFree, d as u64);
-            let p_l_dm2 = estimate(d - 2, DecodingStrategy::MbbeFree, d as u64 + 1);
-            let blind = estimate(d, DecodingStrategy::Blind, d as u64 + 2);
-            let aware = estimate(d, DecodingStrategy::AnomalyAware, d as u64 + 3);
+            let p_l_d = estimate(d, DecodingStrategy::MbbeFree, eq4_salt(d, 0));
+            let p_l_dm2 = estimate(d - 2, DecodingStrategy::MbbeFree, eq4_salt(d - 2, 1));
+            let blind = estimate(d, DecodingStrategy::Blind, eq4_salt(d, 2));
+            let aware = estimate(d, DecodingStrategy::AnomalyAware, eq4_salt(d, 3));
             let without = effective_distance_reduction(blind, p_l_d, p_l_dm2);
             let with = effective_distance_reduction(aware, p_l_d, p_l_dm2);
             println!(

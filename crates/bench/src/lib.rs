@@ -8,6 +8,7 @@
 
 #![deny(missing_docs)]
 
+use q3de::matching::MatcherKind;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -20,15 +21,19 @@ pub struct ExperimentArgs {
     pub seed: u64,
     /// Emit machine-readable JSON lines in addition to the human table.
     pub json: bool,
+    /// Matching backend the decoding binaries run
+    /// (`--matcher exact|greedy|union-find`).
+    pub matcher: MatcherKind,
 }
 
 impl ExperimentArgs {
-    /// Parses `--samples N`, `--seed N` and `--json` from `std::env::args`,
-    /// with the given default sample count.
+    /// Parses `--samples N`, `--seed N`, `--json` and `--matcher NAME` from
+    /// `std::env::args`, with the given default sample count.
     pub fn parse(default_samples: usize) -> Self {
         let mut samples = default_samples;
         let mut seed = 2022;
         let mut json = false;
+        let mut matcher = MatcherKind::default();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -41,6 +46,16 @@ impl ExperimentArgs {
                     seed = args[i + 1].parse().unwrap_or(2022);
                     i += 1;
                 }
+                "--matcher" if i + 1 < args.len() => {
+                    matcher = MatcherKind::parse(&args[i + 1]).unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown matcher '{}', expected exact|greedy|union-find; using exact",
+                            args[i + 1]
+                        );
+                        MatcherKind::Exact
+                    });
+                    i += 1;
+                }
                 "--json" => json = true,
                 _ => {}
             }
@@ -50,12 +65,20 @@ impl ExperimentArgs {
             samples,
             seed,
             json,
+            matcher,
         }
     }
 
     /// A reproducible RNG derived from the seed and a per-series salt.
     pub fn rng(&self, salt: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt))
+        ChaCha8Rng::seed_from_u64(self.stream_seed(salt))
+    }
+
+    /// The raw `u64` stream seed behind [`ExperimentArgs::rng`], for APIs
+    /// (like [`q3de::sim::MemoryExperiment::estimate_parallel`]) that derive
+    /// per-shot RNGs themselves.
+    pub fn stream_seed(&self, salt: u64) -> u64 {
+        self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt)
     }
 }
 
@@ -79,6 +102,7 @@ mod tests {
             samples: 100,
             seed: 1,
             json: false,
+            matcher: MatcherKind::Exact,
         };
         let mut a = args.rng(0);
         let mut b = args.rng(0);

@@ -1,25 +1,53 @@
 //! The surface-code decoder: detection events → matching → correction parity.
 
-use crate::spacetime::BoundarySide;
-use crate::{DetectionEvent, SpaceTimeCosts, SyndromeHistory, WeightModel};
+use crate::spacetime::{BoundarySide, SpaceTimeGraph};
+use crate::{DetectionEvent, SyndromeHistory, WeightModel};
 use q3de_lattice::MatchingGraph;
-use q3de_matching::{AutoMatcher, MatchTarget, Matcher, MatchingProblem, RefinedGreedyMatcher};
+use q3de_matching::{DecoderBackend, ExactBackend, GreedyBackend, MatcherKind, UnionFindDecoder};
 
 /// Tuning knobs of the [`SurfaceDecoder`].
 #[derive(Debug, Clone, Copy)]
 pub struct DecoderConfig {
-    /// Clusters with at most this many detection events are matched exactly;
-    /// larger clusters fall back to the refined greedy matcher.
+    /// Which matching backend decodes the syndrome windows.
+    pub matcher: MatcherKind,
+    /// For the [`MatcherKind::Exact`] backend: clusters with at most this
+    /// many detection events are matched exactly; larger clusters fall back
+    /// to the refined greedy matcher.
     pub exact_cluster_threshold: usize,
-    /// Maximum 2-opt improvement sweeps of the refined greedy matcher.
+    /// Maximum 2-opt improvement sweeps: the [`MatcherKind::Exact`]
+    /// backend's large-cluster fallback and the [`MatcherKind::Greedy`]
+    /// backend's repair pass both honour this bound.
     pub refine_rounds: usize,
 }
 
 impl Default for DecoderConfig {
     fn default() -> Self {
         Self {
+            matcher: MatcherKind::Exact,
             exact_cluster_threshold: 16,
             refine_rounds: 64,
+        }
+    }
+}
+
+impl DecoderConfig {
+    /// Selects the matching backend, builder style.
+    pub fn with_matcher(mut self, matcher: MatcherKind) -> Self {
+        self.matcher = matcher;
+        self
+    }
+
+    /// Instantiates the configured [`DecoderBackend`].
+    pub fn backend(&self) -> Box<dyn DecoderBackend + Send + Sync> {
+        match self.matcher {
+            MatcherKind::Exact => Box::new(ExactBackend {
+                exact_threshold: self.exact_cluster_threshold,
+                refine_rounds: self.refine_rounds,
+            }),
+            MatcherKind::Greedy => Box::new(GreedyBackend {
+                repair_rounds: self.refine_rounds,
+            }),
+            MatcherKind::UnionFind => Box::new(UnionFindDecoder::default()),
         }
     }
 }
@@ -76,14 +104,22 @@ impl DecodeOutcome {
     }
 }
 
-/// A minimum-weight matching decoder for one error sector of the surface
-/// code.
+/// A matching decoder for one error sector of the surface code.
 ///
-/// The decoder decomposes the detection events into independent clusters
-/// (two events belong to the same cluster when pairing them could ever be
-/// cheaper than sending both to the boundary), solves each cluster with an
-/// exact matcher when small and with the refined greedy matcher otherwise,
-/// and reports the correction parity needed for the logical-failure check.
+/// The decoder builds the sparse space-time graph of the syndrome window
+/// ([`SpaceTimeGraph`]), hands it together with the detection events to the
+/// configured [`DecoderBackend`] (exact, greedy or union-find — see
+/// [`MatcherKind`]), and reports the correction parity needed for the
+/// logical-failure check.  Anomaly-aware re-weighting is applied when the
+/// graph is built, so every backend decodes the same re-weighted costs.
+///
+/// Performance note: the dense backends extract pairwise defect costs with
+/// Dijkstra on the sparse graph even under uniform weights (where a
+/// closed-form Manhattan metric — still available via
+/// [`crate::SpaceTimeCosts`] — would be cheaper).  Decoding throughput
+/// should come from selecting [`MatcherKind::UnionFind`], which skips the
+/// dense cost extraction entirely, rather than from special-casing the
+/// uniform model inside every dense backend.
 #[derive(Debug, Clone)]
 pub struct SurfaceDecoder<'g> {
     graph: &'g MatchingGraph,
@@ -127,105 +163,43 @@ impl<'g> SurfaceDecoder<'g> {
             return DecodeOutcome::default();
         }
         let num_layers = history.num_layers().max(1);
-        let costs = SpaceTimeCosts::new(self.graph, num_layers, model.clone());
+        let spacetime = SpaceTimeGraph::build(self.graph, num_layers, model);
+        let defects: Vec<usize> = events.iter().map(|&e| spacetime.vertex_of(e)).collect();
 
-        // Pairwise and boundary costs.
-        let n = events.len();
-        let mut pair_cost = vec![f64::INFINITY; n * n];
-        let mut boundary = vec![(f64::INFINITY, f64::INFINITY); n];
-        for (i, &e) in events.iter().enumerate() {
-            let (row, bd) = costs.costs_from(e, &events);
-            boundary[i] = bd;
-            for (j, c) in row.into_iter().enumerate() {
-                pair_cost[i * n + j] = c;
-            }
-        }
-        // Symmetrise: Dijkstra costs are symmetric up to floating-point noise,
-        // and the matcher requires exact symmetry.
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let c = pair_cost[i * n + j].min(pair_cost[j * n + i]);
-                pair_cost[i * n + j] = c;
-                pair_cost[j * n + i] = c;
-            }
-        }
-        let boundary_min = |i: usize| boundary[i].0.min(boundary[i].1);
-
-        // Cluster decomposition via union-find: link i and j when pairing
-        // them could beat sending both to the boundary.
-        let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut [usize], mut x: usize) -> usize {
-            while parent[x] != x {
-                parent[x] = parent[parent[x]];
-                x = parent[x];
-            }
-            x
-        }
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if pair_cost[i * n + j] < boundary_min(i) + boundary_min(j) {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                    if ri != rj {
-                        parent[ri] = rj;
-                    }
-                }
-            }
-        }
-        // BTreeMap, not HashMap: cluster iteration order decides the order of
-        // matched pairs and the float summation order of `total_weight`, so it
-        // must be deterministic for seeded runs to be reproducible.
-        let mut clusters: std::collections::BTreeMap<usize, Vec<usize>> =
-            std::collections::BTreeMap::new();
-        for i in 0..n {
-            let root = find(&mut parent, i);
-            clusters.entry(root).or_default().push(i);
-        }
-
-        let matcher = AutoMatcher {
-            exact_threshold: self.config.exact_cluster_threshold,
-            refined: RefinedGreedyMatcher::with_max_rounds(self.config.refine_rounds),
-        };
+        let backend = self.config.backend();
+        let matching = backend.decode_defects(spacetime.graph(), &defects);
+        debug_assert!(
+            matching.is_perfect(defects.len()),
+            "backend {} returned an imperfect matching",
+            backend.name()
+        );
 
         let mut outcome = DecodeOutcome {
             events: events.clone(),
-            num_clusters: clusters.len(),
+            num_clusters: matching.num_clusters,
             ..DecodeOutcome::default()
         };
-        for members in clusters.values() {
-            let m = members.len();
-            let problem = MatchingProblem::from_fn(
-                m,
-                |a, b| pair_cost[members[a] * n + members[b]],
-                |a| boundary_min(members[a]),
-            );
-            let matching = matcher.solve(&problem);
-            for (local, target) in matching.iter() {
-                let global = members[local];
-                match target {
-                    MatchTarget::Node(other_local) => {
-                        let other = members[other_local];
-                        if global < other {
-                            let cost = pair_cost[global * n + other];
-                            outcome.pairs.push(MatchedPair {
-                                a: events[global],
-                                b: events[other],
-                                cost,
-                            });
-                            outcome.total_weight += cost;
-                        }
-                    }
-                    MatchTarget::Boundary => {
-                        let (low, high) = boundary[global];
-                        let (side, cost) = if low <= high {
-                            (BoundarySide::Low, low)
-                        } else {
-                            (BoundarySide::High, high)
-                        };
-                        outcome.boundary_matches.push((events[global], side, cost));
-                        outcome.total_weight += cost;
-                    }
-                }
-            }
+        for pair in &matching.pairs {
+            let (a, b) = if defects[pair.a] <= defects[pair.b] {
+                (pair.a, pair.b)
+            } else {
+                (pair.b, pair.a)
+            };
+            outcome.pairs.push(MatchedPair {
+                a: events[a],
+                b: events[b],
+                cost: pair.cost,
+            });
+            outcome.total_weight += pair.cost;
+        }
+        for bm in &matching.boundary {
+            let side = spacetime
+                .side_of(bm.edge)
+                .expect("boundary match must reference a boundary edge");
+            outcome
+                .boundary_matches
+                .push((events[bm.defect], side, bm.cost));
+            outcome.total_weight += bm.cost;
         }
         outcome
     }
@@ -432,6 +406,54 @@ mod tests {
         let outcome = decoder.decode(&history, &WeightModel::uniform(1e-3));
         assert!(outcome.num_clusters >= 2);
         assert!(!outcome.is_logical_failure(error_cut_parity(&code, &error)));
+    }
+
+    #[test]
+    fn every_backend_corrects_single_errors() {
+        let code = SurfaceCode::new(5).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        for kind in q3de_matching::MatcherKind::ALL {
+            let decoder =
+                SurfaceDecoder::with_config(&graph, DecoderConfig::default().with_matcher(kind));
+            for &q in code.data_qubits() {
+                let error: PauliString = [(q, Pauli::X)].into_iter().collect();
+                let history = static_history(&code, &error, 3);
+                let outcome = decoder.decode(&history, &WeightModel::uniform(1e-3));
+                assert!(
+                    !outcome.is_logical_failure(error_cut_parity(&code, &error)),
+                    "{kind:?}: single X on {q} was not corrected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_fixes_the_burst_with_anomaly_aware_weights() {
+        // The Fig. 6(a) situation of `anomaly_aware_weights_fix_a_burst_misdecoding`,
+        // replayed through each backend: re-weighting must reach union-find
+        // (as integer growth rates) exactly as it reaches the dense matchers.
+        let code = SurfaceCode::new(5).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let region = q3de_noise::AnomalousRegion::new(Coord::new(0, 2), 4, 0, 100, 0.5);
+        let error: PauliString = [
+            (Coord::new(0, 2), Pauli::X),
+            (Coord::new(0, 4), Pauli::X),
+            (Coord::new(0, 6), Pauli::X),
+        ]
+        .into_iter()
+        .collect();
+        let history = static_history(&code, &error, 3);
+        let parity = error_cut_parity(&code, &error);
+        for kind in q3de_matching::MatcherKind::ALL {
+            let decoder =
+                SurfaceDecoder::with_config(&graph, DecoderConfig::default().with_matcher(kind));
+            let aware =
+                decoder.decode(&history, &WeightModel::anomaly_aware(1e-3, vec![region], 0));
+            assert!(
+                !aware.is_logical_failure(parity),
+                "{kind:?}: anomaly-aware decoding should succeed"
+            );
+        }
     }
 
     #[test]

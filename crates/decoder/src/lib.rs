@@ -53,6 +53,11 @@ mod weights;
 
 pub use decode::{DecodeOutcome, DecoderConfig, MatchedPair, SurfaceDecoder};
 pub use rollback::{ReExecutingDecoder, ReExecutionOutcome};
-pub use spacetime::{BoundarySide, SpaceTimeCosts};
+pub use spacetime::{BoundarySide, SpaceTimeCosts, SpaceTimeGraph};
 pub use syndrome::{DetectionEvent, SyndromeHistory};
 pub use weights::WeightModel;
+
+// The backend-selection surface is part of this crate's decoding API:
+// re-export it so downstream crates can configure decoders without a direct
+// `q3de_matching` dependency.
+pub use q3de_matching::{DecoderBackend, MatcherKind};

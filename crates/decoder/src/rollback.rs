@@ -1,6 +1,15 @@
 //! Decoder re-execution (rollback) — the "optimized error DEcoding" of Q3DE.
+//!
+//! The rollback flow is *backend-generic*: both passes run through whichever
+//! [`q3de_matching::DecoderBackend`] the [`DecoderConfig`] selects, and the
+//! anomaly-aware re-weighting is applied when the space-time graph is built,
+//! before any backend sees it.  The union-find backend consumes the
+//! re-weighted costs as integer growth rates, the dense backends as
+//! shortest-path edge weights.
 
-use crate::{DecodeOutcome, DecoderConfig, SurfaceDecoder, SyndromeHistory, WeightModel};
+use crate::{
+    DecodeOutcome, DecoderConfig, MatcherKind, SurfaceDecoder, SyndromeHistory, WeightModel,
+};
 use q3de_lattice::MatchingGraph;
 use q3de_noise::AnomalousRegion;
 
@@ -69,6 +78,16 @@ impl<'g> ReExecutingDecoder<'g> {
             decoder: SurfaceDecoder::with_config(graph, config),
             base_rate,
         }
+    }
+
+    /// Creates a re-executing decoder using the given matching backend with
+    /// otherwise default configuration.
+    pub fn with_matcher(graph: &'g MatchingGraph, base_rate: f64, matcher: MatcherKind) -> Self {
+        Self::with_config(
+            graph,
+            base_rate,
+            DecoderConfig::default().with_matcher(matcher),
+        )
     }
 
     /// The underlying single-pass decoder.
@@ -174,6 +193,31 @@ mod tests {
         assert!(outcome.first_pass.is_logical_failure(error_parity));
         assert!(!outcome.final_outcome().is_logical_failure(error_parity));
         assert!(outcome.reexecution_changed_parity());
+    }
+
+    #[test]
+    fn rollback_is_backend_generic() {
+        // Every matching backend must support the two-pass rollback flow and
+        // fix the burst after re-weighting.
+        let (code, error, region) = burst_setup();
+        let graph = code.matching_graph(ErrorKind::X);
+        let history = history_of(&code, &error, 3);
+        let error_parity = code
+            .logical_z_support()
+            .iter()
+            .filter(|&&q| error.get(q).has_x_component())
+            .count()
+            % 2
+            == 1;
+        for kind in MatcherKind::ALL {
+            let decoder = ReExecutingDecoder::with_matcher(&graph, 1e-3, kind);
+            let outcome = decoder.decode(&history, Some(&[region]), 0);
+            assert!(outcome.was_rolled_back(), "{kind:?}");
+            assert!(
+                !outcome.final_outcome().is_logical_failure(error_parity),
+                "{kind:?}: re-executed pass must fix the burst"
+            );
+        }
     }
 
     #[test]

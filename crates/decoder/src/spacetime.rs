@@ -1,7 +1,9 @@
-//! Shortest-path costs on the space-time decoding graph.
+//! Shortest-path costs on the space-time decoding graph, and the sparse
+//! space-time graph handed to [`q3de_matching::DecoderBackend`]s.
 
 use crate::{DetectionEvent, WeightModel};
 use q3de_lattice::{ErrorKind, GraphEdge, MatchingGraph};
+use q3de_matching::{SparseEdgeId, SyndromeGraph};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -16,6 +18,122 @@ pub enum BoundarySide {
     Low,
     /// The opposite boundary.
     High,
+}
+
+/// The boundary side a boundary edge of a `kind` layer graph terminates on.
+///
+/// This is the single source of truth for the side convention: the dense
+/// cost oracle ([`SpaceTimeCosts::boundary_side`]) and the sparse
+/// [`SpaceTimeGraph`] both classify through it, so the homological-cut
+/// parity cannot diverge between the two decoding paths.
+fn boundary_side_of(kind: ErrorKind, edge: &GraphEdge) -> BoundarySide {
+    debug_assert!(edge.is_boundary());
+    let low = match kind {
+        ErrorKind::X => edge.qubit.col == 0,
+        ErrorKind::Z => edge.qubit.row == 0,
+    };
+    if low {
+        BoundarySide::Low
+    } else {
+        BoundarySide::High
+    }
+}
+
+/// The sparse 3D space-time decoding graph in the geometry-agnostic
+/// [`SyndromeGraph`] representation consumed by
+/// [`q3de_matching::DecoderBackend`]s.
+///
+/// One vertex per `(event layer, stabilizer node)` state.  Space edges
+/// within a layer carry data-qubit error weights, time edges between
+/// consecutive layers carry measurement (ancilla) error weights, and
+/// boundary edges record which [`BoundarySide`] they terminate on so the
+/// decoder can recover the homological-cut parity from a backend's
+/// boundary matches.  Anomaly-aware [`WeightModel`]s re-weight edges per
+/// layer exactly as in [`SpaceTimeCosts`], which is how Q3DE's rollback
+/// re-weighting reaches every backend.
+#[derive(Debug, Clone)]
+pub struct SpaceTimeGraph {
+    graph: SyndromeGraph,
+    sides: Vec<Option<BoundarySide>>,
+    num_nodes: usize,
+    num_layers: usize,
+}
+
+impl SpaceTimeGraph {
+    /// Builds the space-time graph for `num_layers` event layers over the
+    /// 2D `layer_graph`, weighted by `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0`.
+    pub fn build(layer_graph: &MatchingGraph, num_layers: usize, model: &WeightModel) -> Self {
+        assert!(num_layers > 0, "at least one event layer is required");
+        let n = layer_graph.num_nodes();
+        let mut graph = SyndromeGraph::new(n * num_layers);
+        let mut sides: Vec<Option<BoundarySide>> = Vec::new();
+        for layer in 0..num_layers {
+            let base = layer * n;
+            // Space edges: data-qubit errors at this layer's cycle.
+            for edge in layer_graph.edges() {
+                let w = model.weight_at(edge.qubit, layer);
+                match edge.b {
+                    Some(b) => {
+                        graph.add_edge(base + edge.a, base + b, w);
+                        sides.push(None);
+                    }
+                    None => {
+                        graph.add_boundary_edge(base + edge.a, w);
+                        sides.push(Some(boundary_side_of(layer_graph.kind(), edge)));
+                    }
+                }
+            }
+            // Time edges: measurement errors on each node's ancilla.
+            if layer + 1 < num_layers {
+                for node in 0..n {
+                    let w = model.weight_at(layer_graph.node(node), layer);
+                    graph.add_edge(base + node, base + n + node, w);
+                    sides.push(None);
+                }
+            }
+        }
+        Self {
+            graph,
+            sides,
+            num_nodes: n,
+            num_layers,
+        }
+    }
+
+    /// The sparse graph representation.
+    pub fn graph(&self) -> &SyndromeGraph {
+        &self.graph
+    }
+
+    /// Number of event layers.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// The sparse-graph vertex of a detection event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event lies outside the graph.
+    pub fn vertex_of(&self, event: DetectionEvent) -> usize {
+        assert!(
+            event.layer < self.num_layers && event.node < self.num_nodes,
+            "detection event {event} outside the {} x {} space-time graph",
+            self.num_layers,
+            self.num_nodes
+        );
+        event.layer * self.num_nodes + event.node
+    }
+
+    /// The boundary side a sparse edge terminates on (`None` for interior
+    /// edges).
+    pub fn side_of(&self, edge: SparseEdgeId) -> Option<BoundarySide> {
+        self.sides[edge]
+    }
 }
 
 /// Computes minimum path costs between detection events (and to the two
@@ -68,16 +186,7 @@ impl<'g> SpaceTimeCosts<'g> {
 
     /// The boundary side a boundary edge terminates on.
     pub fn boundary_side(&self, edge: &GraphEdge) -> BoundarySide {
-        debug_assert!(edge.is_boundary());
-        let low = match self.graph.kind() {
-            ErrorKind::X => edge.qubit.col == 0,
-            ErrorKind::Z => edge.qubit.row == 0,
-        };
-        if low {
-            BoundarySide::Low
-        } else {
-            BoundarySide::High
-        }
+        boundary_side_of(self.graph.kind(), edge)
     }
 
     /// Minimum path cost between two detection events.
@@ -375,5 +484,77 @@ mod tests {
     fn zero_layers_is_rejected() {
         let g = graph(3);
         let _ = SpaceTimeCosts::new(&g, 0, WeightModel::uniform(1e-3));
+    }
+
+    #[test]
+    fn sparse_graph_has_the_expected_shape() {
+        let g = graph(5);
+        let layers = 4;
+        let st = SpaceTimeGraph::build(&g, layers, &WeightModel::uniform(1e-3));
+        assert_eq!(st.num_layers(), layers);
+        assert_eq!(st.graph().num_vertices(), g.num_nodes() * layers);
+        // per layer: every layer-graph edge, plus time edges except after
+        // the last layer
+        let expected_edges = layers * g.num_edges() + (layers - 1) * g.num_nodes();
+        assert_eq!(st.graph().num_edges(), expected_edges);
+        // boundary sides are recorded exactly for boundary edges
+        let boundary_edges = (0..st.graph().num_edges())
+            .filter(|&e| st.graph().edge(e).is_boundary())
+            .count();
+        let sided = (0..st.graph().num_edges())
+            .filter(|&e| st.side_of(e).is_some())
+            .count();
+        assert_eq!(boundary_edges, sided);
+        assert_eq!(boundary_edges, layers * g.boundary_edges().count());
+    }
+
+    #[test]
+    fn sparse_vertices_follow_the_state_indexing() {
+        let g = graph(3);
+        let st = SpaceTimeGraph::build(&g, 3, &WeightModel::uniform(1e-3));
+        let e = DetectionEvent { layer: 2, node: 1 };
+        assert_eq!(st.vertex_of(e), 2 * g.num_nodes() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn sparse_vertex_rejects_out_of_range_events() {
+        let g = graph(3);
+        let st = SpaceTimeGraph::build(&g, 2, &WeightModel::uniform(1e-3));
+        let _ = st.vertex_of(DetectionEvent { layer: 2, node: 0 });
+    }
+
+    #[test]
+    fn sparse_graph_weights_match_the_cost_oracle() {
+        // Shortest paths on the sparse graph must agree with the dense
+        // SpaceTimeCosts oracle, uniform and anomaly-aware alike.
+        use q3de_matching::{DecoderBackend, ExactBackend};
+        let g = graph(5);
+        let layers = 3;
+        let region = AnomalousRegion::new(Coord::new(2, 0), 5, 0, 10, 0.5);
+        for model in [
+            WeightModel::uniform(1e-2),
+            WeightModel::anomaly_aware(1e-2, vec![region], 0),
+        ] {
+            let st = SpaceTimeGraph::build(&g, layers, &model);
+            let oracle = SpaceTimeCosts::new(&g, layers, model.clone());
+            let a = DetectionEvent { layer: 0, node: 0 };
+            let b = DetectionEvent {
+                layer: 2,
+                node: g.num_nodes() - 1,
+            };
+            let defects = [st.vertex_of(a), st.vertex_of(b)];
+            let m = ExactBackend::default().decode_defects(st.graph(), &defects);
+            let backend_cost = m.total_cost();
+            // the oracle's optimum for the same two events
+            let pair = oracle.cost_between(a, b);
+            let (al, ah) = oracle.boundary_costs(a);
+            let (bl, bh) = oracle.boundary_costs(b);
+            let optimum = pair.min(al.min(ah) + bl.min(bh));
+            assert!(
+                (backend_cost - optimum).abs() < 1e-9,
+                "backend {backend_cost} vs oracle {optimum}"
+            );
+        }
     }
 }

@@ -66,7 +66,17 @@ impl Matcher for GreedyMatcher {
                 }
             }
         }
-        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("costs are never NaN"));
+        // Sort by cost, pairs before boundary options on ties: a pair covers
+        // two nodes for the same price a boundary match covers one, so at
+        // equal cost the pair can never be worse.
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("costs are never NaN")
+                .then_with(|| {
+                    let rank = |c: &Candidate| matches!(c, Candidate::Boundary(_)) as u8;
+                    rank(&a.1).cmp(&rank(&b.1))
+                })
+        });
 
         let mut assignment: Vec<Option<MatchTarget>> = vec![None; n];
         for (_, cand) in candidates {

@@ -42,15 +42,23 @@
 
 #![deny(missing_docs)]
 
+mod backend;
 mod exact;
 mod greedy;
 mod problem;
 mod refine;
+mod sparse;
+mod union_find;
 
+pub use backend::{ExactBackend, GreedyBackend};
 pub use exact::ExactMatcher;
 pub use greedy::GreedyMatcher;
 pub use problem::{MatchTarget, Matching, MatchingProblem};
 pub use refine::{AutoMatcher, RefinedGreedyMatcher};
+pub use sparse::{
+    DefectBoundaryMatch, DefectMatching, DefectPair, SparseEdge, SparseEdgeId, SyndromeGraph,
+};
+pub use union_find::UnionFindDecoder;
 
 /// A strategy for solving a [`MatchingProblem`].
 pub trait Matcher {
@@ -60,6 +68,86 @@ pub trait Matcher {
 
     /// A short human-readable name used in experiment reports.
     fn name(&self) -> &'static str;
+}
+
+/// A full decoding backend: given the sparse (space-time) [`SyndromeGraph`]
+/// and the list of defect vertices, produce a perfect matching of the
+/// defects among themselves and the boundary.
+///
+/// This is the seam the decoding pipeline is built around.  The dense
+/// backends ([`ExactBackend`], [`GreedyBackend`]) extract pairwise defect
+/// costs with Dijkstra and hand a [`MatchingProblem`] to a [`Matcher`]; the
+/// [`UnionFindDecoder`] skips the dense construction entirely and runs
+/// almost-linear cluster growth + peeling on the sparse graph.  All three
+/// consume the same re-weighted edge costs, so Q3DE's anomaly-aware
+/// rollback re-decoding works identically across backends.
+pub trait DecoderBackend {
+    /// Decodes `defects` (vertex ids of the active syndrome nodes) over
+    /// `graph`, returning a perfect [`DefectMatching`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the instance is infeasible — some defect
+    /// can reach neither another defect nor a boundary — or when a defect
+    /// vertex is out of range.
+    fn decode_defects(&self, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching;
+
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Selects which [`DecoderBackend`] the decoding pipeline uses.
+///
+/// | kind | backend | complexity | when to use |
+/// |---|---|---|---|
+/// | `Exact` | [`ExactBackend`] | `O(k·E log V + 2ᶜ)` per window | accuracy baseline, test oracle |
+/// | `Greedy` | [`GreedyBackend`] | `O(k·E log V + k² log k)` | the paper's hardware decoder model |
+/// | `UnionFind` | [`UnionFindDecoder`] | `~O(E α(E))` | large distances / high-throughput sweeps |
+///
+/// (`k` = defects, `V`/`E` = space-time graph size, `c` = largest cluster.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatcherKind {
+    /// Exact minimum-weight matching per cluster (refined-greedy fallback
+    /// above the cluster-size threshold).  The default.
+    #[default]
+    Exact,
+    /// The QECOOL-style greedy radius sweep of the paper's hardware decoder.
+    Greedy,
+    /// The almost-linear union-find decoder.
+    UnionFind,
+}
+
+impl MatcherKind {
+    /// All selectable kinds, in documentation order.
+    pub const ALL: [MatcherKind; 3] = [
+        MatcherKind::Exact,
+        MatcherKind::Greedy,
+        MatcherKind::UnionFind,
+    ];
+
+    /// The backend's CLI / report name (`exact`, `greedy`, `union-find`).
+    ///
+    /// The backends themselves are constructed by the decoder crate's
+    /// `DecoderConfig::backend()`, which threads its tuning knobs into them
+    /// — this enum only names the choice.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatcherKind::Exact => "exact",
+            MatcherKind::Greedy => "greedy",
+            MatcherKind::UnionFind => "union-find",
+        }
+    }
+
+    /// Parses a CLI name as produced by [`MatcherKind::name`] (also accepts
+    /// `uf` and `union_find` for the union-find backend).
+    pub fn parse(s: &str) -> Option<MatcherKind> {
+        match s {
+            "exact" => Some(MatcherKind::Exact),
+            "greedy" => Some(MatcherKind::Greedy),
+            "union-find" | "union_find" | "uf" => Some(MatcherKind::UnionFind),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +171,24 @@ mod trait_tests {
             assert!(sol.is_complete());
             assert!(!m.name().is_empty());
         }
+    }
+
+    #[test]
+    fn every_backend_solves_through_the_trait_and_kinds_round_trip() {
+        let graph = SyndromeGraph::line(&[1.0, 1.0, 1.0], 5.0);
+        let backends: [Box<dyn DecoderBackend>; 3] = [
+            Box::new(ExactBackend::default()),
+            Box::new(GreedyBackend::default()),
+            Box::new(UnionFindDecoder::default()),
+        ];
+        for (kind, backend) in MatcherKind::ALL.into_iter().zip(backends) {
+            let matching = backend.decode_defects(&graph, &[1, 2]);
+            assert!(matching.is_perfect(2), "{}", backend.name());
+            assert_eq!(backend.name(), kind.name());
+            assert_eq!(MatcherKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(MatcherKind::parse("uf"), Some(MatcherKind::UnionFind));
+        assert_eq!(MatcherKind::parse("blossom"), None);
+        assert_eq!(MatcherKind::default(), MatcherKind::Exact);
     }
 }

@@ -1,0 +1,305 @@
+//! The sparse syndrome graph that [`crate::DecoderBackend`]s decode.
+//!
+//! The decoder crate stacks the 2D layer graph of the surface code into a 3D
+//! space-time graph: one vertex per (stabilizer, event-layer) pair, space
+//! edges for data-qubit errors, time edges for measurement errors, and
+//! *boundary* edges for chains that terminate on a lattice boundary.  This
+//! module holds the geometry-agnostic representation of that graph — plain
+//! vertices, weighted edges and boundary stubs — so that matching backends
+//! (exact, greedy, union-find) can be implemented without depending on the
+//! lattice or decoder crates.
+
+/// Identifier of an edge in a [`SyndromeGraph`].
+pub type SparseEdgeId = usize;
+
+/// One edge of a [`SyndromeGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseEdge {
+    /// First endpoint.
+    pub u: usize,
+    /// Second endpoint, or `None` for a boundary edge.
+    pub v: Option<usize>,
+    /// Non-negative matching weight (negative log-likelihood of the
+    /// underlying error mechanism; `0.0` models an edge inside a `p = 0.5`
+    /// anomalous region).
+    pub weight: f64,
+}
+
+impl SparseEdge {
+    /// Whether the edge terminates on a lattice boundary.
+    pub fn is_boundary(&self) -> bool {
+        self.v.is_none()
+    }
+
+    /// Given one endpoint, the other endpoint (`None` for the boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of this edge.
+    pub fn other(&self, from: usize) -> Option<usize> {
+        if self.u == from {
+            self.v
+        } else {
+            assert_eq!(self.v, Some(from), "vertex {from} is not an endpoint");
+            Some(self.u)
+        }
+    }
+}
+
+/// A sparse, undirected, non-negatively weighted decoding graph with
+/// boundary edges.
+///
+/// Unlike [`crate::MatchingProblem`] — which stores *dense* pairwise costs
+/// between active defects — a `SyndromeGraph` stores the underlying physical
+/// graph.  Backends that need pairwise defect costs derive them with
+/// shortest-path searches; the union-find backend never materialises them at
+/// all, which is where its almost-linear runtime comes from.
+#[derive(Debug, Clone, Default)]
+pub struct SyndromeGraph {
+    num_vertices: usize,
+    edges: Vec<SparseEdge>,
+    adjacency: Vec<Vec<SparseEdgeId>>,
+}
+
+impl SyndromeGraph {
+    /// Creates an empty graph over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); num_vertices],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges (boundary edges included).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge between `u` and `v` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, `u == v`, or `weight` is
+    /// negative or not finite.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) -> SparseEdgeId {
+        assert!(
+            u < self.num_vertices && v < self.num_vertices,
+            "endpoint out of range"
+        );
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "edge weight must be finite and non-negative, got {weight}"
+        );
+        let id = self.edges.len();
+        self.edges.push(SparseEdge {
+            u,
+            v: Some(v),
+            weight,
+        });
+        self.adjacency[u].push(id);
+        self.adjacency[v].push(id);
+        id
+    }
+
+    /// Adds a boundary edge at `u` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range or `weight` is negative or not finite.
+    pub fn add_boundary_edge(&mut self, u: usize, weight: f64) -> SparseEdgeId {
+        assert!(u < self.num_vertices, "endpoint out of range");
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "edge weight must be finite and non-negative, got {weight}"
+        );
+        let id = self.edges.len();
+        self.edges.push(SparseEdge { u, v: None, weight });
+        self.adjacency[u].push(id);
+        id
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edge(&self, id: SparseEdgeId) -> &SparseEdge {
+        &self.edges[id]
+    }
+
+    /// All edges in id order.
+    pub fn edges(&self) -> &[SparseEdge] {
+        &self.edges
+    }
+
+    /// Ids of the edges incident to vertex `u` (boundary edges included).
+    pub fn incident(&self, u: usize) -> &[SparseEdgeId] {
+        &self.adjacency[u]
+    }
+
+    /// Builds a path graph over `weights.len() + 1` vertices with the given
+    /// edge weights and boundary edges of weight `boundary` at both ends —
+    /// a convenient one-dimensional test fixture.
+    pub fn line(weights: &[f64], boundary: f64) -> Self {
+        let n = weights.len() + 1;
+        let mut g = Self::new(n);
+        for (i, &w) in weights.iter().enumerate() {
+            g.add_edge(i, i + 1, w);
+        }
+        g.add_boundary_edge(0, boundary);
+        g.add_boundary_edge(n - 1, boundary);
+        g
+    }
+}
+
+/// A defect–defect pairing produced by a [`crate::DecoderBackend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefectPair {
+    /// Index of the first defect in the backend's defect list.
+    pub a: usize,
+    /// Index of the second defect.
+    pub b: usize,
+    /// Cost of the correction chain joining them.
+    pub cost: f64,
+}
+
+/// A defect–boundary match produced by a [`crate::DecoderBackend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefectBoundaryMatch {
+    /// Index of the defect in the backend's defect list.
+    pub defect: usize,
+    /// The boundary edge the correction chain terminates on.  Callers that
+    /// distinguish boundary *sides* (the decoder's homological-cut parity)
+    /// map this id back to a side.
+    pub edge: SparseEdgeId,
+    /// Cost of the correction chain.
+    pub cost: f64,
+}
+
+/// The complete output of a backend run: every defect appears in exactly one
+/// pair or one boundary match.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DefectMatching {
+    /// Defect–defect pairings (each defect at most once, `a < b` not
+    /// guaranteed).
+    pub pairs: Vec<DefectPair>,
+    /// Defect–boundary matches.
+    pub boundary: Vec<DefectBoundaryMatch>,
+    /// Number of independent clusters the instance decomposed into.
+    pub num_clusters: usize,
+}
+
+impl DefectMatching {
+    /// Whether the matching is *perfect* over `num_defects` defects: every
+    /// defect covered exactly once and no defect paired with itself.
+    pub fn is_perfect(&self, num_defects: usize) -> bool {
+        let mut seen = vec![0usize; num_defects];
+        for p in &self.pairs {
+            if p.a == p.b || p.a >= num_defects || p.b >= num_defects {
+                return false;
+            }
+            seen[p.a] += 1;
+            seen[p.b] += 1;
+        }
+        for b in &self.boundary {
+            if b.defect >= num_defects {
+                return false;
+            }
+            seen[b.defect] += 1;
+        }
+        seen.iter().all(|&c| c == 1)
+    }
+
+    /// Total cost of all pairings and boundary matches.
+    pub fn total_cost(&self) -> f64 {
+        self.pairs.iter().map(|p| p.cost).sum::<f64>()
+            + self.boundary.iter().map(|b| b.cost).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_graph_shape() {
+        let g = SyndromeGraph::line(&[1.0, 2.0, 3.0], 5.0);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.incident(0).len(), 2); // interior edge + boundary stub
+        assert_eq!(g.incident(1).len(), 2);
+        assert!(g.edge(3).is_boundary());
+        assert!(g.edge(4).is_boundary());
+        assert_eq!(g.edge(0).other(0), Some(1));
+        assert_eq!(g.edge(0).other(1), Some(0));
+        assert_eq!(g.edge(3).other(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_is_rejected() {
+        let mut g = SyndromeGraph::new(2);
+        g.add_edge(1, 1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_is_rejected() {
+        let mut g = SyndromeGraph::new(2);
+        g.add_edge(0, 1, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_rejects_non_endpoint() {
+        let g = SyndromeGraph::line(&[1.0], 1.0);
+        let _ = g.edge(0).other(7);
+    }
+
+    #[test]
+    fn perfect_matching_detection() {
+        let mut m = DefectMatching::default();
+        m.pairs.push(DefectPair {
+            a: 0,
+            b: 1,
+            cost: 1.0,
+        });
+        m.boundary.push(DefectBoundaryMatch {
+            defect: 2,
+            edge: 0,
+            cost: 2.0,
+        });
+        assert!(m.is_perfect(3));
+        assert!(!m.is_perfect(4)); // defect 3 uncovered
+        assert!((m.total_cost() - 3.0).abs() < 1e-12);
+
+        // duplicated coverage is rejected
+        m.boundary.push(DefectBoundaryMatch {
+            defect: 0,
+            edge: 0,
+            cost: 0.0,
+        });
+        assert!(!m.is_perfect(3));
+    }
+
+    #[test]
+    fn self_pair_is_not_perfect() {
+        let m = DefectMatching {
+            pairs: vec![DefectPair {
+                a: 0,
+                b: 0,
+                cost: 0.0,
+            }],
+            boundary: Vec::new(),
+            num_clusters: 1,
+        };
+        assert!(!m.is_perfect(1));
+    }
+}

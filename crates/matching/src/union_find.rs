@@ -1,0 +1,565 @@
+//! The union-find decoder (Delfosse–Nickerson style).
+//!
+//! Instead of materialising all-pairs shortest-path costs and solving a
+//! dense minimum-weight matching — cubic-ish in the number of defects — the
+//! union-find decoder works directly on the sparse [`SyndromeGraph`] in two
+//! almost-linear stages:
+//!
+//! 1. **cluster growth** — every odd (defect-carrying) cluster grows a
+//!    half-edge frontier outwards in integer growth units; clusters merge in
+//!    a weighted-union/path-compression forest when a fully-grown edge joins
+//!    them, and a cluster *freezes* once it has even defect parity or has
+//!    absorbed a boundary edge;
+//! 2. **peeling** — within each frozen cluster a spanning forest of
+//!    fully-grown edges is peeled from the leaves inward, moving defect
+//!    tokens towards the root; colliding tokens annihilate into
+//!    defect–defect pairs and a token left at the root of a
+//!    boundary-connected cluster exits through the boundary edge.
+//!
+//! Edge weights are consumed as *integer growth rates*: the decoder
+//! quantises the (possibly anomaly-re-weighted) `f64` edge costs so that the
+//! cheapest positive weight maps to at least one growth unit and `0`-weight
+//! edges (a `p = 0.5` anomalous region) are grown instantly.  This is how
+//! the re-weighting of Q3DE's rollback path reaches the union-find backend:
+//! re-weighted edges simply grow faster.
+
+use crate::sparse::{DefectBoundaryMatch, DefectMatching, DefectPair, SyndromeGraph};
+use crate::DecoderBackend;
+
+/// The union-find decoder backend.  Select it with
+/// [`crate::MatcherKind::UnionFind`].
+#[derive(Debug, Clone, Copy)]
+pub struct UnionFindDecoder {
+    /// Quantisation resolution: the largest edge weight maps to at most this
+    /// many integer growth units.  Larger values track the re-weighted costs
+    /// more faithfully at the price of more growth rounds.
+    pub max_growth: u32,
+}
+
+impl Default for UnionFindDecoder {
+    fn default() -> Self {
+        Self { max_growth: 16 }
+    }
+}
+
+/// The weighted-union/path-compression cluster forest.
+struct Forest {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    /// Root-indexed: whether the cluster holds an odd number of defects.
+    odd: Vec<bool>,
+    /// Root-indexed: the first fully-grown boundary edge, if any.
+    boundary: Vec<Option<usize>>,
+    /// Root-indexed: candidate frontier edges (lazily filtered).
+    frontier: Vec<Vec<usize>>,
+}
+
+impl Forest {
+    fn new(graph: &SyndromeGraph) -> Self {
+        let n = graph.num_vertices();
+        // Every vertex starts as a singleton whose frontier is its incident
+        // edge list; unions concatenate frontiers (smaller into larger).
+        let frontier = (0..n).map(|v| graph.incident(v).to_vec()).collect();
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            odd: vec![false; n],
+            boundary: vec![None; n],
+            frontier,
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unions the clusters of `a` and `b` (weighted by size) and returns the
+    /// surviving root.  No-op if they already share a root.
+    fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.odd[big] ^= self.odd[small];
+        if self.boundary[big].is_none() {
+            self.boundary[big] = self.boundary[small];
+        }
+        let moved = std::mem::take(&mut self.frontier[small]);
+        self.frontier[big].extend(moved);
+        big
+    }
+
+    /// Whether the cluster rooted at `r` still needs to grow.
+    fn is_active(&self, r: usize) -> bool {
+        self.odd[r] && self.boundary[r].is_none()
+    }
+
+    /// The sorted, deduplicated roots of the still-active defect clusters.
+    fn active_roots(&mut self, defects: &[usize]) -> Vec<usize> {
+        let mut active = Vec::new();
+        for &v in defects {
+            let r = self.find(v);
+            if self.is_active(r) {
+                active.push(r);
+            }
+        }
+        active.sort_unstable();
+        active.dedup();
+        active
+    }
+}
+
+impl UnionFindDecoder {
+    /// Quantises the graph's `f64` edge weights into integer growth
+    /// capacities.  Each edge gets capacity `2 · round(w / unit)` — growth
+    /// proceeds in half-edge units so two clusters approaching one another
+    /// meet in the middle — where `unit` maps the cheapest positive weight
+    /// to one growth unit, capped so the dearest edge costs at most
+    /// [`UnionFindDecoder::max_growth`] units.
+    fn capacities(&self, graph: &SyndromeGraph) -> Vec<u32> {
+        let mut min_pos = f64::INFINITY;
+        let mut max_w = 0.0f64;
+        for e in graph.edges() {
+            if e.weight > 0.0 {
+                min_pos = min_pos.min(e.weight);
+            }
+            max_w = max_w.max(e.weight);
+        }
+        if !min_pos.is_finite() {
+            // all edges are free
+            return vec![0; graph.num_edges()];
+        }
+        let unit = min_pos.max(max_w / self.max_growth.max(1) as f64);
+        graph
+            .edges()
+            .iter()
+            .map(|e| {
+                let units = (e.weight / unit).round() as u32;
+                // a positive weight never quantises to a free edge
+                let units = if e.weight > 0.0 { units.max(1) } else { 0 };
+                2 * units
+            })
+            .collect()
+    }
+
+    /// Stage 1: grows odd clusters until every cluster is even or
+    /// boundary-connected.  Returns the forest and the grown-edge flags.
+    fn grow(
+        &self,
+        graph: &SyndromeGraph,
+        defects: &[usize],
+        capacity: &[u32],
+    ) -> (Forest, Vec<bool>) {
+        let mut forest = Forest::new(graph);
+        for &v in defects {
+            assert!(v < graph.num_vertices(), "defect vertex {v} out of range");
+            assert!(!forest.odd[v], "duplicate defect vertex {v}");
+            forest.odd[v] = true;
+        }
+        let mut growth = vec![0u32; graph.num_edges()];
+        let mut grown = vec![false; graph.num_edges()];
+
+        // Edges with zero capacity (p = 0.5 regions) are grown from the
+        // start: merge their endpoints before the first round.
+        for (eid, &cap) in capacity.iter().enumerate() {
+            if cap == 0 {
+                grown[eid] = true;
+                let edge = graph.edge(eid);
+                match edge.v {
+                    Some(v) => {
+                        forest.union(edge.u, v);
+                    }
+                    None => {
+                        let r = forest.find(edge.u);
+                        if forest.boundary[r].is_none() {
+                            forest.boundary[r] = Some(eid);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut active = forest.active_roots(defects);
+
+        // `seen[e] == round` marks edges already collected this round, so an
+        // edge listed in two frontier fragments of one merged cluster is
+        // grown only once per round.
+        let mut seen = vec![0u32; graph.num_edges()];
+        let mut round = 0u32;
+        while !active.is_empty() {
+            round += 1;
+            // Phase a: collect this round's candidate frontier edges from
+            // every active cluster, pruning edges that are already grown.
+            let mut round_edges: Vec<usize> = Vec::new();
+            for &root in &active {
+                let root = forest.find(root);
+                if !forest.is_active(root) {
+                    continue; // merged or frozen earlier this round
+                }
+                let candidates = std::mem::take(&mut forest.frontier[root]);
+                let mut remaining = Vec::with_capacity(candidates.len());
+                for eid in candidates {
+                    if grown[eid] {
+                        continue; // interior edge, drop from the frontier
+                    }
+                    if seen[eid] != round {
+                        seen[eid] = round;
+                        round_edges.push(eid);
+                    }
+                    remaining.push(eid);
+                }
+                assert!(
+                    !remaining.is_empty(),
+                    "union-find growth stalled: an odd cluster exhausted its frontier \
+                     without touching a boundary (infeasible decoding graph)"
+                );
+                forest.frontier[root].extend(remaining);
+            }
+            // Phase b: grow each candidate by one unit per *currently
+            // active* endpoint cluster — two approaching clusters meet in
+            // the middle — and merge across edges that reach full capacity.
+            let mut progressed = false;
+            for eid in round_edges {
+                if grown[eid] {
+                    continue;
+                }
+                let edge = graph.edge(eid);
+                let ru = forest.find(edge.u);
+                let mut increment = u32::from(forest.is_active(ru));
+                if let Some(v) = edge.v {
+                    let rv = forest.find(v);
+                    if rv != ru && forest.is_active(rv) {
+                        increment += 1;
+                    }
+                }
+                if increment == 0 {
+                    continue;
+                }
+                growth[eid] += increment;
+                progressed = true;
+                if growth[eid] < capacity[eid] {
+                    continue;
+                }
+                grown[eid] = true;
+                match edge.v {
+                    Some(v) => {
+                        forest.union(edge.u, v);
+                    }
+                    None => {
+                        let r = forest.find(edge.u);
+                        if forest.boundary[r].is_none() {
+                            forest.boundary[r] = Some(eid);
+                        }
+                    }
+                }
+            }
+            // Re-derive the active roots; merged clusters collapse here.
+            active = forest.active_roots(defects);
+            assert!(
+                progressed || active.is_empty(),
+                "union-find growth stalled: some defect cluster has an empty frontier \
+                 and no boundary (infeasible decoding graph)"
+            );
+        }
+        (forest, grown)
+    }
+
+    /// Stage 2: peels the spanning forest of each defect-carrying cluster,
+    /// pairing defect tokens as they collide on their way to the root.
+    fn peel(
+        &self,
+        graph: &SyndromeGraph,
+        defects: &[usize],
+        forest: &mut Forest,
+        grown: &[bool],
+    ) -> DefectMatching {
+        let n = graph.num_vertices();
+
+        // Adjacency over fully-grown non-boundary edges, in edge-id order
+        // (deterministic).
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (eid, &g) in grown.iter().enumerate() {
+            if !g {
+                continue;
+            }
+            let edge = graph.edge(eid);
+            if let Some(v) = edge.v {
+                adj[edge.u].push((v, eid));
+                adj[v].push((edge.u, eid));
+            }
+        }
+
+        // Defect tokens: (defect-list index, accumulated path cost).
+        let mut token: Vec<Option<(usize, f64)>> = vec![None; n];
+        for (idx, &v) in defects.iter().enumerate() {
+            token[v] = Some((idx, 0.0));
+        }
+
+        let mut out = DefectMatching::default();
+        let mut visited = vec![false; n];
+        let mut cluster_roots: Vec<usize> = Vec::new();
+        for &v in defects {
+            let r = forest.find(v);
+            if !cluster_roots.contains(&r) {
+                cluster_roots.push(r);
+            }
+        }
+        out.num_clusters = cluster_roots.len();
+
+        for &cluster in &cluster_roots {
+            // Root the spanning tree at the boundary attachment when the
+            // cluster touches a boundary, else at the cluster's smallest
+            // defect vertex (any vertex works; this one is deterministic).
+            let boundary_edge = forest.boundary[cluster];
+            let root = match boundary_edge {
+                Some(be) => graph.edge(be).u,
+                None => *defects
+                    .iter()
+                    .filter(|&&v| forest.find(v) == cluster)
+                    .min()
+                    .expect("cluster contains a defect"),
+            };
+
+            // BFS spanning tree over grown edges.
+            let mut order = vec![root];
+            let mut parent: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); 1];
+            visited[root] = true;
+            let mut head = 0;
+            while head < order.len() {
+                let u = order[head];
+                for &(v, eid) in &adj[u] {
+                    if !visited[v] {
+                        visited[v] = true;
+                        order.push(v);
+                        parent.push((u, eid));
+                    }
+                }
+                head += 1;
+            }
+
+            // Peel leaves-first: tokens ride towards the root, annihilating
+            // in pairs when they collide.
+            for i in (1..order.len()).rev() {
+                let v = order[i];
+                let (p, eid) = parent[i];
+                if let Some((idx, cost)) = token[v].take() {
+                    let cost = cost + graph.edge(eid).weight;
+                    match token[p].take() {
+                        Some((other, other_cost)) => out.pairs.push(DefectPair {
+                            a: other,
+                            b: idx,
+                            cost: other_cost + cost,
+                        }),
+                        None => token[p] = Some((idx, cost)),
+                    }
+                }
+            }
+            if let Some((idx, cost)) = token[root].take() {
+                let be = boundary_edge.expect(
+                    "odd cluster finished growth without touching a boundary (decoder bug)",
+                );
+                out.boundary.push(DefectBoundaryMatch {
+                    defect: idx,
+                    edge: be,
+                    cost: cost + graph.edge(be).weight,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl DecoderBackend for UnionFindDecoder {
+    /// Decodes `defects` on `graph` in two almost-linear passes (growth and
+    /// peeling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a defect vertex is out of range or duplicated, or if some
+    /// defect can reach neither another defect nor a boundary.
+    fn decode_defects(&self, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching {
+        if defects.is_empty() {
+            return DefectMatching::default();
+        }
+        let capacity = self.capacities(graph);
+        let (mut forest, grown) = self.grow(graph, defects, &capacity);
+        self.peel(graph, defects, &mut forest, &grown)
+    }
+
+    fn name(&self) -> &'static str {
+        "union-find"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ExactBackend;
+
+    fn uf() -> UnionFindDecoder {
+        UnionFindDecoder::default()
+    }
+
+    #[test]
+    fn empty_defects_decode_trivially() {
+        let g = SyndromeGraph::line(&[1.0, 1.0], 1.0);
+        let m = uf().decode_defects(&g, &[]);
+        assert!(m.pairs.is_empty() && m.boundary.is_empty());
+        assert_eq!(m.num_clusters, 0);
+    }
+
+    #[test]
+    fn adjacent_pair_is_matched() {
+        let g = SyndromeGraph::line(&[1.0; 6], 10.0);
+        let m = uf().decode_defects(&g, &[2, 3]);
+        assert!(m.is_perfect(2));
+        assert_eq!(m.pairs.len(), 1);
+        assert!((m.pairs[0].cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lone_defect_reaches_the_nearest_boundary() {
+        let g = SyndromeGraph::line(&[1.0; 6], 1.0);
+        let m = uf().decode_defects(&g, &[1]);
+        assert!(m.is_perfect(1));
+        assert_eq!(m.boundary.len(), 1);
+        // nearest boundary stub sits at vertex 0
+        assert_eq!(g.edge(m.boundary[0].edge).u, 0);
+        assert!((m.boundary[0].cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_apart_defects_each_take_their_boundary() {
+        let g = SyndromeGraph::line(&[1.0; 10], 1.0);
+        let m = uf().decode_defects(&g, &[1, 9]);
+        assert!(m.is_perfect(2));
+        assert_eq!(m.boundary.len(), 2);
+        assert_eq!(m.num_clusters, 2);
+    }
+
+    #[test]
+    fn three_defects_pair_two_and_boundary_one() {
+        // defects at 1, 2 (adjacent) and 9 (near the high boundary)
+        let g = SyndromeGraph::line(&[1.0; 10], 1.0);
+        let m = uf().decode_defects(&g, &[1, 2, 9]);
+        assert!(m.is_perfect(3));
+        assert_eq!(m.pairs.len(), 1);
+        assert_eq!(m.boundary.len(), 1);
+        let pair = &m.pairs[0];
+        let paired: [usize; 2] = [pair.a.min(pair.b), pair.a.max(pair.b)];
+        assert_eq!(paired, [0, 1], "defects 1 and 2 must pair up");
+        assert_eq!(m.boundary[0].defect, 2);
+    }
+
+    #[test]
+    fn zero_weight_region_is_absorbed_instantly() {
+        // free middle section: the two defects pair across it at the cost of
+        // the two flanking unit edges
+        let g = SyndromeGraph::line(&[1.0, 0.0, 0.0, 0.0, 1.0], 10.0);
+        let m = uf().decode_defects(&g, &[0, 5]);
+        assert!(m.is_perfect(2));
+        assert_eq!(m.pairs.len(), 1);
+        assert!((m.pairs[0].cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_growth_prefers_the_cheap_side() {
+        // defect at 2: boundary at 0 costs 1 + 1 + 1 = 3 hops of weight 1,
+        // boundary at 5 costs edges of weight 5 each — the cheap side wins.
+        let mut g = SyndromeGraph::new(6);
+        for i in 0..2 {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        for i in 2..5 {
+            g.add_edge(i, i + 1, 5.0);
+        }
+        let low = g.add_boundary_edge(0, 1.0);
+        g.add_boundary_edge(5, 5.0);
+        let m = uf().decode_defects(&g, &[2]);
+        assert_eq!(m.boundary.len(), 1);
+        assert_eq!(m.boundary[0].edge, low);
+    }
+
+    #[test]
+    fn agrees_with_exact_on_line_instances() {
+        // Seeded pseudo-random defect subsets on a unit line: union-find
+        // matches the exact backend's pairing cost within 2x (it is not
+        // optimal, but on 1D instances it is usually exact).
+        let g = SyndromeGraph::line(&[1.0; 20], 2.0);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..50 {
+            let mut defects = Vec::new();
+            for v in 0..21usize {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if (state >> 33).is_multiple_of(4) {
+                    defects.push(v);
+                }
+            }
+            let exact = ExactBackend::default().decode_defects(&g, &defects);
+            let ufm = uf().decode_defects(&g, &defects);
+            assert!(ufm.is_perfect(defects.len()), "defects {defects:?}");
+            assert!(exact.is_perfect(defects.len()));
+            assert!(
+                ufm.total_cost() <= 2.0 * exact.total_cost() + 1e-9,
+                "uf {} vs exact {} on {defects:?}",
+                ufm.total_cost(),
+                exact.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn grid_cluster_peels_into_a_perfect_matching() {
+        // 4x4 grid, boundary stubs on the left/right columns, defects in a
+        // 2x2 block: all four pair up internally.
+        let n = 16usize;
+        let mut g = SyndromeGraph::new(n);
+        let at = |r: usize, c: usize| r * 4 + c;
+        for r in 0..4 {
+            for c in 0..4 {
+                if c + 1 < 4 {
+                    g.add_edge(at(r, c), at(r, c + 1), 1.0);
+                }
+                if r + 1 < 4 {
+                    g.add_edge(at(r, c), at(r + 1, c), 1.0);
+                }
+            }
+        }
+        for r in 0..4 {
+            g.add_boundary_edge(at(r, 0), 1.0);
+            g.add_boundary_edge(at(r, 3), 1.0);
+        }
+        let defects = [at(1, 1), at(1, 2), at(2, 1), at(2, 2)];
+        let m = uf().decode_defects(&g, &defects);
+        assert!(m.is_perfect(4));
+        assert_eq!(m.pairs.len(), 2, "interior block pairs internally: {m:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate defect")]
+    fn duplicate_defects_are_rejected() {
+        let g = SyndromeGraph::line(&[1.0], 1.0);
+        let _ = uf().decode_defects(&g, &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn infeasible_graph_panics() {
+        // a lone defect with no edges at all
+        let g = SyndromeGraph::new(1);
+        let _ = uf().decode_defects(&g, &[0]);
+    }
+}

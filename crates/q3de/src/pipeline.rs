@@ -3,7 +3,7 @@
 use q3de_anomaly::{AnomalyDetector, CalibrationStats, DetectedAnomaly, DetectorConfig};
 use q3de_control::queues::ExpansionRequest;
 use q3de_control::{ExpansionQueue, Instruction, LogicalQubitId};
-use q3de_decoder::{ReExecutingDecoder, ReExecutionOutcome, SyndromeHistory};
+use q3de_decoder::{MatcherKind, ReExecutingDecoder, ReExecutionOutcome, SyndromeHistory};
 use q3de_lattice::{
     deformation::ExpansionPlan, ErrorKind, LatticeError, MatchingGraph, SurfaceCode,
 };
@@ -29,6 +29,9 @@ pub struct PipelineConfig {
     /// How long (in code cycles) an expansion is kept — the typical MBBE
     /// lifetime.
     pub expansion_keep_cycles: u64,
+    /// The matching backend both decoding passes run through (see
+    /// [`MatcherKind`] for the complexity/accuracy trade-off).
+    pub matcher: MatcherKind,
 }
 
 impl PipelineConfig {
@@ -42,7 +45,14 @@ impl PipelineConfig {
             assumed_anomalous_rate: 0.5,
             assumed_anomaly_size: 4,
             expansion_keep_cycles: 25_000,
+            matcher: MatcherKind::Exact,
         }
+    }
+
+    /// Selects the matching backend, builder style.
+    pub fn with_matcher(mut self, matcher: MatcherKind) -> Self {
+        self.matcher = matcher;
+        self
     }
 }
 
@@ -208,7 +218,11 @@ impl Q3dePipeline {
         };
 
         // 3. Decode, re-executing when a region was reported.
-        let decoder = ReExecutingDecoder::new(&self.graph, self.config.physical_error_rate);
+        let decoder = ReExecutingDecoder::with_matcher(
+            &self.graph,
+            self.config.physical_error_rate,
+            self.config.matcher,
+        );
         let regions: Vec<AnomalousRegion> = assumed_region.into_iter().collect();
         let decoding = decoder.decode(
             history,
@@ -323,6 +337,24 @@ mod tests {
         let request = pipeline.pop_expansion_request().unwrap();
         assert_eq!(request.target, LogicalQubitId(0));
         assert!(pipeline.pop_expansion_request().is_none());
+    }
+
+    #[test]
+    fn union_find_backend_detects_and_rolls_back_bursts_too() {
+        let mut config = PipelineConfig::new(7, 1e-3).with_matcher(MatcherKind::UnionFind);
+        config.detection_window = 60;
+        config.count_threshold = 8;
+        config.assumed_anomaly_size = 2;
+        assert_eq!(config.matcher, MatcherKind::UnionFind);
+        let mut pipeline = Q3dePipeline::new(config).unwrap();
+        let region = AnomalousRegion::new(Coord::new(4, 4), 2, 100, 100_000, 0.5);
+        let noise = NoiseModel::uniform(1e-3).with_anomaly(region);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let history = sampled_history(&pipeline, &noise, 400, &mut rng);
+        let report = pipeline.process_window(&history, 0);
+        assert!(report.reacted(), "the burst must be detected");
+        assert!(report.decoding.was_rolled_back());
+        assert_eq!(pipeline.pending_expansions(), 1);
     }
 
     #[test]

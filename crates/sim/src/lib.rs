@@ -43,4 +43,4 @@ pub use memory::{
     AnomalyInjection, DecodingStrategy, EstimateResult, MemoryExperiment, MemoryExperimentConfig,
     ShotOutcome,
 };
-pub use parallel::run_shots_parallel;
+pub use parallel::{run_shots_auto, run_shots_parallel};

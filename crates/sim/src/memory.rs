@@ -1,9 +1,9 @@
 //! The d-cycle idling (memory) experiment.
 
-use q3de_decoder::{DecoderConfig, SurfaceDecoder, SyndromeHistory, WeightModel};
+use q3de_decoder::{DecoderConfig, MatcherKind, SurfaceDecoder, SyndromeHistory, WeightModel};
 use q3de_lattice::{Coord, ErrorKind, LatticeError, MatchingGraph, SurfaceCode};
 use q3de_noise::{AnomalousRegion, NoiseModel};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// How the decoder is driven in a memory shot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +86,12 @@ impl MemoryExperimentConfig {
     /// Overrides the number of noisy rounds, builder style.
     pub fn with_rounds(mut self, rounds: usize) -> Self {
         self.rounds = Some(rounds);
+        self
+    }
+
+    /// Selects the matching backend the decoder uses, builder style.
+    pub fn with_matcher(mut self, matcher: MatcherKind) -> Self {
+        self.decoder.matcher = matcher;
         self
     }
 
@@ -232,12 +238,21 @@ impl MemoryExperiment {
         }
     }
 
-    /// Runs a single memory shot.
-    pub fn run_shot<R: Rng + ?Sized>(
+    /// Samples one shot's syndrome stream — `rounds` noisy
+    /// syndrome-extraction layers followed by a final perfect readout layer
+    /// — and the actual logical cut parity of the accumulated error, without
+    /// decoding.
+    ///
+    /// This is *the* syndrome-sampling kernel: [`MemoryExperiment::run_shot`]
+    /// decodes exactly what it returns, and the differential tests and
+    /// throughput benches sample through it too, so the RNG call order (data
+    /// qubits in edge order, then one ancilla draw per node, per round) can
+    /// never silently diverge between simulator, tests and benches.
+    pub fn sample_history<R: Rng + ?Sized>(
         &self,
         strategy: DecodingStrategy,
         rng: &mut R,
-    ) -> ShotOutcome {
+    ) -> (SyndromeHistory, bool) {
         let rounds = self.config.effective_rounds();
         let noise = self.noise_model(strategy);
         let n = self.graph.num_nodes();
@@ -294,7 +309,16 @@ impl MemoryExperiment {
             .count()
             % 2
             == 1;
+        (history, error_cut_parity)
+    }
 
+    /// Runs a single memory shot.
+    pub fn run_shot<R: Rng + ?Sized>(
+        &self,
+        strategy: DecodingStrategy,
+        rng: &mut R,
+    ) -> ShotOutcome {
+        let (history, error_cut_parity) = self.sample_history(strategy, rng);
         let decoder = SurfaceDecoder::with_config(&self.graph, self.config.decoder);
         let outcome = decoder.decode(&history, &self.weight_model(strategy));
         ShotOutcome {
@@ -313,6 +337,34 @@ impl MemoryExperiment {
         let failures = (0..shots)
             .filter(|_| self.run_shot(strategy, rng).logical_failure)
             .count();
+        EstimateResult {
+            shots,
+            failures,
+            rounds: self.config.effective_rounds(),
+        }
+    }
+
+    /// Monte-Carlo estimate over all available cores
+    /// ([`crate::run_shots_auto`]).  Each shot draws from its own RNG of
+    /// type `R`, seeded from `base_seed` and a globally unique stream index:
+    /// which *thread* executes a given stream varies with the worker-pool
+    /// size, but the *set* of streams is always `0..shots`, so the failure
+    /// count is reproducible across machines with any core count.
+    pub fn estimate_parallel<R>(
+        &self,
+        shots: usize,
+        strategy: DecodingStrategy,
+        base_seed: u64,
+    ) -> EstimateResult
+    where
+        R: Rng + SeedableRng,
+    {
+        let next_stream = std::sync::atomic::AtomicU64::new(0);
+        let failures = crate::run_shots_auto(shots, |_, _| {
+            let stream = next_stream.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut rng = R::seed_from_u64(base_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            self.run_shot(strategy, &mut rng).logical_failure
+        });
         EstimateResult {
             shots,
             failures,
@@ -458,6 +510,49 @@ mod tests {
     #[test]
     fn invalid_distance_is_rejected() {
         assert!(MemoryExperiment::new(MemoryExperimentConfig::new(1, 1e-3)).is_err());
+    }
+
+    #[test]
+    fn matcher_backend_can_be_selected() {
+        let config = MemoryExperimentConfig::new(3, 1e-2).with_matcher(MatcherKind::UnionFind);
+        assert_eq!(config.decoder.matcher, MatcherKind::UnionFind);
+        let exp = MemoryExperiment::new(config).unwrap();
+        let est = exp.estimate(30, DecodingStrategy::MbbeFree, &mut rng(11));
+        assert_eq!(est.shots, 30);
+        assert!(est.logical_error_rate() <= 1.0);
+    }
+
+    #[test]
+    fn parallel_estimate_is_deterministic_and_counts_all_shots() {
+        let exp = MemoryExperiment::new(MemoryExperimentConfig::new(3, 2e-2)).unwrap();
+        let a = exp.estimate_parallel::<ChaCha8Rng>(100, DecodingStrategy::MbbeFree, 7);
+        let b = exp.estimate_parallel::<ChaCha8Rng>(100, DecodingStrategy::MbbeFree, 7);
+        assert_eq!(a, b, "same seed must reproduce the same estimate");
+        assert_eq!(a.shots, 100);
+        assert_eq!(a.rounds, 3);
+        let c = exp.estimate_parallel::<ChaCha8Rng>(100, DecodingStrategy::MbbeFree, 8);
+        assert_eq!(c.shots, 100);
+    }
+
+    #[test]
+    fn parallel_estimate_is_machine_independent() {
+        // The parallel estimate seeds shots from a global stream counter, so
+        // it must match a sequential replay of streams 0..shots regardless
+        // of how many worker threads the machine provides.
+        let exp = MemoryExperiment::new(MemoryExperimentConfig::new(3, 2e-2)).unwrap();
+        let base_seed = 0xC0DEu64;
+        let parallel =
+            exp.estimate_parallel::<ChaCha8Rng>(80, DecodingStrategy::MbbeFree, base_seed);
+        let sequential = (0..80u64)
+            .filter(|&stream| {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    base_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                exp.run_shot(DecodingStrategy::MbbeFree, &mut rng)
+                    .logical_failure
+            })
+            .count();
+        assert_eq!(parallel.failures, sequential);
     }
 
     #[test]

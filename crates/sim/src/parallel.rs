@@ -50,6 +50,28 @@ where
     })
 }
 
+/// Like [`run_shots_parallel`], but sizes the worker pool from
+/// [`std::thread::available_parallelism`] (falling back to a single thread
+/// when the parallelism cannot be determined) instead of requiring — and
+/// panicking on — a caller-supplied thread count.
+///
+/// This is the ergonomic entry point the figure binaries use.
+///
+/// ```
+/// use q3de_sim::run_shots_auto;
+/// let failures = run_shots_auto(100, |thread, shot| (thread + shot) % 7 == 0);
+/// assert!(failures > 0 && failures < 100);
+/// ```
+pub fn run_shots_auto<F>(shots: usize, shot: F) -> usize
+where
+    F: Fn(usize, usize) -> bool + Sync,
+{
+    let num_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    run_shots_parallel(shots, num_threads, shot)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +119,17 @@ mod tests {
     #[should_panic(expected = "at least one worker thread")]
     fn zero_threads_is_rejected() {
         let _ = run_shots_parallel(10, 0, |_, _| false);
+    }
+
+    #[test]
+    fn auto_variant_runs_every_shot_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let failures = run_shots_auto(57, |_, _| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            true
+        });
+        assert_eq!(failures, 57);
+        assert_eq!(counter.load(Ordering::SeqCst), 57);
+        assert_eq!(run_shots_auto(0, |_, _| true), 0);
     }
 }

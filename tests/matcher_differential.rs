@@ -1,0 +1,122 @@
+//! Differential test: the union-find backend vs the exact-MWPM oracle on
+//! seeded random syndrome streams.
+//!
+//! For every stream the union-find decoder must return a *valid perfect
+//! matching* of the detection events (each event in exactly one pair or
+//! boundary match), and over >=200 streams per distance its logical error
+//! rate must stay within 2x of exact MWPM's on the very same streams.
+//!
+//! Streams are sampled through `MemoryExperiment::sample_history` — the same
+//! kernel every Monte-Carlo shot decodes — so the differential suite
+//! exercises exactly the distribution the simulator sees.
+
+use q3de::decoder::{DecodeOutcome, DecoderConfig, MatcherKind, SurfaceDecoder};
+use q3de::lattice::ErrorKind;
+use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+const STREAMS: usize = 200;
+
+/// Asserts that the decode outcome is a valid perfect matching: every
+/// detection event covered exactly once, never paired with itself.
+fn assert_valid_matching(outcome: &DecodeOutcome, who: &str) {
+    let mut coverage: HashMap<_, usize> = HashMap::new();
+    for pair in &outcome.pairs {
+        assert_ne!(pair.a, pair.b, "{who}: event paired with itself");
+        *coverage.entry(pair.a).or_insert(0) += 1;
+        *coverage.entry(pair.b).or_insert(0) += 1;
+    }
+    for &(event, _, _) in &outcome.boundary_matches {
+        *coverage.entry(event).or_insert(0) += 1;
+    }
+    assert_eq!(
+        coverage.len(),
+        outcome.num_events(),
+        "{who}: every event must be covered"
+    );
+    for &event in &outcome.events {
+        assert_eq!(
+            coverage.get(&event),
+            Some(&1),
+            "{who}: event {event} covered {} times",
+            coverage.get(&event).copied().unwrap_or(0)
+        );
+    }
+}
+
+/// Runs the differential comparison for one experiment configuration and
+/// returns the per-backend failure counts (exact, union-find).
+fn differential(
+    config: MemoryExperimentConfig,
+    strategy: DecodingStrategy,
+    salt: u64,
+) -> (usize, usize) {
+    let experiment = MemoryExperiment::new(config).expect("valid distance");
+    let graph = experiment.code().matching_graph(ErrorKind::X);
+    let model = experiment.weight_model(strategy);
+    let exact = SurfaceDecoder::with_config(
+        &graph,
+        DecoderConfig::default().with_matcher(MatcherKind::Exact),
+    );
+    let union_find = SurfaceDecoder::with_config(
+        &graph,
+        DecoderConfig::default().with_matcher(MatcherKind::UnionFind),
+    );
+    let d = config.distance as u64;
+    let mut exact_failures = 0usize;
+    let mut uf_failures = 0usize;
+    for stream in 0..STREAMS {
+        let mut rng = ChaCha8Rng::seed_from_u64(salt ^ (d * 1_000_003 + stream as u64));
+        let (history, parity) = experiment.sample_history(strategy, &mut rng);
+        let exact_out = exact.decode(&history, &model);
+        let uf_out = union_find.decode(&history, &model);
+        assert_valid_matching(&uf_out, "union-find");
+        assert_valid_matching(&exact_out, "exact");
+        exact_failures += usize::from(exact_out.is_logical_failure(parity));
+        uf_failures += usize::from(uf_out.is_logical_failure(parity));
+    }
+    (exact_failures, uf_failures)
+}
+
+#[test]
+fn union_find_tracks_exact_mwpm_on_uniform_streams() {
+    // p = 2e-2 sits just below threshold: high enough that exact MWPM fails
+    // on a measurable fraction of streams, so the 2x bound is not vacuous.
+    let p = 2e-2;
+    for d in [3usize, 5, 7] {
+        let config = MemoryExperimentConfig::new(d, p);
+        let (exact, uf) = differential(config, DecodingStrategy::MbbeFree, 0xD1FF);
+        assert!(
+            exact > 0,
+            "d={d}: exact MWPM should fail on some of {STREAMS} streams at p={p}"
+        );
+        assert!(
+            uf <= 2 * exact,
+            "d={d}: union-find failed {uf}/{STREAMS} vs exact {exact}/{STREAMS} \
+             — outside the 2x differential bound"
+        );
+    }
+}
+
+#[test]
+fn union_find_tracks_exact_mwpm_under_burst_reweighting() {
+    // The rollback hot path: a centred MBBE with anomaly-aware re-weighted
+    // costs.  Union-find must stay within 2x of exact here too.
+    let p = 8e-3;
+    for d in [5usize, 7] {
+        let config =
+            MemoryExperimentConfig::new(d, p).with_anomaly(AnomalyInjection::centered(2, 0.5));
+        let (exact, uf) = differential(config, DecodingStrategy::AnomalyAware, 0xB065);
+        assert!(
+            exact > 0,
+            "d={d}: the burst should defeat exact MWPM on some of {STREAMS} streams"
+        );
+        assert!(
+            uf <= 2 * exact,
+            "d={d}: union-find failed {uf}/{STREAMS} vs exact {exact}/{STREAMS} \
+             under re-weighting — outside the 2x differential bound"
+        );
+    }
+}

@@ -5,11 +5,15 @@
 //! matcher must return a *perfect* matching — each defect either paired with
 //! exactly one other defect (symmetrically) or matched to the boundary.
 
+use q3de::decoder::{DecoderConfig, MatcherKind, SurfaceDecoder, SyndromeHistory, WeightModel};
+use q3de::lattice::{Coord, ErrorKind, Pauli, PauliString, StabilizerKind, SurfaceCode};
 use q3de::matching::{
     ExactMatcher, GreedyMatcher, MatchTarget, Matcher, MatchingProblem, RefinedGreedyMatcher,
 };
+use q3de::noise::AnomalousRegion;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
 
 const CASES: usize = 150;
 
@@ -127,6 +131,176 @@ fn matchers_agree_on_trivial_problems() {
             matching.total_cost(&single),
             2.5,
             "{name} single-defect cost"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend-level properties: every DecoderBackend (exact, greedy, union-find)
+// must correct all guaranteed-correctable errors, with uniform weights and
+// under post-anomaly re-weighted graphs alike.
+// ---------------------------------------------------------------------------
+
+const BACKEND_DISTANCES: [usize; 5] = [3, 5, 7, 9, 11];
+
+/// A noiseless static syndrome stream of the given data-error pattern.
+fn static_history(code: &SurfaceCode, error: &PauliString, rounds: usize) -> SyndromeHistory {
+    let graph = code.matching_graph(ErrorKind::X);
+    let syndrome = code.syndrome(StabilizerKind::Z, error);
+    let mut h = SyndromeHistory::new(graph.num_nodes());
+    for _ in 0..rounds {
+        h.push_layer(syndrome.clone());
+    }
+    h
+}
+
+fn error_cut_parity(code: &SurfaceCode, error: &PauliString) -> bool {
+    code.logical_z_support()
+        .iter()
+        .filter(|&&q| error.get(q).has_x_component())
+        .count()
+        % 2
+        == 1
+}
+
+/// Whether decoding `error` under `model` with the given backend leaves a
+/// logical error.
+fn decode_fails(
+    code: &SurfaceCode,
+    error: &PauliString,
+    model: &WeightModel,
+    kind: MatcherKind,
+) -> bool {
+    let graph = code.matching_graph(ErrorKind::X);
+    let decoder = SurfaceDecoder::with_config(&graph, DecoderConfig::default().with_matcher(kind));
+    let history = static_history(code, error, 3);
+    let outcome = decoder.decode(&history, model);
+    outcome.is_logical_failure(error_cut_parity(code, error))
+}
+
+/// All horizontal X-error chains of `weight` data qubits whose support
+/// satisfies `keep`, starting anywhere on the patch.
+fn horizontal_chains(
+    code: &SurfaceCode,
+    weight: usize,
+    keep: impl Fn(Coord) -> bool,
+) -> Vec<PauliString> {
+    let data: HashSet<Coord> = code.data_qubits().iter().copied().collect();
+    let mut chains = Vec::new();
+    for &start in code.data_qubits() {
+        let support: Vec<Coord> = (0..weight).map(|i| start.offset(0, 2 * i as i32)).collect();
+        if support.iter().all(|&q| data.contains(&q) && keep(q)) {
+            chains.push(support.into_iter().map(|q| (q, Pauli::X)).collect());
+        }
+    }
+    chains
+}
+
+/// The centred anomalous region used by the re-weighted-graph properties:
+/// interior to the patch (never touching a boundary column/row) and active
+/// over the whole decoded window.
+///
+/// `p_ano = 0.3` re-weights the region's edges to ~12% of the base weight
+/// without making them exactly free: at `p_ano = 0.5` a small patch can tie
+/// the two boundary costs of an edge-adjacent event *exactly* (the region
+/// contributes zero cost), and no matcher can break a zero-cost tie towards
+/// the true error.  The `p_ano = 0.5` regime is exercised separately by the
+/// in-region chain property below via the decode-level burst tests.
+fn centered_region(d: usize) -> AnomalousRegion {
+    let size = if d == 3 { 1 } else { 2 };
+    let mid = (d - 1) as i32;
+    AnomalousRegion::new(
+        Coord::new(mid - size as i32, mid - size as i32),
+        size,
+        0,
+        100,
+        0.3,
+    )
+}
+
+#[test]
+fn every_backend_corrects_all_single_qubit_errors() {
+    for d in BACKEND_DISTANCES {
+        let code = SurfaceCode::new(d).expect("valid distance");
+        let model = WeightModel::uniform(1e-3);
+        for kind in MatcherKind::ALL {
+            for &q in code.data_qubits() {
+                let error: PauliString = [(q, Pauli::X)].into_iter().collect();
+                assert!(
+                    !decode_fails(&code, &error, &model, kind),
+                    "{kind:?} d={d}: single X on {q} was not corrected"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_backend_corrects_all_subthreshold_chains() {
+    // Every horizontal error chain of weight < d/2 is guaranteed
+    // correctable; all backends must get every one of them right.
+    for d in BACKEND_DISTANCES {
+        let code = SurfaceCode::new(d).expect("valid distance");
+        let model = WeightModel::uniform(1e-3);
+        for weight in 1..=(d - 1) / 2 {
+            for error in horizontal_chains(&code, weight, |_| true) {
+                for kind in MatcherKind::ALL {
+                    assert!(
+                        !decode_fails(&code, &error, &model, kind),
+                        "{kind:?} d={d}: weight-{weight} chain was not corrected"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_backend_corrects_single_qubit_errors_under_reweighting() {
+    // Post-anomaly re-weighted graph: a centred p_ano = 0.5 region makes its
+    // edges free, yet isolated single-qubit errors anywhere on the patch
+    // must still decode correctly with every backend.
+    for d in BACKEND_DISTANCES {
+        let code = SurfaceCode::new(d).expect("valid distance");
+        let region = centered_region(d);
+        let model = WeightModel::anomaly_aware(1e-3, vec![region], 0);
+        for kind in MatcherKind::ALL {
+            for &q in code.data_qubits() {
+                let error: PauliString = [(q, Pauli::X)].into_iter().collect();
+                assert!(
+                    !decode_fails(&code, &error, &model, kind),
+                    "{kind:?} d={d}: single X on {q} mis-decoded on the re-weighted graph"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_backend_corrects_in_region_chains_under_reweighting() {
+    // The Q3DE rollback guarantee: burst-induced chains *inside* the
+    // re-weighted region are matched through it (at ~zero cost) instead of
+    // being mis-matched to the boundary, for every backend.
+    for d in BACKEND_DISTANCES {
+        let code = SurfaceCode::new(d).expect("valid distance");
+        let region = centered_region(d);
+        let model = WeightModel::anomaly_aware(1e-3, vec![region], 0);
+        let in_region = |q: Coord| region.contains(q);
+        let mut tested = 0usize;
+        for weight in 1..=(d - 1) / 2 {
+            for error in horizontal_chains(&code, weight, in_region) {
+                tested += 1;
+                for kind in MatcherKind::ALL {
+                    assert!(
+                        !decode_fails(&code, &error, &model, kind),
+                        "{kind:?} d={d}: in-region weight-{weight} chain mis-decoded"
+                    );
+                }
+            }
+        }
+        assert!(
+            tested > 0,
+            "d={d}: the region must contain at least one chain"
         );
     }
 }

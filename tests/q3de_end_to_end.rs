@@ -5,7 +5,8 @@
 //! syndrome stream.
 
 use q3de::control::Instruction;
-use q3de::decoder::SyndromeHistory;
+use q3de::decoder::{MatcherKind, ReExecutingDecoder, SyndromeHistory};
+use q3de::lattice::{Coord, ErrorKind, Pauli, PauliString, StabilizerKind, SurfaceCode};
 use q3de::noise::{AnomalousRegion, CosmicRayProcess, NoiseModel, PhysicalParams};
 use q3de::pipeline::{PipelineConfig, Q3dePipeline};
 use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
@@ -165,6 +166,68 @@ fn strike_is_detected_and_triggers_op_expand_and_rollback() {
         report.decoding.was_rolled_back(),
         "decoding must re-execute after a detection"
     );
+}
+
+#[test]
+fn back_to_back_strikes_are_redecoded_together() {
+    // Two overlapping strikes within one `expansion_keep_cycles` window:
+    // region A (onset cycle 0) is still active when region B lands at cycle
+    // 20, and the decoded window at cycle 25 sees both.  Rollback
+    // re-decoding must consume *both* regions' re-weighted costs at once,
+    // for every matching backend.
+    let code = SurfaceCode::new(7).expect("valid distance");
+    let graph = code.matching_graph(ErrorKind::X);
+    let keep_cycles = 100u64; // one expansion keep window
+    let region_a = AnomalousRegion::new(Coord::new(0, 2), 4, 0, keep_cycles, 0.5);
+    let region_b = AnomalousRegion::new(Coord::new(8, 2), 2, 20, keep_cycles, 0.5);
+    let window_start = 25u64;
+    assert!(
+        region_a.affects(Coord::new(0, 2), window_start)
+            && region_b.affects(Coord::new(8, 2), window_start),
+        "both strikes must be active in the decoded window"
+    );
+
+    // Burst damage: a wide chain inside region A (weight 4 >= d/2, so blind
+    // decoding mis-matches it to the boundaries) plus a short chain inside
+    // region B (weight 2, harmless on its own but re-weighted by rollback).
+    let error: PauliString = [
+        (Coord::new(0, 2), Pauli::X),
+        (Coord::new(0, 4), Pauli::X),
+        (Coord::new(0, 6), Pauli::X),
+        (Coord::new(0, 8), Pauli::X),
+        (Coord::new(8, 2), Pauli::X),
+        (Coord::new(8, 4), Pauli::X),
+    ]
+    .into_iter()
+    .collect();
+    let syndrome = code.syndrome(StabilizerKind::Z, &error);
+    let mut history = SyndromeHistory::new(graph.num_nodes());
+    for _ in 0..3 {
+        history.push_layer(syndrome.clone());
+    }
+    let parity = code
+        .logical_z_support()
+        .iter()
+        .filter(|&&q| error.get(q).has_x_component())
+        .count()
+        % 2
+        == 1;
+
+    let regions = [region_a, region_b];
+    for kind in MatcherKind::ALL {
+        let decoder = ReExecutingDecoder::with_matcher(&graph, 1e-3, kind);
+        let outcome = decoder.decode(&history, Some(&regions), window_start);
+        assert!(outcome.was_rolled_back(), "{kind:?}");
+        assert!(
+            outcome.first_pass.is_logical_failure(parity),
+            "{kind:?}: the blind pass should mis-correct the wide burst chain"
+        );
+        assert!(
+            !outcome.final_outcome().is_logical_failure(parity),
+            "{kind:?}: re-decoding with both overlapping regions must fix the stream"
+        );
+        assert!(outcome.reexecution_changed_parity(), "{kind:?}");
+    }
 }
 
 #[test]
