@@ -59,6 +59,15 @@ fn main() {
                 free_rates.push(free.logical_error_rate());
                 blind_rates.push(blind.logical_error_rate());
                 aware_rates.push(aware.logical_error_rate());
+                if args.json {
+                    println!(
+                        "{{\"figure\":8,\"d\":{d},\"d_ano\":{dano},\"p\":{p},\
+                         \"free\":{},\"blind\":{},\"rollback\":{}}}",
+                        free.logical_error_rate(),
+                        blind.logical_error_rate(),
+                        aware.logical_error_rate()
+                    );
+                }
             }
             print_row(
                 &format!("d={d} MBBE free"),

@@ -8,7 +8,8 @@
 //! * the Pauli frame and classical register file with rollback support
 //!   ([`frame`], [`registers`]),
 //! * the syndrome / matching / expansion queues whose sizing Table III
-//!   accounts for ([`queues`]),
+//!   accounts for, and the spare-budget expansion arbiter that grants
+//!   `op_expand` requests against the chip's shared spare pool ([`queues`]),
 //! * the instruction-throughput simulation behind Fig. 10
 //!   ([`scheduler::ThroughputSimulator`]).
 //!
@@ -28,7 +29,10 @@ pub mod scheduler;
 pub use frame::{FrameUpdate, PauliFrame};
 pub use isa::{Instruction, LogicalQubitId, RegisterId};
 pub use plane::{BlockCoord, BlockState, QubitPlane};
-pub use queues::{ExpansionQueue, MatchingQueue, SyndromeQueue};
+pub use queues::{
+    ExpansionArbiter, ExpansionBid, ExpansionDecision, ExpansionGrant, ExpansionQueue,
+    MatchingQueue, SyndromeQueue,
+};
 pub use registers::{ClassicalRegisterFile, RegisterEntry};
 pub use scheduler::{
     ArchitectureMode, Scheduler, ThroughputConfig, ThroughputReport, ThroughputSimulator,

@@ -1,7 +1,9 @@
-//! The syndrome, matching and expansion queues of the Q3DE control unit.
+//! The syndrome, matching and expansion queues of the Q3DE control unit,
+//! and the spare-budget arbiter that turns queued `op_expand` requests into
+//! grants.
 
 use crate::isa::LogicalQubitId;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// The FIFO syndrome queue of Fig. 1, enlarged (Sec. VI-C) so that the most
 /// recent `c_lat + d` layers are retained even after they have been matched,
@@ -236,6 +238,282 @@ impl ExpansionQueue {
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// The oldest pending request, without removing it.
+    pub fn peek(&self) -> Option<&ExpansionRequest> {
+        self.pending.front()
+    }
+
+    /// The pending requests, oldest first, without removing them.
+    pub fn iter(&self) -> impl Iterator<Item = &ExpansionRequest> {
+        self.pending.iter()
+    }
+}
+
+/// The distances and spare-qubit cost behind one `op_expand` request: the
+/// patch grows from `from_distance` to `to_distance ≥ d + 2·d_ano`, which
+/// consumes `cost_qubits` qubits from the shared spare pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpansionBid {
+    /// Code distance before the expansion.
+    pub from_distance: usize,
+    /// Requested code distance, `d_exp ≥ d + 2·d_ano`.
+    pub to_distance: usize,
+    /// Spare physical qubits the expansion consumes,
+    /// `(2·d_exp − 1)² − (2·d − 1)²`.
+    pub cost_qubits: usize,
+}
+
+/// An expansion currently holding spare qubits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpansionGrant {
+    /// The expanded logical qubit.
+    pub target: LogicalQubitId,
+    /// The granted bid (distances and cost).
+    pub bid: ExpansionBid,
+    /// Cycle at which the grant was issued.
+    pub granted_cycle: u64,
+    /// Cycle (exclusive) at which the expansion is shrunk back and its
+    /// qubits reclaimed.
+    pub expires_cycle: u64,
+}
+
+/// The arbiter's verdict on one routed expansion request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpansionDecision {
+    /// The spare budget covers the bid: the expansion holds its qubits now.
+    Granted(ExpansionGrant),
+    /// The bid exceeds the remaining budget: the request waits in the
+    /// expansion queue until enough qubits are reclaimed (`deficit` is how
+    /// many are missing right now).
+    Queued {
+        /// Spare qubits missing at decision time.
+        deficit: usize,
+    },
+    /// The target already holds a grant; its lifetime was extended instead
+    /// of consuming more qubits (the Sec. V-B merge rule).
+    Extended {
+        /// The new expiry cycle of the existing grant.
+        expires_cycle: u64,
+    },
+}
+
+impl ExpansionDecision {
+    /// Whether the request holds spare qubits after the decision.
+    pub fn is_granted(&self) -> bool {
+        matches!(
+            self,
+            ExpansionDecision::Granted(_) | ExpansionDecision::Extended { .. }
+        )
+    }
+}
+
+/// The chip-level expansion arbiter: routes `op_expand` requests through an
+/// [`ExpansionQueue`] and grants them against a shared pool of spare
+/// physical qubits.
+///
+/// Policy (Sec. V-B at system scale):
+///
+/// * a request is granted immediately while the spare budget covers its
+///   cost; the grant holds `cost_qubits` until it expires or is reclaimed,
+/// * a repeated request for an already-expanded qubit extends the grant's
+///   lifetime instead of consuming more qubits,
+/// * requests that do not fit wait in the expansion queue and are granted
+///   strictly FIFO as qubits are reclaimed — a later, smaller bid never
+///   bypasses an older one (no starvation of large expansions),
+/// * shrinking (explicitly via [`ExpansionArbiter::reclaim`] or by expiry
+///   via [`ExpansionArbiter::expire`]) returns the qubits to the pool and
+///   immediately re-runs the queue.
+#[derive(Debug, Clone)]
+pub struct ExpansionArbiter {
+    spare_budget: usize,
+    in_use: usize,
+    active: Vec<ExpansionGrant>,
+    pending: ExpansionQueue,
+    bids: BTreeMap<LogicalQubitId, ExpansionBid>,
+}
+
+impl ExpansionArbiter {
+    /// Creates an arbiter over a pool of `spare_budget` spare physical
+    /// qubits.
+    pub fn new(spare_budget: usize) -> Self {
+        Self {
+            spare_budget,
+            in_use: 0,
+            active: Vec::new(),
+            pending: ExpansionQueue::new(),
+            bids: BTreeMap::new(),
+        }
+    }
+
+    /// The total spare budget.
+    pub fn spare_budget(&self) -> usize {
+        self.spare_budget
+    }
+
+    /// Spare qubits currently held by active grants.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Spare qubits currently available.
+    pub fn available(&self) -> usize {
+        self.spare_budget - self.in_use
+    }
+
+    /// The active grants, oldest first.
+    pub fn active_grants(&self) -> &[ExpansionGrant] {
+        &self.active
+    }
+
+    /// The grant held by `target`, if any.
+    pub fn grant_for(&self, target: LogicalQubitId) -> Option<&ExpansionGrant> {
+        self.active.iter().find(|g| g.target == target)
+    }
+
+    /// Number of requests waiting in the expansion queue.
+    pub fn num_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The queued requests' targets, oldest first.
+    pub fn pending_targets(&self) -> Vec<LogicalQubitId> {
+        self.pending.iter().map(|r| r.target).collect()
+    }
+
+    /// Routes one `op_expand` request through the queue and decides it
+    /// against the spare budget at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bid's distances are inconsistent
+    /// (`to_distance <= from_distance` with a non-zero cost expectation).
+    pub fn arbitrate(
+        &mut self,
+        request: ExpansionRequest,
+        bid: ExpansionBid,
+        cycle: u64,
+    ) -> ExpansionDecision {
+        assert!(
+            bid.to_distance > bid.from_distance,
+            "expansion bid must grow the distance ({} -> {})",
+            bid.from_distance,
+            bid.to_distance
+        );
+        // Merge rule: an already-granted target only extends its lifetime.
+        if let Some(grant) = self.active.iter_mut().find(|g| g.target == request.target) {
+            grant.expires_cycle = grant
+                .expires_cycle
+                .max(request.requested_cycle + request.keep_cycles);
+            return ExpansionDecision::Extended {
+                expires_cycle: grant.expires_cycle,
+            };
+        }
+        // Strict FIFO: while older requests wait, newer ones queue behind
+        // them even if they would fit, so large expansions cannot starve.
+        if self.pending.is_empty() && bid.cost_qubits <= self.available() {
+            let grant = self.admit(request, bid, cycle);
+            ExpansionDecision::Granted(grant)
+        } else {
+            let deficit = bid.cost_qubits.saturating_sub(self.available());
+            self.bids
+                .entry(request.target)
+                .and_modify(|b| {
+                    if bid.to_distance > b.to_distance {
+                        *b = bid;
+                    }
+                })
+                .or_insert(bid);
+            self.pending.request(request);
+            ExpansionDecision::Queued { deficit }
+        }
+    }
+
+    fn admit(
+        &mut self,
+        request: ExpansionRequest,
+        bid: ExpansionBid,
+        cycle: u64,
+    ) -> ExpansionGrant {
+        debug_assert!(bid.cost_qubits <= self.available());
+        self.in_use += bid.cost_qubits;
+        let grant = ExpansionGrant {
+            target: request.target,
+            bid,
+            granted_cycle: cycle,
+            expires_cycle: request.requested_cycle + request.keep_cycles,
+        };
+        self.active.push(grant);
+        grant
+    }
+
+    /// Shrinks `target` back to its base distance, returning its qubits to
+    /// the pool, and immediately re-runs the queue.  Returns the reclaimed
+    /// grant (or `None` if the target held none) and any grants issued to
+    /// queued requests.
+    pub fn reclaim(
+        &mut self,
+        target: LogicalQubitId,
+        cycle: u64,
+    ) -> (Option<ExpansionGrant>, Vec<ExpansionGrant>) {
+        let reclaimed = match self.active.iter().position(|g| g.target == target) {
+            Some(i) => {
+                let grant = self.active.remove(i);
+                self.in_use -= grant.bid.cost_qubits;
+                Some(grant)
+            }
+            None => None,
+        };
+        let granted = self.pump(cycle);
+        (reclaimed, granted)
+    }
+
+    /// Reclaims every grant that has expired by `cycle` (the shrink step of
+    /// the keep-cycle policy) and re-runs the queue.  Returns the reclaimed
+    /// and the newly issued grants.
+    pub fn expire(&mut self, cycle: u64) -> (Vec<ExpansionGrant>, Vec<ExpansionGrant>) {
+        let mut reclaimed = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].expires_cycle <= cycle {
+                let grant = self.active.remove(i);
+                self.in_use -= grant.bid.cost_qubits;
+                reclaimed.push(grant);
+            } else {
+                i += 1;
+            }
+        }
+        let granted = self.pump(cycle);
+        (reclaimed, granted)
+    }
+
+    /// Grants queued requests in FIFO order while the budget allows,
+    /// stopping at the first that does not fit.  Requests whose keep window
+    /// has already elapsed (`requested_cycle + keep_cycles <= cycle`) are
+    /// dropped instead of granted: the MBBE they were meant to ride out has
+    /// relaxed, and a grant issued now would be born expired yet hold spare
+    /// qubits until the next expiry sweep.
+    fn pump(&mut self, cycle: u64) -> Vec<ExpansionGrant> {
+        let mut granted = Vec::new();
+        while let Some(front) = self.pending.peek().copied() {
+            if front.requested_cycle + front.keep_cycles <= cycle {
+                let stale = self.pending.pop().expect("peeked request exists");
+                self.bids.remove(&stale.target);
+                continue;
+            }
+            let bid = *self
+                .bids
+                .get(&front.target)
+                .expect("every queued request carries a bid");
+            if bid.cost_qubits > self.available() {
+                break;
+            }
+            let popped = self.pending.pop().expect("peeked request exists");
+            self.bids.remove(&popped.target);
+            granted.push(self.admit(popped, bid, cycle));
+        }
+        granted
+    }
 }
 
 #[cfg(test)]
@@ -347,5 +625,189 @@ mod tests {
     fn syndrome_queue_rejects_wrong_width() {
         let mut q = SyndromeQueue::new(2, 3);
         q.push(vec![true]);
+    }
+
+    #[test]
+    fn layers_since_clamps_to_the_oldest_retained_layer() {
+        let mut q = SyndromeQueue::new(3, 1);
+        for i in 0..5 {
+            q.push(vec![i % 2 == 0]);
+        }
+        // layers for cycles 2..=4 are retained
+        assert_eq!(q.oldest_layer_cycle(), 2);
+        // A rollback to a cycle that predates the oldest retained layer can
+        // only rebuild from what is still stored: all retained layers.
+        let since0 = q.layers_since(0);
+        assert_eq!(since0.len(), 3);
+        assert_eq!(since0[0], vec![true]); // cycle 2
+        assert_eq!(since0[2], vec![true]); // cycle 4
+        assert_eq!(q.layers_since(0), q.layers_since(2));
+        // Asking past the newest layer yields nothing.
+        assert!(q.layers_since(5).is_empty());
+    }
+
+    fn bid(from: usize, to: usize) -> ExpansionBid {
+        ExpansionBid {
+            from_distance: from,
+            to_distance: to,
+            cost_qubits: (2 * to - 1) * (2 * to - 1) - (2 * from - 1) * (2 * from - 1),
+        }
+    }
+
+    fn request(target: usize, cycle: u64) -> ExpansionRequest {
+        ExpansionRequest {
+            target: LogicalQubitId(target),
+            requested_cycle: cycle,
+            keep_cycles: 1_000,
+        }
+    }
+
+    #[test]
+    fn arbiter_grants_while_the_budget_allows_then_queues() {
+        // d = 5 → d_exp = 9 costs 17² − 9² = 208; budget covers exactly two.
+        let cost = bid(5, 9).cost_qubits;
+        assert_eq!(cost, 208);
+        let mut arb = ExpansionArbiter::new(2 * cost);
+        let d0 = arb.arbitrate(request(0, 10), bid(5, 9), 10);
+        let d1 = arb.arbitrate(request(1, 11), bid(5, 9), 11);
+        assert!(matches!(d0, ExpansionDecision::Granted(g) if g.target == LogicalQubitId(0)));
+        assert!(matches!(d1, ExpansionDecision::Granted(_)));
+        assert_eq!(arb.in_use(), 2 * cost);
+        assert_eq!(arb.available(), 0);
+        // Budget exhausted: the third request queues with the full deficit.
+        let d2 = arb.arbitrate(request(2, 12), bid(5, 9), 12);
+        assert_eq!(d2, ExpansionDecision::Queued { deficit: cost });
+        assert_eq!(arb.num_pending(), 1);
+        assert_eq!(arb.active_grants().len(), 2);
+        assert!(arb.grant_for(LogicalQubitId(0)).is_some());
+        assert!(arb.grant_for(LogicalQubitId(2)).is_none());
+    }
+
+    #[test]
+    fn arbiter_queue_is_fifo_even_when_a_later_bid_would_fit() {
+        // Budget fits one d=5→9 expansion (208) with 50 to spare.
+        let mut arb = ExpansionArbiter::new(258);
+        assert!(arb.arbitrate(request(0, 0), bid(5, 9), 0).is_granted());
+        // q1's large bid (208) queues; q2's small bid (2→3: 25−9=16) would
+        // fit the remaining 50 qubits but must not bypass q1.
+        assert!(matches!(
+            arb.arbitrate(request(1, 1), bid(5, 9), 1),
+            ExpansionDecision::Queued { deficit: 158 }
+        ));
+        assert!(matches!(
+            arb.arbitrate(request(2, 2), bid(2, 3), 2),
+            ExpansionDecision::Queued { deficit: 0 }
+        ));
+        assert_eq!(
+            arb.pending_targets(),
+            vec![LogicalQubitId(1), LogicalQubitId(2)]
+        );
+        // Reclaiming q0 grants q1 first, and q2 right behind it (both fit).
+        let (reclaimed, granted) = arb.reclaim(LogicalQubitId(0), 100);
+        assert_eq!(reclaimed.unwrap().target, LogicalQubitId(0));
+        assert_eq!(granted.len(), 2);
+        assert_eq!(granted[0].target, LogicalQubitId(1));
+        assert_eq!(granted[1].target, LogicalQubitId(2));
+        assert_eq!(arb.num_pending(), 0);
+        assert_eq!(arb.in_use(), 208 + 16);
+    }
+
+    #[test]
+    fn arbiter_extends_an_existing_grant_instead_of_double_charging() {
+        let mut arb = ExpansionArbiter::new(300);
+        let first = arb.arbitrate(request(0, 10), bid(5, 9), 10);
+        assert!(first.is_granted());
+        let used = arb.in_use();
+        let again = arb.arbitrate(
+            ExpansionRequest {
+                target: LogicalQubitId(0),
+                requested_cycle: 500,
+                keep_cycles: 1_000,
+            },
+            bid(5, 9),
+            500,
+        );
+        assert_eq!(
+            again,
+            ExpansionDecision::Extended {
+                expires_cycle: 1_500
+            }
+        );
+        assert_eq!(arb.in_use(), used, "an extension holds no extra qubits");
+        assert_eq!(arb.active_grants().len(), 1);
+    }
+
+    #[test]
+    fn expiry_reclaims_qubits_and_unblocks_the_queue() {
+        let cost = bid(5, 9).cost_qubits;
+        let mut arb = ExpansionArbiter::new(cost);
+        assert!(arb.arbitrate(request(0, 0), bid(5, 9), 0).is_granted());
+        assert!(matches!(
+            arb.arbitrate(request(1, 10), bid(5, 9), 10),
+            ExpansionDecision::Queued { .. }
+        ));
+        // q0's grant expires at cycle 1000 (requested 0 + keep 1000).
+        let (reclaimed, granted) = arb.expire(999);
+        assert!(reclaimed.is_empty() && granted.is_empty());
+        let (reclaimed, granted) = arb.expire(1_000);
+        assert_eq!(reclaimed.len(), 1);
+        assert_eq!(reclaimed[0].target, LogicalQubitId(0));
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].target, LogicalQubitId(1));
+        assert_eq!(arb.in_use(), cost);
+        assert_eq!(arb.available(), 0);
+    }
+
+    #[test]
+    fn pump_drops_requests_whose_keep_window_elapsed() {
+        let cost = bid(5, 9).cost_qubits;
+        let mut arb = ExpansionArbiter::new(cost);
+        assert!(arb.arbitrate(request(0, 0), bid(5, 9), 0).is_granted());
+        // q1 queues at cycle 10 with keep 1000: useful until cycle 1010.
+        assert!(matches!(
+            arb.arbitrate(request(1, 10), bid(5, 9), 10),
+            ExpansionDecision::Queued { .. }
+        ));
+        // By cycle 1200 q0's grant has expired *and* q1's keep window has
+        // elapsed: the reclaim must drop q1, not issue a born-expired grant
+        // that would hold the pool for nothing.
+        let (reclaimed, granted) = arb.expire(1_200);
+        assert_eq!(reclaimed.len(), 1);
+        assert!(
+            granted.is_empty(),
+            "stale queued requests are dropped, not granted"
+        );
+        assert_eq!(arb.num_pending(), 0);
+        assert_eq!(arb.in_use(), 0);
+        // The freed pool serves the next live request immediately.
+        assert!(arb
+            .arbitrate(request(2, 1_200), bid(5, 9), 1_200)
+            .is_granted());
+    }
+
+    #[test]
+    fn zero_budget_arbiter_queues_everything() {
+        let mut arb = ExpansionArbiter::new(0);
+        let d = arb.arbitrate(request(0, 0), bid(3, 5), 0);
+        assert!(matches!(d, ExpansionDecision::Queued { .. }));
+        assert!(!d.is_granted());
+        assert_eq!(arb.num_pending(), 1);
+        assert_eq!(arb.available(), 0);
+        let (reclaimed, granted) = arb.reclaim(LogicalQubitId(0), 5);
+        assert!(reclaimed.is_none(), "nothing was granted to reclaim");
+        assert!(granted.is_empty(), "the pool is still empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "must grow the distance")]
+    fn arbiter_rejects_non_growing_bids() {
+        let mut arb = ExpansionArbiter::new(100);
+        arb.arbitrate(request(0, 0), bid(5, 9), 0);
+        let bad = ExpansionBid {
+            from_distance: 5,
+            to_distance: 5,
+            cost_qubits: 0,
+        };
+        arb.arbitrate(request(1, 0), bad, 0);
     }
 }

@@ -1,0 +1,440 @@
+//! Chip-level geometry: a grid of surface-code patches sharing one qubit
+//! plane and one pool of spare physical qubits.
+//!
+//! The paper's system-level evaluation (Secs. V–VII) hosts many logical
+//! qubits on a single chip.  A cosmic-ray strike lands in *chip* coordinates
+//! and may straddle several patches; code-distance expansion draws physical
+//! qubits from a shared spare pool, so concurrent expansions compete for
+//! the same budget.  [`ChipLayout`] is the geometric substrate of that
+//! picture: it places each patch's `(2d−1) × (2d−1)` site grid on the chip
+//! plane (separated by a configurable gap of routing sites), converts
+//! between chip and patch-local coordinates, and accounts for the spare
+//! budget an expansion consumes.
+
+use crate::{Coord, LatticeError, SurfaceCode};
+
+/// Position of a patch on the chip's patch grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatchIndex {
+    /// Patch row on the chip.
+    pub row: usize,
+    /// Patch column on the chip.
+    pub col: usize,
+}
+
+impl PatchIndex {
+    /// Creates a patch index.
+    pub const fn new(row: usize, col: usize) -> Self {
+        Self { row, col }
+    }
+
+    /// Whether two patches are edge-adjacent on the patch grid.
+    pub fn is_adjacent(self, other: PatchIndex) -> bool {
+        let dr = self.row.abs_diff(other.row);
+        let dc = self.col.abs_diff(other.col);
+        dr + dc == 1
+    }
+}
+
+impl std::fmt::Display for PatchIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.row, self.col)
+    }
+}
+
+/// A chip hosting a `patch_rows × patch_cols` grid of distance-`d` planar
+/// surface-code patches plus a shared pool of spare physical qubits.
+///
+/// Patches are laid out on one global site grid ("chip coordinates"): the
+/// patch at grid position `(r, c)` occupies the square of sites whose
+/// top-left corner is `(r · pitch, c · pitch)`, where
+/// `pitch = (2d − 1) + gap` and `gap` is the number of routing-site rows and
+/// columns separating adjacent patch footprints.
+///
+/// ```
+/// use q3de_lattice::{ChipLayout, Coord, PatchIndex};
+///
+/// let chip = ChipLayout::new(2, 3, 5, 100)?;
+/// assert_eq!(chip.num_patches(), 6);
+/// // d = 5 → 9×9 sites per patch, default gap 1 → pitch 10.
+/// assert_eq!(chip.patch_origin(PatchIndex::new(1, 2)), Coord::new(10, 20));
+/// // Chip coordinates map back onto the owning patch.
+/// assert_eq!(chip.patch_containing(Coord::new(12, 21)), Some(PatchIndex::new(1, 2)));
+/// // Gap sites belong to no patch.
+/// assert_eq!(chip.patch_containing(Coord::new(9, 0)), None);
+/// # Ok::<(), q3de_lattice::LatticeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipLayout {
+    patch_rows: usize,
+    patch_cols: usize,
+    patch_distance: usize,
+    gap: i32,
+    spare_qubits: usize,
+}
+
+impl ChipLayout {
+    /// Default number of routing sites between adjacent patch footprints.
+    pub const DEFAULT_GAP: i32 = 1;
+
+    /// Creates a chip of `patch_rows × patch_cols` distance-`patch_distance`
+    /// patches with `spare_qubits` spare physical qubits in the shared
+    /// expansion pool, using the default gap.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the patch grid is empty or the distance is
+    /// below [`SurfaceCode::MIN_DISTANCE`].
+    pub fn new(
+        patch_rows: usize,
+        patch_cols: usize,
+        patch_distance: usize,
+        spare_qubits: usize,
+    ) -> Result<Self, LatticeError> {
+        if patch_rows == 0 || patch_cols == 0 {
+            return Err(LatticeError::InvalidChipLayout {
+                reason: format!("the patch grid {patch_rows}×{patch_cols} is empty"),
+            });
+        }
+        if patch_distance < SurfaceCode::MIN_DISTANCE {
+            return Err(LatticeError::DistanceTooSmall {
+                requested: patch_distance,
+                minimum: SurfaceCode::MIN_DISTANCE,
+            });
+        }
+        Ok(Self {
+            patch_rows,
+            patch_cols,
+            patch_distance,
+            gap: Self::DEFAULT_GAP,
+            spare_qubits,
+        })
+    }
+
+    /// Overrides the inter-patch gap (in sites), builder style.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `gap` is negative.
+    pub fn with_gap(mut self, gap: i32) -> Result<Self, LatticeError> {
+        if gap < 0 {
+            return Err(LatticeError::InvalidChipLayout {
+                reason: format!("the inter-patch gap {gap} must be non-negative"),
+            });
+        }
+        self.gap = gap;
+        Ok(self)
+    }
+
+    /// Number of patch rows.
+    pub fn patch_rows(&self) -> usize {
+        self.patch_rows
+    }
+
+    /// Number of patch columns.
+    pub fn patch_cols(&self) -> usize {
+        self.patch_cols
+    }
+
+    /// Number of patches on the chip.
+    pub fn num_patches(&self) -> usize {
+        self.patch_rows * self.patch_cols
+    }
+
+    /// The code distance of every patch.
+    pub fn patch_distance(&self) -> usize {
+        self.patch_distance
+    }
+
+    /// Linear site extent of one patch, `2d − 1`.
+    pub fn patch_grid_size(&self) -> i32 {
+        2 * self.patch_distance as i32 - 1
+    }
+
+    /// The inter-patch gap in sites.
+    pub fn gap(&self) -> i32 {
+        self.gap
+    }
+
+    /// Distance between the origins of adjacent patches,
+    /// `patch_grid_size + gap`.
+    pub fn pitch(&self) -> i32 {
+        self.patch_grid_size() + self.gap
+    }
+
+    /// Total chip extent in site rows (the trailing gap is not counted).
+    pub fn chip_rows(&self) -> i32 {
+        self.patch_rows as i32 * self.pitch() - self.gap
+    }
+
+    /// Total chip extent in site columns.
+    pub fn chip_cols(&self) -> i32 {
+        self.patch_cols as i32 * self.pitch() - self.gap
+    }
+
+    /// Iterates over all patch indices in row-major order.
+    pub fn patches(&self) -> impl Iterator<Item = PatchIndex> + '_ {
+        let cols = self.patch_cols;
+        (0..self.num_patches()).map(move |i| PatchIndex::new(i / cols, i % cols))
+    }
+
+    /// The row-major linear index of a patch (the order of
+    /// [`ChipLayout::patches`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch lies outside the grid.
+    pub fn linear_index(&self, patch: PatchIndex) -> usize {
+        assert!(
+            patch.row < self.patch_rows && patch.col < self.patch_cols,
+            "patch {patch} outside the {}×{} grid",
+            self.patch_rows,
+            self.patch_cols
+        );
+        patch.row * self.patch_cols + patch.col
+    }
+
+    /// The patch at a row-major linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn patch_at(&self, linear: usize) -> PatchIndex {
+        assert!(
+            linear < self.num_patches(),
+            "patch index {linear} out of range"
+        );
+        PatchIndex::new(linear / self.patch_cols, linear % self.patch_cols)
+    }
+
+    /// The chip coordinate of a patch's top-left site.
+    pub fn patch_origin(&self, patch: PatchIndex) -> Coord {
+        let pitch = self.pitch();
+        Coord::new(patch.row as i32 * pitch, patch.col as i32 * pitch)
+    }
+
+    /// Converts a chip coordinate into the local frame of `patch` (the frame
+    /// [`SurfaceCode`] and the decoders operate in).  The result may lie
+    /// outside the patch footprint — `Coord` is signed precisely so regions
+    /// hanging off a patch edge stay expressible.
+    pub fn to_local(&self, patch: PatchIndex, chip: Coord) -> Coord {
+        let origin = self.patch_origin(patch);
+        Coord::new(chip.row - origin.row, chip.col - origin.col)
+    }
+
+    /// Converts a patch-local coordinate into chip coordinates.
+    pub fn to_chip(&self, patch: PatchIndex, local: Coord) -> Coord {
+        let origin = self.patch_origin(patch);
+        Coord::new(local.row + origin.row, local.col + origin.col)
+    }
+
+    /// The patch whose footprint contains the chip coordinate, or `None` for
+    /// gap (routing) sites and off-chip coordinates.
+    pub fn patch_containing(&self, chip: Coord) -> Option<PatchIndex> {
+        if chip.row < 0 || chip.col < 0 {
+            return None;
+        }
+        let pitch = self.pitch();
+        let (pr, lr) = (chip.row / pitch, chip.row % pitch);
+        let (pc, lc) = (chip.col / pitch, chip.col % pitch);
+        let size = self.patch_grid_size();
+        if lr >= size || lc >= size {
+            return None;
+        }
+        if pr as usize >= self.patch_rows || pc as usize >= self.patch_cols {
+            return None;
+        }
+        Some(PatchIndex::new(pr as usize, pc as usize))
+    }
+
+    /// The patches whose footprint intersects the half-open square
+    /// `[origin, origin + extent)²` in chip coordinates — the fan-out set of
+    /// a cosmic-ray strike of that footprint.
+    pub fn patches_overlapping(&self, origin: Coord, extent: i32) -> Vec<PatchIndex> {
+        if extent <= 0 {
+            return Vec::new();
+        }
+        let size = self.patch_grid_size();
+        let pitch = self.pitch();
+        let mut out = Vec::new();
+        for patch in self.patches() {
+            let p = self.patch_origin(patch);
+            let overlaps_rows = origin.row < p.row + size && origin.row + extent > p.row;
+            let overlaps_cols = origin.col < p.col + size && origin.col + extent > p.col;
+            if overlaps_rows && overlaps_cols {
+                out.push(patch);
+            }
+        }
+        debug_assert!(out.len() <= ((extent / pitch + 2) * (extent / pitch + 2)) as usize);
+        out
+    }
+
+    /// The edge-adjacent neighbours of a patch (fewer at the chip edge).
+    pub fn neighbors(&self, patch: PatchIndex) -> Vec<PatchIndex> {
+        let mut out = Vec::with_capacity(4);
+        if patch.row > 0 {
+            out.push(PatchIndex::new(patch.row - 1, patch.col));
+        }
+        if patch.row + 1 < self.patch_rows {
+            out.push(PatchIndex::new(patch.row + 1, patch.col));
+        }
+        if patch.col > 0 {
+            out.push(PatchIndex::new(patch.row, patch.col - 1));
+        }
+        if patch.col + 1 < self.patch_cols {
+            out.push(PatchIndex::new(patch.row, patch.col + 1));
+        }
+        out
+    }
+
+    /// Number of spare physical qubits in the shared expansion pool.
+    pub fn spare_qubits(&self) -> usize {
+        self.spare_qubits
+    }
+
+    /// Physical qubits of one baseline patch, `(2d − 1)²`.
+    pub fn patch_physical_qubits(&self) -> usize {
+        let s = self.patch_grid_size() as usize;
+        s * s
+    }
+
+    /// Physical qubits of all baseline patches combined.
+    pub fn base_physical_qubits(&self) -> usize {
+        self.num_patches() * self.patch_physical_qubits()
+    }
+
+    /// Total provisioned physical qubits: baseline patches plus the spare
+    /// pool.
+    pub fn total_physical_qubits(&self) -> usize {
+        self.base_physical_qubits() + self.spare_qubits
+    }
+
+    /// The qubit-overhead ratio of the provisioned chip relative to the
+    /// spare-free baseline, `total / base`.
+    pub fn qubit_overhead_ratio(&self) -> f64 {
+        self.total_physical_qubits() as f64 / self.base_physical_qubits() as f64
+    }
+
+    /// The number of spare physical qubits consumed by expanding one patch
+    /// from distance `from` to distance `to`:
+    /// `(2·to − 1)² − (2·from − 1)²`.
+    pub fn expansion_cost(from: usize, to: usize) -> usize {
+        let q = |d: usize| (2 * d - 1) * (2 * d - 1);
+        q(to).saturating_sub(q(from))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_geometry_round_trips() {
+        let chip = ChipLayout::new(2, 2, 7, 500).unwrap();
+        assert_eq!(chip.patch_grid_size(), 13);
+        assert_eq!(chip.pitch(), 14);
+        assert_eq!(chip.chip_rows(), 27);
+        assert_eq!(chip.chip_cols(), 27);
+        for patch in chip.patches() {
+            let origin = chip.patch_origin(patch);
+            assert_eq!(chip.patch_containing(origin), Some(patch));
+            let local = Coord::new(5, 9);
+            assert_eq!(chip.to_local(patch, chip.to_chip(patch, local)), local);
+            assert_eq!(chip.patch_at(chip.linear_index(patch)), patch);
+        }
+    }
+
+    #[test]
+    fn gap_sites_belong_to_no_patch() {
+        let chip = ChipLayout::new(2, 2, 5, 0).unwrap();
+        // pitch = 9 + 1; site row 9 is the horizontal gap.
+        assert_eq!(chip.patch_containing(Coord::new(9, 0)), None);
+        assert_eq!(chip.patch_containing(Coord::new(0, 9)), None);
+        assert_eq!(chip.patch_containing(Coord::new(-1, 0)), None);
+        assert_eq!(chip.patch_containing(Coord::new(100, 0)), None);
+        assert_eq!(
+            chip.patch_containing(Coord::new(10, 10)),
+            Some(PatchIndex::new(1, 1))
+        );
+    }
+
+    #[test]
+    fn zero_gap_layout_tiles_the_plane() {
+        let chip = ChipLayout::new(1, 2, 3, 0).unwrap().with_gap(0).unwrap();
+        assert_eq!(chip.pitch(), 5);
+        assert_eq!(chip.chip_cols(), 10);
+        assert_eq!(
+            chip.patch_containing(Coord::new(0, 4)),
+            Some(PatchIndex::new(0, 0))
+        );
+        assert_eq!(
+            chip.patch_containing(Coord::new(0, 5)),
+            Some(PatchIndex::new(0, 1))
+        );
+    }
+
+    #[test]
+    fn straddling_region_overlaps_both_patches() {
+        let chip = ChipLayout::new(1, 2, 7, 0).unwrap();
+        // pitch 14: a square spanning chip columns 9..17 touches patch (0,0)
+        // (cols ≤ 12) and patch (0,1) (cols ≥ 14).
+        let overlapped = chip.patches_overlapping(Coord::new(2, 9), 8);
+        assert_eq!(
+            overlapped,
+            vec![PatchIndex::new(0, 0), PatchIndex::new(0, 1)]
+        );
+        // A square fully inside patch (0,0) overlaps only it.
+        assert_eq!(
+            chip.patches_overlapping(Coord::new(2, 2), 4),
+            vec![PatchIndex::new(0, 0)]
+        );
+        // A square fully inside the gap overlaps nothing.
+        let gap_only = ChipLayout::new(1, 2, 7, 0)
+            .unwrap()
+            .with_gap(4)
+            .unwrap()
+            .patches_overlapping(Coord::new(0, 13), 4);
+        assert!(gap_only.is_empty());
+        assert!(chip.patches_overlapping(Coord::new(0, 0), 0).is_empty());
+    }
+
+    #[test]
+    fn adjacency_and_neighbors() {
+        let chip = ChipLayout::new(3, 3, 3, 0).unwrap();
+        let center = PatchIndex::new(1, 1);
+        let n = chip.neighbors(center);
+        assert_eq!(n.len(), 4);
+        for p in &n {
+            assert!(center.is_adjacent(*p));
+        }
+        assert!(!center.is_adjacent(PatchIndex::new(0, 0)));
+        assert!(!center.is_adjacent(center));
+        assert_eq!(chip.neighbors(PatchIndex::new(0, 0)).len(), 2);
+    }
+
+    #[test]
+    fn spare_budget_accounting() {
+        let chip = ChipLayout::new(2, 2, 5, 300).unwrap();
+        assert_eq!(chip.patch_physical_qubits(), 81);
+        assert_eq!(chip.base_physical_qubits(), 324);
+        assert_eq!(chip.total_physical_qubits(), 624);
+        assert!((chip.qubit_overhead_ratio() - 624.0 / 324.0).abs() < 1e-12);
+        assert_eq!(chip.spare_qubits(), 300);
+        // d = 5 → d_exp = 5 + 2·4 = 13: (25)² − (9)² = 625 − 81 = 544.
+        assert_eq!(ChipLayout::expansion_cost(5, 13), 544);
+        assert_eq!(ChipLayout::expansion_cost(5, 5), 0);
+    }
+
+    #[test]
+    fn invalid_layouts_are_rejected() {
+        assert!(matches!(
+            ChipLayout::new(0, 3, 5, 0),
+            Err(LatticeError::InvalidChipLayout { .. })
+        ));
+        assert!(matches!(
+            ChipLayout::new(2, 2, 1, 0),
+            Err(LatticeError::DistanceTooSmall { .. })
+        ));
+        assert!(ChipLayout::new(1, 1, 3, 0).unwrap().with_gap(-1).is_err());
+    }
+}

@@ -27,6 +27,12 @@ pub enum LatticeError {
         /// Description of the inconsistency.
         reason: String,
     },
+    /// A chip-layout request is inconsistent (empty patch grid, negative
+    /// gap, …).
+    InvalidChipLayout {
+        /// Description of the inconsistency.
+        reason: String,
+    },
 }
 
 impl fmt::Display for LatticeError {
@@ -41,6 +47,9 @@ impl fmt::Display for LatticeError {
             }
             LatticeError::InvalidDeformation { reason } => {
                 write!(f, "invalid code deformation: {reason}")
+            }
+            LatticeError::InvalidChipLayout { reason } => {
+                write!(f, "invalid chip layout: {reason}")
             }
         }
     }

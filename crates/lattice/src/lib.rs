@@ -14,6 +14,9 @@
 //! * [`deformation`] — the geometric bookkeeping of the `op_expand`
 //!   instruction (Fig. 5 of the paper): which qubits are initialised, which
 //!   stabilizers are added, and how the code is shrunk back,
+//! * [`ChipLayout`] — the chip-level geometry: a grid of patches on one
+//!   global site plane (chip ↔ patch-local coordinate conversion, strike
+//!   fan-out sets) and the shared spare-qubit budget expansions draw from,
 //! * [`Pauli`] / [`PauliString`] — minimal Pauli algebra shared by the noise
 //!   model, the decoders and the control unit.
 //!
@@ -33,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+mod chip;
 mod coord;
 mod error;
 mod graph;
@@ -41,6 +45,7 @@ mod surface_code;
 
 pub mod deformation;
 
+pub use chip::{ChipLayout, PatchIndex};
 pub use coord::Coord;
 pub use error::LatticeError;
 pub use graph::{EdgeIndex, GraphEdge, MatchingGraph, NodeIndex};

@@ -232,7 +232,8 @@ impl DecoderBackend for ExactBackend {
 }
 
 /// The greedy backend: per-cluster radius-sweep greedy matching
-/// ([`GreedyMatcher`]) followed by a bounded 2-opt repair pass, the
+/// ([`GreedyMatcher`](crate::GreedyMatcher)) followed by a bounded 2-opt
+/// repair pass, the
 /// decoding-grade version of the paper's hardware decoder strategy
 /// (Sec. VI-B).  The repair pass is what lets the backend correct every
 /// sub-`d/2` error chain — the raw sweep strands a chain's far event on the

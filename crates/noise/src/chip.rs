@@ -1,0 +1,437 @@
+//! Chip-coordinate cosmic-ray strikes and their fan-out into per-patch
+//! anomalous regions.
+//!
+//! The single-patch [`CosmicRayProcess`](crate::CosmicRayProcess) places
+//! strikes directly in a patch's local frame.  At the system level the
+//! strike position is a *chip* coordinate: one burst can straddle the gap
+//! between patches and raise the error rate of several logical qubits at
+//! once (the regime of the paper's Secs. V–VII system evaluation).
+//! [`ChipStrike::fan_out`] converts one chip-frame burst into the
+//! patch-local [`AnomalousRegion`]s each per-patch noise model and decoder
+//! consumes; [`ChipCosmicRayProcess`] is the Poisson arrival process over
+//! the whole chip plane.
+
+use crate::{AnomalousRegion, PhysicalParams};
+use q3de_lattice::{ChipLayout, Coord, PatchIndex};
+use rand::Rng;
+
+/// A single cosmic-ray strike in chip coordinates.
+///
+/// The strike covers the `2·size × 2·size` square of chip sites whose
+/// top-left corner is `origin` — the same footprint convention as
+/// [`AnomalousRegion`], but anchored on the chip's global site grid instead
+/// of a patch's local one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipStrike {
+    origin: Coord,
+    size: usize,
+    onset_cycle: u64,
+    duration_cycles: u64,
+    anomalous_rate: f64,
+}
+
+impl ChipStrike {
+    /// Creates a strike of anomaly size `size` (data-qubit units) whose
+    /// top-left chip site is `origin`, active during
+    /// `[onset_cycle, onset_cycle + duration_cycles)` with per-cycle error
+    /// rate `anomalous_rate` inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `anomalous_rate` is not a probability (the
+    /// checks of [`AnomalousRegion::new`]).
+    pub fn new(
+        origin: Coord,
+        size: usize,
+        onset_cycle: u64,
+        duration_cycles: u64,
+        anomalous_rate: f64,
+    ) -> Self {
+        // Validate through the single-patch constructor so the two footprint
+        // types can never drift apart.
+        let _ = AnomalousRegion::new(origin, size, onset_cycle, duration_cycles, anomalous_rate);
+        Self {
+            origin,
+            size,
+            onset_cycle,
+            duration_cycles,
+            anomalous_rate,
+        }
+    }
+
+    /// The top-left chip site of the strike.
+    pub fn origin(&self) -> Coord {
+        self.origin
+    }
+
+    /// The anomaly size `d_ano` in data-qubit units.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The strike footprint extent in sites, `2·size`.
+    pub fn extent(&self) -> i32 {
+        2 * self.size as i32
+    }
+
+    /// The code cycle at which the ray struck.
+    pub fn onset_cycle(&self) -> u64 {
+        self.onset_cycle
+    }
+
+    /// The number of code cycles the burst stays anomalous.
+    pub fn duration_cycles(&self) -> u64 {
+        self.duration_cycles
+    }
+
+    /// The per-cycle Pauli error rate inside the burst.
+    pub fn anomalous_rate(&self) -> f64 {
+        self.anomalous_rate
+    }
+
+    /// Samples a strike with a uniformly random origin such that the strike
+    /// square fits on the chip plane (clamped to the origin when the plane
+    /// is smaller than one footprint) — the placement kernel shared by
+    /// [`ChipCosmicRayProcess`] and the chip-level memory experiments.
+    pub fn sample_uniform<R: Rng + ?Sized>(
+        chip: &ChipLayout,
+        size: usize,
+        onset_cycle: u64,
+        duration_cycles: u64,
+        anomalous_rate: f64,
+        rng: &mut R,
+    ) -> Self {
+        let extent = 2 * size as i32;
+        let max_row = chip.chip_rows() - extent;
+        let max_col = chip.chip_cols() - extent;
+        let row = if max_row > 0 {
+            rng.gen_range(0..=max_row)
+        } else {
+            0
+        };
+        let col = if max_col > 0 {
+            rng.gen_range(0..=max_col)
+        } else {
+            0
+        };
+        Self::new(
+            Coord::new(row, col),
+            size,
+            onset_cycle,
+            duration_cycles,
+            anomalous_rate,
+        )
+    }
+
+    /// The strike as an [`AnomalousRegion`] in the chip frame.
+    pub fn chip_region(&self) -> AnomalousRegion {
+        AnomalousRegion::new(
+            self.origin,
+            self.size,
+            self.onset_cycle,
+            self.duration_cycles,
+            self.anomalous_rate,
+        )
+    }
+
+    /// Fans the strike out into per-patch anomalous regions: for every patch
+    /// whose footprint intersects the strike square, the region is expressed
+    /// in that patch's local frame (the frame `SurfaceCode`, the noise
+    /// models and the decoders operate in).
+    ///
+    /// A region handed to a patch keeps the full strike footprint — it may
+    /// hang off the patch edge (negative or beyond-grid local coordinates),
+    /// which is harmless because region membership is pure geometry and only
+    /// on-patch sites are ever sampled.  A strike entirely inside the
+    /// inter-patch gap fans out to nothing.
+    ///
+    /// ```
+    /// use q3de_lattice::{ChipLayout, Coord};
+    /// use q3de_noise::ChipStrike;
+    ///
+    /// // Two distance-7 patches side by side (13-site footprints, pitch 14).
+    /// let chip = ChipLayout::new(1, 2, 7, 0)?;
+    /// // A size-4 burst spanning chip columns 9..17 straddles both patches.
+    /// let strike = ChipStrike::new(Coord::new(2, 9), 4, 100, 1_000, 0.5);
+    /// let fan_out = strike.fan_out(&chip);
+    /// assert_eq!(fan_out.len(), 2);
+    /// // Patch (0,0) sees the burst at its own column 9 …
+    /// assert_eq!(fan_out[0].1.origin(), Coord::new(2, 9));
+    /// // … patch (0,1) sees the same square hanging in from its left edge.
+    /// assert_eq!(fan_out[1].1.origin(), Coord::new(2, -5));
+    /// # Ok::<(), q3de_lattice::LatticeError>(())
+    /// ```
+    pub fn fan_out(&self, chip: &ChipLayout) -> Vec<(PatchIndex, AnomalousRegion)> {
+        chip.patches_overlapping(self.origin, self.extent())
+            .into_iter()
+            .map(|patch| {
+                let local = chip.to_local(patch, self.origin);
+                let region = AnomalousRegion::new(
+                    local,
+                    self.size,
+                    self.onset_cycle,
+                    self.duration_cycles,
+                    self.anomalous_rate,
+                );
+                (patch, region)
+            })
+            .collect()
+    }
+}
+
+/// A chip-level cosmic-ray strike event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipStrikeEvent {
+    /// The code cycle of the strike.
+    pub cycle: u64,
+    /// The strike, in chip coordinates.
+    pub strike: ChipStrike,
+}
+
+/// A Poisson arrival process of cosmic-ray strikes over a whole chip.
+///
+/// The per-cycle strike probability is `N · f_ano · τ_cyc` where `N` is the
+/// number of patches: the paper's `f_ano` is quoted per logical-qubit-sized
+/// region, so a chip presenting `N` patches of silicon to the cosmic-ray
+/// flux is hit `N` times as often.  Strike positions are uniform over the
+/// chip plane (the strike square is kept fully on-chip).
+#[derive(Debug, Clone)]
+pub struct ChipCosmicRayProcess {
+    params: PhysicalParams,
+    chip: ChipLayout,
+    current_cycle: u64,
+    events: Vec<ChipStrikeEvent>,
+}
+
+impl ChipCosmicRayProcess {
+    /// Creates a process over the plane of `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip plane is smaller than a single strike footprint.
+    pub fn new(params: PhysicalParams, chip: ChipLayout) -> Self {
+        let extent = 2 * params.anomaly_size as i32;
+        assert!(
+            chip.chip_rows() >= extent && chip.chip_cols() >= extent,
+            "chip plane {}×{} is smaller than one strike footprint ({extent} sites)",
+            chip.chip_rows(),
+            chip.chip_cols()
+        );
+        Self {
+            params,
+            chip,
+            current_cycle: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The physical parameters driving the process.
+    pub fn params(&self) -> &PhysicalParams {
+        &self.params
+    }
+
+    /// The chip layout the process runs over.
+    pub fn chip(&self) -> &ChipLayout {
+        &self.chip
+    }
+
+    /// The current code cycle.
+    pub fn current_cycle(&self) -> u64 {
+        self.current_cycle
+    }
+
+    /// All strikes generated so far.
+    pub fn events(&self) -> &[ChipStrikeEvent] {
+        &self.events
+    }
+
+    /// Per-cycle strike probability over the whole chip,
+    /// `N · f_ano · τ_cyc`.
+    pub fn strike_probability_per_cycle(&self) -> f64 {
+        (self.chip.num_patches() as f64 * self.params.anomaly_probability_per_cycle()).min(1.0)
+    }
+
+    /// Expected number of strikes over `cycles` code cycles.
+    pub fn expected_strikes(&self, cycles: u64) -> f64 {
+        self.strike_probability_per_cycle() * cycles as f64
+    }
+
+    /// Advances the process by one code cycle, possibly generating a strike.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<ChipStrikeEvent> {
+        let cycle = self.current_cycle;
+        self.current_cycle += 1;
+        if rng.gen::<f64>() >= self.strike_probability_per_cycle() {
+            return None;
+        }
+        let event = ChipStrikeEvent {
+            cycle,
+            strike: self.sample_strike(cycle, rng),
+        };
+        self.events.push(event);
+        Some(event)
+    }
+
+    /// Advances the process by `cycles` code cycles and returns the strikes
+    /// generated.
+    pub fn advance_by<R: Rng + ?Sized>(
+        &mut self,
+        cycles: u64,
+        rng: &mut R,
+    ) -> Vec<ChipStrikeEvent> {
+        (0..cycles).filter_map(|_| self.advance(rng)).collect()
+    }
+
+    /// Samples a strike at `cycle` with a uniformly random origin such that
+    /// the strike square fits on the chip plane.
+    pub fn sample_strike<R: Rng + ?Sized>(&self, cycle: u64, rng: &mut R) -> ChipStrike {
+        ChipStrike::sample_uniform(
+            &self.chip,
+            self.params.anomaly_size,
+            cycle,
+            self.params.anomaly_duration_cycles(),
+            self.params.anomalous_error_rate,
+            rng,
+        )
+    }
+
+    /// The strikes still active at the current cycle, fanned out per patch.
+    pub fn active_fan_out(&self) -> Vec<(PatchIndex, AnomalousRegion)> {
+        let cycle = self.current_cycle;
+        self.events
+            .iter()
+            .filter(|e| e.strike.chip_region().active_at(cycle))
+            .flat_map(|e| e.strike.fan_out(&self.chip))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn params() -> PhysicalParams {
+        PhysicalParams {
+            physical_error_rate: 1e-3,
+            anomalous_error_rate: 0.5,
+            anomaly_size: 2,
+            anomaly_frequency_hz: 100.0,
+            anomaly_duration_s: 50e-6,
+            code_cycle_s: 1e-6,
+        }
+    }
+
+    fn two_patch_chip() -> ChipLayout {
+        ChipLayout::new(1, 2, 7, 0).unwrap()
+    }
+
+    #[test]
+    fn straddling_strike_fans_out_to_both_patches() {
+        let chip = two_patch_chip();
+        // pitch 14; columns 11..15 cover patch 0 (cols 11, 12) and patch 1
+        // (chip col 14 → local col 0).
+        let strike = ChipStrike::new(Coord::new(4, 11), 2, 10, 100, 0.5);
+        let fan_out = strike.fan_out(&chip);
+        assert_eq!(fan_out.len(), 2);
+        let (p0, r0) = fan_out[0];
+        let (p1, r1) = fan_out[1];
+        assert_eq!(p0, PatchIndex::new(0, 0));
+        assert_eq!(r0.origin(), Coord::new(4, 11));
+        assert_eq!(p1, PatchIndex::new(0, 1));
+        assert_eq!(r1.origin(), Coord::new(4, -3));
+        // The same chip site maps to the same physical burst in both frames.
+        assert!(r0.contains(Coord::new(5, 12)));
+        assert!(r1.contains(chip.to_local(p1, Coord::new(5, 14))));
+        // Temporal footprint is preserved.
+        assert!(r1.affects(Coord::new(5, 0), 50));
+        assert!(!r1.affects(Coord::new(5, 0), 150));
+    }
+
+    #[test]
+    fn interior_strike_fans_out_to_one_patch() {
+        let chip = two_patch_chip();
+        let strike = ChipStrike::new(Coord::new(4, 4), 2, 0, 100, 0.5);
+        let fan_out = strike.fan_out(&chip);
+        assert_eq!(fan_out.len(), 1);
+        assert_eq!(fan_out[0].0, PatchIndex::new(0, 0));
+        assert_eq!(fan_out[0].1.origin(), Coord::new(4, 4));
+    }
+
+    #[test]
+    fn gap_strike_fans_out_to_nothing() {
+        let chip = ChipLayout::new(1, 2, 7, 0).unwrap().with_gap(6).unwrap();
+        // patch 0 covers cols 0..13, the gap cols 13..19: a size-1 strike at
+        // col 13 (extent 2) sits fully inside the gap.
+        let strike = ChipStrike::new(Coord::new(0, 13), 1, 0, 100, 0.5);
+        assert!(strike.fan_out(&chip).is_empty());
+    }
+
+    #[test]
+    fn chip_process_scales_rate_with_patch_count() {
+        let chip = ChipLayout::new(2, 2, 5, 0).unwrap();
+        let process = ChipCosmicRayProcess::new(params(), chip);
+        let single = params().anomaly_probability_per_cycle();
+        assert!((process.strike_probability_per_cycle() - 4.0 * single).abs() < 1e-15);
+        // 4 patches × 1e-4/cycle × 1e6 cycles = 400 expected strikes.
+        assert!((process.expected_strikes(1_000_000) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chip_process_generates_on_chip_strikes() {
+        let chip = ChipLayout::new(2, 2, 5, 0).unwrap();
+        let rows = chip.chip_rows();
+        let cols = chip.chip_cols();
+        let mut fast = params();
+        fast.anomaly_frequency_hz = 5_000.0; // 4 patches → p = 0.02/cycle
+        let mut process = ChipCosmicRayProcess::new(fast, chip);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let events = process.advance_by(5_000, &mut rng);
+        assert!(!events.is_empty());
+        for e in &events {
+            let o = e.strike.origin();
+            assert!(o.row >= 0 && o.row + e.strike.extent() <= rows);
+            assert!(o.col >= 0 && o.col + e.strike.extent() <= cols);
+            // With gap 1 and extent 4 a strike can never sit fully inside a
+            // gap, so every strike must hit at least one patch.
+            assert!(!e.strike.fan_out(process.chip()).is_empty());
+        }
+        assert_eq!(process.current_cycle(), 5_000);
+        assert_eq!(process.events().len(), events.len());
+    }
+
+    #[test]
+    fn active_fan_out_expires() {
+        let chip = ChipLayout::new(1, 2, 7, 0).unwrap();
+        let mut fast = params();
+        fast.anomaly_frequency_hz = 50_000.0; // 2 patches → p = 0.1/cycle
+        let mut process = ChipCosmicRayProcess::new(fast, chip);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        while process.events().is_empty() {
+            process.advance(&mut rng);
+        }
+        assert!(!process.active_fan_out().is_empty());
+        // advance far past every strike's 50-cycle duration
+        for _ in 0..10_000 {
+            process.advance(&mut rng);
+        }
+        let last = process.events().last().unwrap();
+        if process.current_cycle() > last.cycle + fast.anomaly_duration_cycles() {
+            assert!(process.active_fan_out().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one strike footprint")]
+    fn tiny_chip_is_rejected() {
+        let mut p = params();
+        p.anomaly_size = 8;
+        let _ = ChipCosmicRayProcess::new(p, ChipLayout::new(1, 1, 3, 0).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "anomaly size must be positive")]
+    fn zero_size_strike_is_rejected() {
+        let _ = ChipStrike::new(Coord::new(0, 0), 0, 0, 1, 0.5);
+    }
+}

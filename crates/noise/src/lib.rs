@@ -21,7 +21,10 @@
 //! * [`NoiseModel`] — per-qubit, per-cycle error-rate lookup and Pauli
 //!   sampling,
 //! * [`CosmicRayProcess`] — the stochastic arrival process generating
-//!   anomalous regions on a qubit plane.
+//!   anomalous regions on a qubit plane,
+//! * [`ChipStrike`] / [`ChipCosmicRayProcess`] — strikes placed in *chip*
+//!   coordinates that fan out into per-patch [`AnomalousRegion`]s (including
+//!   bursts straddling patch boundaries).
 //!
 //! # Example
 //!
@@ -39,11 +42,13 @@
 
 #![deny(missing_docs)]
 
+mod chip;
 mod cosmic_ray;
 mod model;
 mod params;
 mod region;
 
+pub use chip::{ChipCosmicRayProcess, ChipStrike, ChipStrikeEvent};
 pub use cosmic_ray::{CosmicRayEvent, CosmicRayProcess};
 pub use model::NoiseModel;
 pub use params::{McEwenParams, PhysicalParams};

@@ -34,7 +34,11 @@
 //! [`Q3dePipeline`] wires the pieces together for a single logical qubit:
 //! it watches the syndrome stream, detects bursts, requests code expansion
 //! and re-executes the decoder, mirroring the operational flow of Fig. 4 of
-//! the paper.
+//! the paper.  [`SystemPipeline`] scales that to a chip: one pipeline per
+//! patch of a [`lattice::ChipLayout`], with strikes placed in chip
+//! coordinates (they may straddle patches) and every `op_expand` arbitrated
+//! against a shared spare-qubit pool
+//! ([`control::ExpansionArbiter`]).
 //!
 //! ## Quickstart
 //!
@@ -62,8 +66,10 @@
 #![deny(missing_docs)]
 
 pub mod pipeline;
+pub mod system;
 
 pub use pipeline::{EpisodeReport, PipelineConfig, Q3dePipeline};
+pub use system::{ExpansionOutcome, SystemConfig, SystemPipeline, SystemReport};
 
 /// The statistical anomaly-detection unit.
 pub use q3de_anomaly as anomaly;

@@ -32,6 +32,11 @@ pub struct PipelineConfig {
     /// The matching backend both decoding passes run through (see
     /// [`MatcherKind`] for the complexity/accuracy trade-off).
     pub matcher: MatcherKind,
+    /// The logical qubit this pipeline protects.  Single-patch setups keep
+    /// the default `LogicalQubitId(0)`; a [`crate::SystemPipeline`] assigns
+    /// each patch its own id so `op_expand` requests name the right patch in
+    /// the chip-level expansion queue.
+    pub logical_id: LogicalQubitId,
 }
 
 impl PipelineConfig {
@@ -46,6 +51,7 @@ impl PipelineConfig {
             assumed_anomaly_size: 4,
             expansion_keep_cycles: 25_000,
             matcher: MatcherKind::Exact,
+            logical_id: LogicalQubitId(0),
         }
     }
 
@@ -53,6 +59,49 @@ impl PipelineConfig {
     pub fn with_matcher(mut self, matcher: MatcherKind) -> Self {
         self.matcher = matcher;
         self
+    }
+
+    /// Overrides the anomaly-detection window `c_win`, builder style.
+    pub fn with_detection_window(mut self, window: usize) -> Self {
+        self.detection_window = window;
+        self
+    }
+
+    /// Overrides the trigger count `n_th`, builder style.
+    pub fn with_count_threshold(mut self, threshold: usize) -> Self {
+        self.count_threshold = threshold;
+        self
+    }
+
+    /// Overrides the assumed anomaly size `d_ano`, builder style.
+    pub fn with_assumed_anomaly_size(mut self, size: usize) -> Self {
+        self.assumed_anomaly_size = size;
+        self
+    }
+
+    /// Overrides the assumed anomalous error rate `p_ano`, builder style.
+    pub fn with_assumed_anomalous_rate(mut self, rate: f64) -> Self {
+        self.assumed_anomalous_rate = rate;
+        self
+    }
+
+    /// Overrides how long an expansion is kept, builder style.
+    pub fn with_expansion_keep_cycles(mut self, cycles: u64) -> Self {
+        self.expansion_keep_cycles = cycles;
+        self
+    }
+
+    /// Assigns the logical qubit id the pipeline emits in its `op_expand`
+    /// requests, builder style.
+    pub fn with_logical_id(mut self, id: LogicalQubitId) -> Self {
+        self.logical_id = id;
+        self
+    }
+
+    /// The expansion target distance of the Sec. V-B policy:
+    /// `d_exp ≥ d + 2·d_ano`, rounded up to the doubled-distance rule.
+    pub fn expansion_distance(&self) -> usize {
+        (self.distance + 2 * self.assumed_anomaly_size).max(2 * self.distance)
     }
 }
 
@@ -147,9 +196,7 @@ impl Q3dePipeline {
     /// raised to at least `d + 2·d_ano`, rounded up to the doubled distance
     /// policy of Sec. V-B.
     pub fn expansion_plan(&self) -> Result<ExpansionPlan, LatticeError> {
-        let minimum = self.config.distance + 2 * self.config.assumed_anomaly_size;
-        let expanded = minimum.max(2 * self.config.distance);
-        ExpansionPlan::new(self.config.distance, expanded)
+        ExpansionPlan::new(self.config.distance, self.config.expansion_distance())
     }
 
     /// Number of pending `op_expand` requests not yet consumed by a
@@ -192,13 +239,13 @@ impl Q3dePipeline {
         let (expansion_instruction, assumed_region) = match &detection {
             Some(found) => {
                 let request = ExpansionRequest {
-                    target: LogicalQubitId(0),
+                    target: self.config.logical_id,
                     requested_cycle: found.detection_cycle,
                     keep_cycles: self.config.expansion_keep_cycles,
                 };
                 self.expansion_queue.request(request);
                 let instruction = Instruction::OpExpand {
-                    target: LogicalQubitId(0),
+                    target: self.config.logical_id,
                     keep_cycles: self.config.expansion_keep_cycles,
                 };
                 let size = self.config.assumed_anomaly_size;
@@ -310,10 +357,10 @@ mod tests {
 
     #[test]
     fn burst_triggers_detection_expansion_and_reexecution() {
-        let mut config = PipelineConfig::new(7, 1e-3);
-        config.detection_window = 60;
-        config.count_threshold = 8;
-        config.assumed_anomaly_size = 2;
+        let config = PipelineConfig::new(7, 1e-3)
+            .with_detection_window(60)
+            .with_count_threshold(8)
+            .with_assumed_anomaly_size(2);
         let mut pipeline = Q3dePipeline::new(config).unwrap();
         // burst covering the centre of the patch from cycle 100 onwards
         let region = AnomalousRegion::new(Coord::new(4, 4), 2, 100, 100_000, 0.5);
@@ -341,10 +388,11 @@ mod tests {
 
     #[test]
     fn union_find_backend_detects_and_rolls_back_bursts_too() {
-        let mut config = PipelineConfig::new(7, 1e-3).with_matcher(MatcherKind::UnionFind);
-        config.detection_window = 60;
-        config.count_threshold = 8;
-        config.assumed_anomaly_size = 2;
+        let config = PipelineConfig::new(7, 1e-3)
+            .with_matcher(MatcherKind::UnionFind)
+            .with_detection_window(60)
+            .with_count_threshold(8)
+            .with_assumed_anomaly_size(2);
         assert_eq!(config.matcher, MatcherKind::UnionFind);
         let mut pipeline = Q3dePipeline::new(config).unwrap();
         let region = AnomalousRegion::new(Coord::new(4, 4), 2, 100, 100_000, 0.5);
@@ -369,5 +417,32 @@ mod tests {
     #[test]
     fn invalid_distance_is_rejected() {
         assert!(Q3dePipeline::new(PipelineConfig::new(1, 1e-3)).is_err());
+    }
+
+    #[test]
+    fn builder_setters_cover_every_knob() {
+        let config = PipelineConfig::new(5, 1e-3)
+            .with_detection_window(77)
+            .with_count_threshold(11)
+            .with_assumed_anomaly_size(3)
+            .with_assumed_anomalous_rate(0.4)
+            .with_expansion_keep_cycles(12_345)
+            .with_matcher(MatcherKind::Greedy)
+            .with_logical_id(LogicalQubitId(9));
+        assert_eq!(config.detection_window, 77);
+        assert_eq!(config.count_threshold, 11);
+        assert_eq!(config.assumed_anomaly_size, 3);
+        assert_eq!(config.assumed_anomalous_rate, 0.4);
+        assert_eq!(config.expansion_keep_cycles, 12_345);
+        assert_eq!(config.matcher, MatcherKind::Greedy);
+        assert_eq!(config.logical_id, LogicalQubitId(9));
+        // d_exp ≥ d + 2·d_ano, rounded up to the doubling policy.
+        assert_eq!(config.expansion_distance(), 11);
+        assert_eq!(
+            PipelineConfig::new(5, 1e-3)
+                .with_assumed_anomaly_size(4)
+                .expansion_distance(),
+            13
+        );
     }
 }

@@ -1,0 +1,343 @@
+//! The chip-level Q3DE pipeline: many patches, cross-patch strikes, and
+//! expansion arbitration against a shared spare-qubit pool.
+//!
+//! [`Q3dePipeline`] protects exactly one logical
+//! qubit.  The paper's headline results are *system*-level (Secs. V–VII): a
+//! chip hosts a grid of patches, one cosmic-ray strike can straddle several
+//! of them, and the `op_expand` responses compete for a shared pool of
+//! spare physical qubits.  [`SystemPipeline`] owns one per-patch pipeline
+//! (detector + decoder + expansion requests) per [`ChipLayout`] slot, steps
+//! them window by window, and routes every emitted `op_expand` through the
+//! control plane's [`ExpansionArbiter`]: a request is granted
+//! (`d_exp ≥ d + 2·d_ano`) only while the spare budget allows, queues FIFO
+//! otherwise, and its qubits return to the pool when the expansion expires.
+
+use crate::pipeline::{EpisodeReport, PipelineConfig, Q3dePipeline};
+use q3de_control::queues::{ExpansionBid, ExpansionDecision, ExpansionGrant};
+use q3de_control::{ExpansionArbiter, LogicalQubitId};
+use q3de_decoder::SyndromeHistory;
+use q3de_lattice::{ChipLayout, LatticeError, PatchIndex};
+
+/// Configuration of a [`SystemPipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Patch rows on the chip.
+    pub patch_rows: usize,
+    /// Patch columns on the chip.
+    pub patch_cols: usize,
+    /// The per-patch pipeline configuration (every patch is identical; the
+    /// system assigns each patch its own `logical_id`).
+    pub patch: PipelineConfig,
+    /// Spare physical qubits in the shared expansion pool.
+    pub spare_qubits: usize,
+}
+
+impl SystemConfig {
+    /// A chip of `patch_rows × patch_cols` patches running `patch` per
+    /// patch, with `spare_qubits` spare qubits.
+    pub fn new(
+        patch_rows: usize,
+        patch_cols: usize,
+        patch: PipelineConfig,
+        spare_qubits: usize,
+    ) -> Self {
+        Self {
+            patch_rows,
+            patch_cols,
+            patch,
+            spare_qubits,
+        }
+    }
+
+    /// A spare budget that covers exactly `expansions` concurrent
+    /// expansions under this configuration's `d → d_exp` policy.
+    pub fn budget_for_expansions(patch: &PipelineConfig, expansions: usize) -> usize {
+        expansions * ChipLayout::expansion_cost(patch.distance, patch.expansion_distance())
+    }
+}
+
+/// What the system did with one patch's `op_expand` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpansionOutcome {
+    /// The requesting patch.
+    pub patch: PatchIndex,
+    /// The arbiter's verdict.
+    pub decision: ExpansionDecision,
+}
+
+/// Report of one chip-wide decoding window.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Per-patch episode reports, in the chip's row-major patch order.
+    pub patch_reports: Vec<EpisodeReport>,
+    /// The arbitration outcome of every `op_expand` emitted this window, in
+    /// patch order.
+    pub expansions: Vec<ExpansionOutcome>,
+    /// Grants reclaimed by expiry at the end of the window.
+    pub reclaimed: Vec<ExpansionGrant>,
+    /// Grants issued to previously queued requests after the reclaim.
+    pub unblocked: Vec<ExpansionGrant>,
+}
+
+impl SystemReport {
+    /// The patches whose anomaly detector fired this window.
+    pub fn detecting_patches(&self) -> Vec<usize> {
+        self.patch_reports
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.reacted())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of expansions granted this window (fresh grants, not
+    /// extensions), including unblocked queued requests.
+    pub fn num_granted(&self) -> usize {
+        self.expansions
+            .iter()
+            .filter(|o| matches!(o.decision, ExpansionDecision::Granted(_)))
+            .count()
+            + self.unblocked.len()
+    }
+
+    /// Number of requests left waiting in the expansion queue this window.
+    pub fn num_queued(&self) -> usize {
+        self.expansions
+            .iter()
+            .filter(|o| matches!(o.decision, ExpansionDecision::Queued { .. }))
+            .count()
+    }
+}
+
+/// The chip-level Q3DE system: one [`Q3dePipeline`] (anomaly detector +
+/// decoder) per patch, stepped together, with `op_expand` requests routed
+/// through a shared [`ExpansionArbiter`].
+///
+/// ```
+/// use q3de::pipeline::PipelineConfig;
+/// use q3de::system::{SystemConfig, SystemPipeline};
+///
+/// let patch = PipelineConfig::new(5, 1e-3);
+/// // A 2×2 chip with spares for one concurrent expansion.
+/// let budget = SystemConfig::budget_for_expansions(&patch, 1);
+/// let system = SystemPipeline::new(SystemConfig::new(2, 2, patch, budget))?;
+/// assert_eq!(system.num_patches(), 4);
+/// assert_eq!(system.arbiter().spare_budget(), budget);
+/// # Ok::<(), q3de::lattice::LatticeError>(())
+/// ```
+#[derive(Debug)]
+pub struct SystemPipeline {
+    config: SystemConfig,
+    layout: ChipLayout,
+    patches: Vec<Q3dePipeline>,
+    arbiter: ExpansionArbiter,
+    current_cycle: u64,
+}
+
+impl SystemPipeline {
+    /// Builds the chip: layout, one pipeline per patch, and the arbiter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the patch grid is empty or the code distance is
+    /// invalid.
+    pub fn new(config: SystemConfig) -> Result<Self, LatticeError> {
+        let layout = ChipLayout::new(
+            config.patch_rows,
+            config.patch_cols,
+            config.patch.distance,
+            config.spare_qubits,
+        )?;
+        let patches = (0..layout.num_patches())
+            .map(|i| Q3dePipeline::new(config.patch.with_logical_id(LogicalQubitId(i))))
+            .collect::<Result<Vec<_>, _>>()?;
+        let arbiter = ExpansionArbiter::new(config.spare_qubits);
+        Ok(Self {
+            config,
+            layout,
+            patches,
+            arbiter,
+            current_cycle: 0,
+        })
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The chip geometry.
+    pub fn layout(&self) -> &ChipLayout {
+        &self.layout
+    }
+
+    /// Number of patches on the chip.
+    pub fn num_patches(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// The per-patch pipeline at a row-major linear index.
+    pub fn patch(&self, linear: usize) -> &Q3dePipeline {
+        &self.patches[linear]
+    }
+
+    /// The expansion arbiter (budget, active grants, queue).
+    pub fn arbiter(&self) -> &ExpansionArbiter {
+        &self.arbiter
+    }
+
+    /// The last code cycle processed.
+    pub fn current_cycle(&self) -> u64 {
+        self.current_cycle
+    }
+
+    /// The logical qubit id of a patch.
+    pub fn logical_id(&self, patch: PatchIndex) -> LogicalQubitId {
+        LogicalQubitId(self.layout.linear_index(patch))
+    }
+
+    /// Processes one chip-wide decoding window: every patch consumes its
+    /// own syndrome history (all windows start at `window_start_cycle`),
+    /// every emitted `op_expand` is routed through the arbiter in patch
+    /// order, and expired grants are reclaimed at the end of the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `histories` does not hold exactly one history per patch.
+    pub fn process_window(
+        &mut self,
+        histories: &[SyndromeHistory],
+        window_start_cycle: u64,
+    ) -> SystemReport {
+        assert_eq!(
+            histories.len(),
+            self.patches.len(),
+            "expected one syndrome history per patch ({}), got {}",
+            self.patches.len(),
+            histories.len()
+        );
+
+        // 1. Step every patch pipeline over its window.
+        let patch_reports: Vec<EpisodeReport> = self
+            .patches
+            .iter_mut()
+            .zip(histories)
+            .map(|(patch, history)| patch.process_window(history, window_start_cycle))
+            .collect();
+        self.current_cycle = window_start_cycle
+            + histories
+                .iter()
+                .map(|h| h.num_layers() as u64)
+                .max()
+                .unwrap_or(0);
+
+        // 2. Route every patch's op_expand requests through the arbiter.
+        let bid = self.expansion_bid();
+        let mut expansions = Vec::new();
+        for (linear, patch) in self.patches.iter_mut().enumerate() {
+            while let Some(request) = patch.pop_expansion_request() {
+                let decision = self.arbiter.arbitrate(request, bid, self.current_cycle);
+                expansions.push(ExpansionOutcome {
+                    patch: self.layout.patch_at(linear),
+                    decision,
+                });
+            }
+        }
+
+        // 3. Shrink expired expansions and hand their qubits to the queue.
+        let (reclaimed, unblocked) = self.arbiter.expire(self.current_cycle);
+
+        SystemReport {
+            patch_reports,
+            expansions,
+            reclaimed,
+            unblocked,
+        }
+    }
+
+    /// The bid every patch's `op_expand` carries under the configured
+    /// `d_exp ≥ d + 2·d_ano` policy.
+    pub fn expansion_bid(&self) -> ExpansionBid {
+        let from = self.config.patch.distance;
+        let to = self.config.patch.expansion_distance();
+        ExpansionBid {
+            from_distance: from,
+            to_distance: to,
+            cost_qubits: ChipLayout::expansion_cost(from, to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q3de_decoder::SyndromeHistory;
+
+    fn quiet_histories(system: &SystemPipeline, layers: usize) -> Vec<SyndromeHistory> {
+        (0..system.num_patches())
+            .map(|i| {
+                let n = system.patch(i).graph().num_nodes();
+                let mut h = SyndromeHistory::new(n);
+                for _ in 0..layers {
+                    h.push_layer(vec![false; n]);
+                }
+                h
+            })
+            .collect()
+    }
+
+    #[test]
+    fn patches_get_distinct_logical_ids() {
+        let system =
+            SystemPipeline::new(SystemConfig::new(2, 3, PipelineConfig::new(3, 1e-3), 0)).unwrap();
+        assert_eq!(system.num_patches(), 6);
+        for i in 0..6 {
+            assert_eq!(system.patch(i).config().logical_id, LogicalQubitId(i));
+            assert_eq!(
+                system.logical_id(system.layout().patch_at(i)),
+                LogicalQubitId(i)
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_chip_reports_nothing() {
+        let mut system =
+            SystemPipeline::new(SystemConfig::new(2, 2, PipelineConfig::new(3, 1e-3), 100))
+                .unwrap();
+        let histories = quiet_histories(&system, 20);
+        let report = system.process_window(&histories, 0);
+        assert_eq!(report.patch_reports.len(), 4);
+        assert!(report.detecting_patches().is_empty());
+        assert!(report.expansions.is_empty());
+        assert_eq!(report.num_granted(), 0);
+        assert_eq!(report.num_queued(), 0);
+        assert_eq!(system.arbiter().in_use(), 0);
+        assert_eq!(system.current_cycle(), 20);
+    }
+
+    #[test]
+    fn expansion_bid_follows_the_policy() {
+        let patch = PipelineConfig::new(5, 1e-3).with_assumed_anomaly_size(4);
+        let system = SystemPipeline::new(SystemConfig::new(1, 2, patch, 1_000)).unwrap();
+        let bid = system.expansion_bid();
+        assert_eq!(bid.from_distance, 5);
+        assert_eq!(bid.to_distance, 13); // max(5 + 2·4, 2·5)
+        assert_eq!(bid.cost_qubits, 25 * 25 - 9 * 9);
+        assert_eq!(
+            SystemConfig::budget_for_expansions(&patch, 2),
+            2 * bid.cost_qubits
+        );
+    }
+
+    #[test]
+    fn mismatched_history_count_panics() {
+        let mut system =
+            SystemPipeline::new(SystemConfig::new(1, 2, PipelineConfig::new(3, 1e-3), 0)).unwrap();
+        let histories = quiet_histories(&system, 5);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            system.process_window(&histories[..1], 0)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -18,6 +18,12 @@
 //! `AnomalyAware` (anomaly injected and known to the decoder — "with
 //! rollback").
 //!
+//! [`ChipMemoryExperiment`] lifts the memory experiment to a chip of `N`
+//! patches: strikes are placed in chip coordinates (they may straddle patch
+//! boundaries), each patch runs on its own reproducible RNG stream, and a
+//! chip shot fails when any patch fails — the system failure criterion
+//! behind the `fig_system` sweep.
+//!
 //! # Example
 //!
 //! ```
@@ -34,13 +40,18 @@
 
 #![deny(missing_docs)]
 
+mod chip;
 mod detection_experiment;
 mod memory;
 mod parallel;
 
+pub use chip::{
+    chip_patch_seed, ChipEstimate, ChipMemoryExperiment, ChipMemoryExperimentConfig,
+    ChipStrikePolicy,
+};
 pub use detection_experiment::{DetectionExperiment, DetectionExperimentConfig, DetectionTrial};
 pub use memory::{
     AnomalyInjection, DecodingStrategy, EstimateResult, MemoryExperiment, MemoryExperimentConfig,
     ShotOutcome,
 };
-pub use parallel::{run_shots_auto, run_shots_parallel};
+pub use parallel::{run_shots_auto, run_shots_fold, run_shots_fold_auto, run_shots_parallel};

@@ -253,8 +253,23 @@ impl MemoryExperiment {
         strategy: DecodingStrategy,
         rng: &mut R,
     ) -> (SyndromeHistory, bool) {
+        self.sample_history_with(&self.noise_model(strategy), rng)
+    }
+
+    /// Samples one shot's syndrome stream under an explicit noise model —
+    /// the kernel behind [`MemoryExperiment::sample_history`], exposed so
+    /// chip-level experiments can inject per-shot anomalous regions (e.g. a
+    /// randomly placed strike fan-out) without rebuilding the experiment.
+    ///
+    /// The RNG call order is identical to [`MemoryExperiment::sample_history`]
+    /// for any noise model with a positive base rate, so per-patch streams
+    /// stay reproducible across the single-patch and chip paths.
+    pub fn sample_history_with<R: Rng + ?Sized>(
+        &self,
+        noise: &NoiseModel,
+        rng: &mut R,
+    ) -> (SyndromeHistory, bool) {
         let rounds = self.config.effective_rounds();
-        let noise = self.noise_model(strategy);
         let n = self.graph.num_nodes();
 
         // cumulative X-component flips per data qubit (edge of the X graph)
@@ -321,6 +336,43 @@ impl MemoryExperiment {
         let (history, error_cut_parity) = self.sample_history(strategy, rng);
         let decoder = SurfaceDecoder::with_config(&self.graph, self.config.decoder);
         let outcome = decoder.decode(&history, &self.weight_model(strategy));
+        ShotOutcome {
+            logical_failure: outcome.is_logical_failure(error_cut_parity),
+            num_detection_events: outcome.num_events(),
+        }
+    }
+
+    /// Runs a single memory shot with explicit anomalous regions instead of
+    /// the configured [`AnomalyInjection`] — the chip-level entry point: a
+    /// cosmic-ray strike fanned out in chip coordinates hands each patch the
+    /// regions that overlap it (possibly none, possibly hanging off the
+    /// patch edge).
+    ///
+    /// Strategy semantics mirror [`MemoryExperiment::run_shot`]:
+    /// `MbbeFree` ignores `regions` entirely, `Blind` injects them into the
+    /// noise but decodes with uniform weights, `AnomalyAware` injects them
+    /// and re-weights the decoder.
+    pub fn run_shot_with<R: Rng + ?Sized>(
+        &self,
+        regions: &[AnomalousRegion],
+        strategy: DecodingStrategy,
+        rng: &mut R,
+    ) -> ShotOutcome {
+        let mut noise = NoiseModel::uniform(self.config.physical_error_rate);
+        if strategy != DecodingStrategy::MbbeFree {
+            for &region in regions {
+                noise.add_anomaly(region);
+            }
+        }
+        let weights = match strategy {
+            DecodingStrategy::AnomalyAware if !regions.is_empty() => {
+                WeightModel::anomaly_aware(self.config.physical_error_rate, regions.to_vec(), 0)
+            }
+            _ => WeightModel::uniform(self.config.physical_error_rate),
+        };
+        let (history, error_cut_parity) = self.sample_history_with(&noise, rng);
+        let decoder = SurfaceDecoder::with_config(&self.graph, self.config.decoder);
+        let outcome = decoder.decode(&history, &weights);
         ShotOutcome {
             logical_failure: outcome.is_logical_failure(error_cut_parity),
             num_detection_events: outcome.num_events(),
@@ -553,6 +605,31 @@ mod tests {
             })
             .count();
         assert_eq!(parallel.failures, sequential);
+    }
+
+    #[test]
+    fn run_shot_with_matches_run_shot_on_the_configured_region() {
+        let config =
+            MemoryExperimentConfig::new(5, 5e-3).with_anomaly(AnomalyInjection::centered(2, 0.5));
+        let exp = MemoryExperiment::new(config).unwrap();
+        let regions = [*exp.region().unwrap()];
+        for strategy in [
+            DecodingStrategy::MbbeFree,
+            DecodingStrategy::Blind,
+            DecodingStrategy::AnomalyAware,
+        ] {
+            for seed in 0..10u64 {
+                let a = exp.run_shot(strategy, &mut rng(seed));
+                let b = exp.run_shot_with(&regions, strategy, &mut rng(seed));
+                assert_eq!(a, b, "{strategy:?} seed {seed}");
+            }
+        }
+        // With no regions every strategy reduces to the MBBE-free shot.
+        for seed in 0..10u64 {
+            let free = exp.run_shot(DecodingStrategy::MbbeFree, &mut rng(seed));
+            let empty = exp.run_shot_with(&[], DecodingStrategy::AnomalyAware, &mut rng(seed));
+            assert_eq!(free, empty, "seed {seed}");
+        }
     }
 
     #[test]

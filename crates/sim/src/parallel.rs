@@ -2,9 +2,86 @@
 
 use std::thread;
 
+/// Runs `shots` independent trials across `num_threads` OS threads,
+/// folding each trial into a per-thread accumulator and merging the
+/// per-thread accumulators in thread order.
+///
+/// This is the general aggregation primitive behind
+/// [`run_shots_parallel`]: experiments that need more than a failure count
+/// (per-patch statistics, event histograms, …) fold into their own
+/// accumulator type instead of a `bool`.  Each trial receives a distinct
+/// `(thread_id, shot_index)` pair so the caller can derive independent,
+/// reproducible RNG seeds; `merge` is applied left-to-right over the
+/// per-thread results (thread 0 first), so the final value is deterministic
+/// for deterministic `shot`/`merge`.
+///
+/// ```
+/// use q3de_sim::run_shots_fold;
+/// // Histogram of (thread + shot) mod 3 over 99 trials.
+/// let hist = run_shots_fold(
+///     99,
+///     4,
+///     [0usize; 3],
+///     |thread, shot, acc: &mut [usize; 3]| acc[(thread + shot) % 3] += 1,
+///     |mut a, b| {
+///         for (x, y) in a.iter_mut().zip(b) {
+///             *x += y;
+///         }
+///         a
+///     },
+/// );
+/// assert_eq!(hist.iter().sum::<usize>(), 99);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_threads == 0` or if a worker thread panics.
+pub fn run_shots_fold<A, Shot, Merge>(
+    shots: usize,
+    num_threads: usize,
+    init: A,
+    shot: Shot,
+    merge: Merge,
+) -> A
+where
+    A: Clone + Send,
+    Shot: Fn(usize, usize, &mut A) + Sync,
+    Merge: Fn(A, A) -> A,
+{
+    assert!(num_threads > 0, "at least one worker thread is required");
+    if shots == 0 {
+        return init;
+    }
+    let num_threads = num_threads.min(shots);
+    let per_thread = shots / num_threads;
+    let remainder = shots % num_threads;
+    let shot_ref = &shot;
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_threads)
+            .map(|thread_id| {
+                let count = per_thread + usize::from(thread_id < remainder);
+                let mut acc = init.clone();
+                scope.spawn(move || {
+                    for shot_index in 0..count {
+                        shot_ref(thread_id, shot_index, &mut acc);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .reduce(merge)
+            .expect("at least one worker ran")
+    })
+}
+
 /// Runs `shots` independent trials across `num_threads` OS threads and
 /// returns the number of trials for which `shot` returned `true`
-/// (e.g. logical failures).
+/// (e.g. logical failures).  A thin wrapper over [`run_shots_fold`] with a
+/// counting accumulator.
 ///
 /// Each thread receives a distinct stream index `(thread_id, shot_index)` so
 /// the caller can derive independent, reproducible RNG seeds.
@@ -23,31 +100,17 @@ pub fn run_shots_parallel<F>(shots: usize, num_threads: usize, shot: F) -> usize
 where
     F: Fn(usize, usize) -> bool + Sync,
 {
-    assert!(num_threads > 0, "at least one worker thread is required");
-    if shots == 0 {
-        return 0;
-    }
-    let num_threads = num_threads.min(shots);
-    let per_thread = shots / num_threads;
-    let remainder = shots % num_threads;
-    let shot_ref = &shot;
-
-    thread::scope(|scope| {
-        let handles: Vec<_> = (0..num_threads)
-            .map(|thread_id| {
-                let count = per_thread + usize::from(thread_id < remainder);
-                scope.spawn(move || {
-                    (0..count)
-                        .filter(|&shot_index| shot_ref(thread_id, shot_index))
-                        .count()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .sum()
-    })
+    run_shots_fold(
+        shots,
+        num_threads,
+        0usize,
+        |thread_id, shot_index, count| {
+            if shot(thread_id, shot_index) {
+                *count += 1;
+            }
+        },
+        |a, b| a + b,
+    )
 }
 
 /// Like [`run_shots_parallel`], but sizes the worker pool from
@@ -70,6 +133,21 @@ where
         .map(|n| n.get())
         .unwrap_or(1);
     run_shots_parallel(shots, num_threads, shot)
+}
+
+/// Like [`run_shots_fold`], but sizes the worker pool from
+/// [`std::thread::available_parallelism`] (falling back to a single thread
+/// when the parallelism cannot be determined).
+pub fn run_shots_fold_auto<A, Shot, Merge>(shots: usize, init: A, shot: Shot, merge: Merge) -> A
+where
+    A: Clone + Send,
+    Shot: Fn(usize, usize, &mut A) + Sync,
+    Merge: Fn(A, A) -> A,
+{
+    let num_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    run_shots_fold(shots, num_threads, init, shot, merge)
 }
 
 #[cfg(test)]
@@ -119,6 +197,64 @@ mod tests {
     #[should_panic(expected = "at least one worker thread")]
     fn zero_threads_is_rejected() {
         let _ = run_shots_parallel(10, 0, |_, _| false);
+    }
+
+    #[test]
+    fn fold_aggregates_per_thread_accumulators_deterministically() {
+        // A vector accumulator: per-class counts of (thread·31 + shot·7) % 4.
+        let class = |t: usize, s: usize| (t * 31 + s * 7) % 4;
+        let fold = |threads: usize| {
+            run_shots_fold(
+                201,
+                threads,
+                vec![0usize; 4],
+                |t, s, acc: &mut Vec<usize>| acc[class(t, s)] += 1,
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            )
+        };
+        let counts = fold(5);
+        assert_eq!(counts.iter().sum::<usize>(), 201);
+        assert_eq!(fold(5), counts, "same partitioning, same result");
+        // The counting wrapper agrees with a fold over the same predicate.
+        let wrapper = run_shots_parallel(201, 5, |t, s| class(t, s) == 0);
+        assert_eq!(wrapper, counts[0]);
+    }
+
+    #[test]
+    fn fold_with_zero_shots_returns_init() {
+        let init = vec![7usize; 3];
+        let out = run_shots_fold(0, 4, init.clone(), |_, _, _: &mut Vec<usize>| {}, |a, _| a);
+        assert_eq!(out, init);
+        assert_eq!(
+            run_shots_fold_auto(0, 42usize, |_, _, _: &mut usize| {}, |a, _| a),
+            42
+        );
+    }
+
+    #[test]
+    fn fold_merges_in_thread_order() {
+        // Record which thread contributed which shots; the merged transcript
+        // must list thread 0's shots first, then thread 1's, etc.
+        let transcript = run_shots_fold(
+            10,
+            3,
+            Vec::new(),
+            |t, s, acc: &mut Vec<(usize, usize)>| acc.push((t, s)),
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        assert_eq!(transcript.len(), 10);
+        let threads: Vec<usize> = transcript.iter().map(|&(t, _)| t).collect();
+        let mut sorted = threads.clone();
+        sorted.sort_unstable();
+        assert_eq!(threads, sorted, "thread blocks merge in order");
     }
 
     #[test]

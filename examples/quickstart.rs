@@ -15,10 +15,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut config = PipelineConfig::new(7, 1e-3);
-    config.detection_window = 60;
-    config.count_threshold = 8;
-    config.assumed_anomaly_size = 2;
+    let config = PipelineConfig::new(7, 1e-3)
+        .with_detection_window(60)
+        .with_count_threshold(8)
+        .with_assumed_anomaly_size(2);
     let mut pipeline = Q3dePipeline::new(config).expect("valid configuration");
     println!(
         "protecting a distance-{} logical qubit ({} physical qubits)",

@@ -134,10 +134,10 @@ fn sampled_history(
 #[test]
 fn pipeline_episode_reports_are_reproducible() {
     let run = || {
-        let mut config = PipelineConfig::new(7, 1e-3);
-        config.detection_window = 60;
-        config.count_threshold = 8;
-        config.assumed_anomaly_size = 2;
+        let config = PipelineConfig::new(7, 1e-3)
+            .with_detection_window(60)
+            .with_count_threshold(8)
+            .with_assumed_anomaly_size(2);
         let mut pipeline = Q3dePipeline::new(config).expect("valid configuration");
         let burst = AnomalousRegion::new(Coord::new(4, 4), 2, 100, 100_000, 0.5);
         let noise = NoiseModel::uniform(1e-3).with_anomaly(burst);

@@ -79,10 +79,10 @@ fn mbbe_degrades_and_q3de_recovers_the_memory() {
 
 #[test]
 fn end_to_end_pipeline_detects_expands_and_reexecutes() {
-    let mut config = PipelineConfig::new(7, 1e-3);
-    config.detection_window = 60;
-    config.count_threshold = 8;
-    config.assumed_anomaly_size = 2;
+    let config = PipelineConfig::new(7, 1e-3)
+        .with_detection_window(60)
+        .with_count_threshold(8)
+        .with_assumed_anomaly_size(2);
     let mut pipeline = Q3dePipeline::new(config).unwrap();
     let burst = AnomalousRegion::new(Coord::new(4, 4), 2, 100, 100_000, 0.5);
     let noise = NoiseModel::uniform(1e-3).with_anomaly(burst);

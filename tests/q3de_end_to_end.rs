@@ -113,10 +113,10 @@ fn strike_is_detected_and_triggers_op_expand_and_rollback() {
         .offset(-(size as i32) + 1, -(size as i32) + 1);
     let burst = AnomalousRegion::new(top_left, size, 100, 100_000, event.region.anomalous_rate());
 
-    let mut config = PipelineConfig::new(7, 1e-3);
-    config.detection_window = 60;
-    config.count_threshold = 8;
-    config.assumed_anomaly_size = size;
+    let config = PipelineConfig::new(7, 1e-3)
+        .with_detection_window(60)
+        .with_count_threshold(8)
+        .with_assumed_anomaly_size(size);
     let mut pipeline = Q3dePipeline::new(config).expect("valid configuration");
 
     let noise = NoiseModel::uniform(1e-3).with_anomaly(burst);
