@@ -1,23 +1,80 @@
 //! Figure 3: logical error rate vs physical error rate, with and without an
 //! MBBE (d_ano = 4, p_ano = 0.5), for several code distances.
 //!
-//! Usage: `cargo run --release -p q3de-bench --bin fig3 [--samples N]`
+//! All points run on the shared sweep engine: shots are work-stolen across
+//! the whole grid, `--target-rse` enables adaptive early stopping, and
+//! `--checkpoint`/`--resume` make the sweep restartable.  In `--json` mode
+//! the human table goes to stderr so stdout stays parseable.
+//!
+//! Usage: `cargo run --release -p q3de_bench --bin fig3 [--samples N]
+//! [--seed N] [--matcher M] [--json] [--target-rse X]
+//! [--checkpoint PATH] [--resume] [--report PATH]`
 
-use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
-use q3de_bench::{print_row, sci, ExperimentArgs};
+use q3de::sim::engine::SweepPoint;
+use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperimentConfig};
+use q3de_bench::{sci, ExperimentArgs};
 use rand_chacha::ChaCha8Rng;
+
+struct Cell {
+    d: usize,
+    mbbe: bool,
+    p: f64,
+    id: String,
+}
 
 fn main() {
     let args = ExperimentArgs::parse(400);
     let distances = [5usize, 9, 13];
     let error_rates = [4e-3, 8e-3, 1.6e-2, 2.4e-2, 3.2e-2, 4e-2];
 
-    println!(
-        "Figure 3: logical error rate per shot (d-cycle memory), {} shots/point, {} matcher",
+    // One sweep point per (distance, curve, error-rate) cell.  The stream
+    // seeds match the pre-engine layout, so fixed-seed statistics are
+    // unchanged by the migration.
+    let mut points = Vec::new();
+    let mut cells = Vec::new();
+    for &d in &distances {
+        for (anomaly, strategy) in [
+            (None, DecodingStrategy::MbbeFree),
+            (
+                Some(AnomalyInjection::centered(4, 0.5)),
+                DecodingStrategy::Blind,
+            ),
+        ] {
+            for (pi, &p) in error_rates.iter().enumerate() {
+                let mut config = MemoryExperimentConfig::new(d, p).with_matcher(args.matcher);
+                if let Some(a) = anomaly {
+                    config = config.with_anomaly(a);
+                }
+                let id = format!("fig3/d={d}/mbbe={}/p={p:e}", anomaly.is_some());
+                points.push(
+                    SweepPoint::from_memory::<ChaCha8Rng>(
+                        &id,
+                        config,
+                        strategy,
+                        args.stream_seed((d * 100 + pi) as u64),
+                    )
+                    .expect("valid distance"),
+                );
+                cells.push(Cell {
+                    d,
+                    mbbe: anomaly.is_some(),
+                    p,
+                    id,
+                });
+            }
+        }
+    }
+
+    args.human(format!(
+        "Figure 3: logical error rate per shot (d-cycle memory), {} shots/point{}, {} matcher",
         args.samples,
+        args.target_rse
+            .map_or(String::new(), |rse| format!(" (ceiling, target rse {rse})")),
         args.matcher.name()
-    );
-    print_row(
+    ));
+    let report = args.run_sweep(points);
+
+    args.human_row(
         "configuration",
         &error_rates
             .iter()
@@ -25,38 +82,34 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     for &d in &distances {
-        for (label, anomaly, strategy) in [
-            ("without MBBE", None, DecodingStrategy::MbbeFree),
-            (
-                "with MBBE",
-                Some(AnomalyInjection::centered(4, 0.5)),
-                DecodingStrategy::Blind,
-            ),
-        ] {
-            let mut row = Vec::new();
-            for (pi, &p) in error_rates.iter().enumerate() {
-                let mut config = MemoryExperimentConfig::new(d, p).with_matcher(args.matcher);
-                if let Some(a) = anomaly {
-                    config = config.with_anomaly(a);
-                }
-                let experiment = MemoryExperiment::new(config).expect("valid distance");
-                let estimate = experiment.estimate_parallel::<ChaCha8Rng>(
-                    args.samples,
-                    strategy,
-                    args.stream_seed((d * 100 + pi) as u64),
-                );
-                row.push(sci(estimate.logical_error_rate()));
-                if args.json {
-                    println!(
-                        "{{\"figure\":3,\"d\":{d},\"p\":{p},\"mbbe\":{},\"rate\":{}}}",
-                        anomaly.is_some(),
-                        estimate.logical_error_rate()
-                    );
-                }
-            }
-            print_row(&format!("d={d} {label}"), &row);
+        for (label, mbbe) in [("without MBBE", false), ("with MBBE", true)] {
+            let row: Vec<String> = cells
+                .iter()
+                .filter(|c| c.d == d && c.mbbe == mbbe)
+                .map(|c| sci(report.point(&c.id).expect("point ran").failure_rate()))
+                .collect();
+            args.human_row(&format!("d={d} {label}"), &row);
         }
     }
-    println!("\nExpected shape: MBBE curves sit ~1-2 decades above the MBBE-free curves at low p;");
-    println!("the crossing (threshold) point is nearly unchanged by a single MBBE.");
+
+    if args.json {
+        for cell in &cells {
+            let point = report.point(&cell.id).expect("point ran");
+            let (low, high) = point.wilson();
+            println!(
+                "{{\"figure\":3,\"d\":{},\"p\":{},\"mbbe\":{},\"rate\":{},\
+                 \"shots\":{},\"failures\":{},\"wilson_low\":{low},\"wilson_high\":{high}}}",
+                cell.d,
+                cell.p,
+                cell.mbbe,
+                point.failure_rate(),
+                point.shots,
+                point.failures,
+            );
+        }
+    }
+
+    args.human("");
+    args.human("Expected shape: MBBE curves sit ~1-2 decades above the MBBE-free curves at low p;");
+    args.human("the crossing (threshold) point is nearly unchanged by a single MBBE.");
 }

@@ -4,18 +4,18 @@
 //! Usage: `cargo run --release -p q3de-bench --bin fig7 [--samples N]`
 
 use q3de::sim::{DetectionExperiment, DetectionExperimentConfig};
-use q3de_bench::{print_row, ExperimentArgs};
+use q3de_bench::ExperimentArgs;
 
 fn main() {
     let args = ExperimentArgs::parse(10);
     let ratios = [10.0, 20.0, 40.0, 60.0, 100.0];
     let candidate_windows = [25usize, 50, 100, 150, 200, 300, 400, 500];
 
-    println!(
+    args.human(format!(
         "Figure 7: detection window for <=1% error, latency and position error ({} trials/point)",
         args.samples
-    );
-    print_row(
+    ));
+    args.human_row(
         "ratio p_ano/p",
         &[
             "window".into(),
@@ -36,13 +36,15 @@ fn main() {
             }
             None => ("> max".into(), "-".into(), "-".into()),
         };
-        print_row(&format!("{ratio:>6.0}"), &[label, latency, pos]);
+        args.human_row(&format!("{ratio:>6.0}"), &[label, latency, pos]);
         if args.json {
             println!("{{\"figure\":7,\"ratio\":{ratio},\"window\":\"{window:?}\"}}");
         }
     }
-    println!("\nExpected shape: the required window shrinks rapidly as the burst strength grows;");
-    println!(
-        "latency is of the order of the window and the position error stays within a few sites."
+    args.human(
+        "\nExpected shape: the required window shrinks rapidly as the burst strength grows;",
+    );
+    args.human(
+        "latency is of the order of the window and the position error stays within a few sites.",
     );
 }

@@ -2,124 +2,200 @@
 //! (rollback) and the effective code-distance reduction, for anomaly sizes 2
 //! and 4.
 //!
-//! Usage: `cargo run --release -p q3de-bench --bin fig8 [--samples N]`
+//! All estimates — the three curves per (d_ano, d) row *and* the Eq. (4)
+//! inputs — run as one grid on the shared sweep engine, so shots are
+//! work-stolen across the whole figure.  `--target-rse` enables adaptive
+//! early stopping; `--checkpoint`/`--resume` make the sweep restartable.
+//!
+//! Usage: `cargo run --release -p q3de_bench --bin fig8 [--samples N]
+//! [--seed N] [--matcher M] [--json] [--target-rse X]
+//! [--checkpoint PATH] [--resume] [--report PATH]`
 
 use q3de::scaling::effective_distance_reduction;
-use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
-use q3de_bench::{print_row, sci, ExperimentArgs};
+use q3de::sim::engine::{SweepPoint, SweepReport};
+use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperimentConfig};
+use q3de_bench::{sci, ExperimentArgs};
 use rand_chacha::ChaCha8Rng;
+
+const DISTANCES: [usize; 3] = [5, 7, 9];
+const ERROR_RATES: [f64; 4] = [4e-3, 1e-2, 2e-2, 4e-2];
+const ANOMALY_SIZES: [usize; 2] = [2, 4];
+
+fn curve_id(dano: usize, d: usize, p: f64, strategy: DecodingStrategy) -> String {
+    format!("fig8/dano={dano}/d={d}/p={p:e}/{}", strategy_name(strategy))
+}
+
+fn eq4_id(dano: usize, d: usize, strategy: DecodingStrategy) -> String {
+    format!("fig8/eq4/dano={dano}/d={d}/{}", strategy_name(strategy))
+}
+
+fn strategy_name(strategy: DecodingStrategy) -> &'static str {
+    match strategy {
+        DecodingStrategy::MbbeFree => "free",
+        DecodingStrategy::Blind => "blind",
+        DecodingStrategy::AnomalyAware => "rollback",
+    }
+}
+
+fn rate(report: &SweepReport, id: &str) -> f64 {
+    report.point(id).expect("point ran").failure_rate()
+}
 
 fn main() {
     let args = ExperimentArgs::parse(300);
-    let distances = [5usize, 7, 9];
-    let error_rates = [4e-3, 1e-2, 2e-2, 4e-2];
-    let anomaly_sizes = [2usize, 4];
+    let mut points = Vec::new();
 
-    for &dano in &anomaly_sizes {
-        println!(
-            "\nFigure 8 (anomaly size = {dano}), {} shots/point, {} matcher",
-            args.samples,
-            args.matcher.name()
-        );
-        print_row(
-            "configuration",
-            &error_rates
-                .iter()
-                .map(|p| format!("p={p:<9.1e}"))
-                .collect::<Vec<_>>(),
-        );
-        for &d in &distances {
-            let mut free_rates = Vec::new();
-            let mut blind_rates = Vec::new();
-            let mut aware_rates = Vec::new();
-            for (pi, &p) in error_rates.iter().enumerate() {
-                let config = MemoryExperimentConfig::new(d, p)
-                    .with_matcher(args.matcher)
-                    .with_anomaly(AnomalyInjection::centered(dano, 0.5));
-                let experiment = MemoryExperiment::new(config).expect("valid distance");
+    let memory_point = |id: &str, d: usize, p: f64, dano: usize, strategy, salt: u64| {
+        let mut config = MemoryExperimentConfig::new(d, p).with_matcher(args.matcher);
+        if strategy != DecodingStrategy::MbbeFree {
+            config = config.with_anomaly(AnomalyInjection::centered(dano, 0.5));
+        }
+        SweepPoint::from_memory::<ChaCha8Rng>(id, config, strategy, args.stream_seed(salt))
+            .expect("valid distance")
+    };
+
+    for &dano in &ANOMALY_SIZES {
+        for &d in &DISTANCES {
+            for (pi, &p) in ERROR_RATES.iter().enumerate() {
                 // stride-4 salts: stream_seed is additive in the salt, so a
                 // unit stride would alias one strategy's streams with its
                 // neighbour data point's
                 let salt = 4 * (dano * 1000 + d * 10 + pi) as u64;
-                let free = experiment.estimate_parallel::<ChaCha8Rng>(
-                    args.samples,
+                for (k, strategy) in [
                     DecodingStrategy::MbbeFree,
-                    args.stream_seed(salt),
-                );
-                let blind = experiment.estimate_parallel::<ChaCha8Rng>(
-                    args.samples,
                     DecodingStrategy::Blind,
-                    args.stream_seed(salt + 1),
-                );
-                let aware = experiment.estimate_parallel::<ChaCha8Rng>(
-                    args.samples,
                     DecodingStrategy::AnomalyAware,
-                    args.stream_seed(salt + 2),
-                );
-                free_rates.push(free.logical_error_rate());
-                blind_rates.push(blind.logical_error_rate());
-                aware_rates.push(aware.logical_error_rate());
-                if args.json {
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    // The MBBE-free curve carries no anomaly, so it is the
+                    // same point for both dano values — but it keeps its own
+                    // streams (as before the engine migration) for identical
+                    // fixed-seed statistics.
+                    points.push(memory_point(
+                        &curve_id(dano, d, p, strategy),
+                        d,
+                        p,
+                        dano,
+                        strategy,
+                        salt + k as u64,
+                    ));
+                }
+            }
+        }
+        // Eq. (4) inputs at the lowest error rate: disjoint stride-4 salt
+        // block, offset past the row salts and folded over dano so no two
+        // estimates share a stream.
+        let p = ERROR_RATES[0];
+        let eq4_salt = |dist: usize, k: u64| 4 * (50_000 + dano as u64 * 1_000 + dist as u64) + k;
+        for &d in &DISTANCES[1..] {
+            points.push(memory_point(
+                &eq4_id(dano, d, DecodingStrategy::MbbeFree),
+                d,
+                p,
+                dano,
+                DecodingStrategy::MbbeFree,
+                eq4_salt(d, 0),
+            ));
+            let id_dm2 = format!("fig8/eq4/dano={dano}/d={}/free-ref", d - 2);
+            points.push(memory_point(
+                &id_dm2,
+                d - 2,
+                p,
+                dano,
+                DecodingStrategy::MbbeFree,
+                eq4_salt(d - 2, 1),
+            ));
+            points.push(memory_point(
+                &eq4_id(dano, d, DecodingStrategy::Blind),
+                d,
+                p,
+                dano,
+                DecodingStrategy::Blind,
+                eq4_salt(d, 2),
+            ));
+            points.push(memory_point(
+                &eq4_id(dano, d, DecodingStrategy::AnomalyAware),
+                d,
+                p,
+                dano,
+                DecodingStrategy::AnomalyAware,
+                eq4_salt(d, 3),
+            ));
+        }
+    }
+
+    args.human(format!(
+        "Figure 8: {} shots/point{}, {} matcher",
+        args.samples,
+        args.target_rse
+            .map_or(String::new(), |rse| format!(" (ceiling, target rse {rse})")),
+        args.matcher.name()
+    ));
+    let report = args.run_sweep(points);
+
+    for &dano in &ANOMALY_SIZES {
+        args.human(format!("\nFigure 8 (anomaly size = {dano})"));
+        args.human_row(
+            "configuration",
+            &ERROR_RATES
+                .iter()
+                .map(|p| format!("p={p:<9.1e}"))
+                .collect::<Vec<_>>(),
+        );
+        for &d in &DISTANCES {
+            for (label, strategy) in [
+                ("MBBE free", DecodingStrategy::MbbeFree),
+                ("without rollback", DecodingStrategy::Blind),
+                ("with rollback", DecodingStrategy::AnomalyAware),
+            ] {
+                let row: Vec<String> = ERROR_RATES
+                    .iter()
+                    .map(|&p| sci(rate(&report, &curve_id(dano, d, p, strategy))))
+                    .collect();
+                args.human_row(&format!("d={d} {label}"), &row);
+            }
+            if args.json {
+                for &p in &ERROR_RATES {
                     println!(
                         "{{\"figure\":8,\"d\":{d},\"d_ano\":{dano},\"p\":{p},\
                          \"free\":{},\"blind\":{},\"rollback\":{}}}",
-                        free.logical_error_rate(),
-                        blind.logical_error_rate(),
-                        aware.logical_error_rate()
+                        rate(&report, &curve_id(dano, d, p, DecodingStrategy::MbbeFree)),
+                        rate(&report, &curve_id(dano, d, p, DecodingStrategy::Blind)),
+                        rate(
+                            &report,
+                            &curve_id(dano, d, p, DecodingStrategy::AnomalyAware)
+                        ),
                     );
                 }
             }
-            print_row(
-                &format!("d={d} MBBE free"),
-                &free_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>(),
-            );
-            print_row(
-                &format!("d={d} without rollback"),
-                &blind_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>(),
-            );
-            print_row(
-                &format!("d={d} with rollback"),
-                &aware_rates.iter().map(|&r| sci(r)).collect::<Vec<_>>(),
-            );
         }
 
         // Effective code-distance reduction at the lowest error rate, Eq. (4).
-        println!(
+        args.human(format!(
             "effective code-distance reduction (Eq. 4, p = {}):",
-            error_rates[0]
-        );
-        for &d in &distances[1..] {
-            let p = error_rates[0];
-            let shots = args.samples;
-            // disjoint stride-4 salt block, offset past the row salts and
-            // folded over dano so no two estimates share a stream
-            let eq4_salt =
-                |dist: usize, k: u64| 4 * (50_000 + dano as u64 * 1_000 + dist as u64) + k;
-            let estimate = |dist: usize, strategy, salt: u64| {
-                let mut config = MemoryExperimentConfig::new(dist, p).with_matcher(args.matcher);
-                if strategy != DecodingStrategy::MbbeFree {
-                    config = config.with_anomaly(AnomalyInjection::centered(dano, 0.5));
-                }
-                let experiment = MemoryExperiment::new(config).expect("valid distance");
-                experiment
-                    .estimate_parallel::<ChaCha8Rng>(shots, strategy, args.stream_seed(salt))
-                    .logical_error_rate()
-                    .max(1e-6)
-            };
-            let p_l_d = estimate(d, DecodingStrategy::MbbeFree, eq4_salt(d, 0));
-            let p_l_dm2 = estimate(d - 2, DecodingStrategy::MbbeFree, eq4_salt(d - 2, 1));
-            let blind = estimate(d, DecodingStrategy::Blind, eq4_salt(d, 2));
-            let aware = estimate(d, DecodingStrategy::AnomalyAware, eq4_salt(d, 3));
+            ERROR_RATES[0]
+        ));
+        for &d in &DISTANCES[1..] {
+            let clamped = |id: &str| rate(&report, id).max(1e-6);
+            let p_l_d = clamped(&eq4_id(dano, d, DecodingStrategy::MbbeFree));
+            let p_l_dm2 = clamped(&format!("fig8/eq4/dano={dano}/d={}/free-ref", d - 2));
+            let blind = clamped(&eq4_id(dano, d, DecodingStrategy::Blind));
+            let aware = clamped(&eq4_id(dano, d, DecodingStrategy::AnomalyAware));
             let without = effective_distance_reduction(blind, p_l_d, p_l_dm2);
             let with = effective_distance_reduction(aware, p_l_d, p_l_dm2);
-            println!(
-                "  d={d}: without rollback -> {:?} (expected ~{}), with rollback -> {:?} (expected ~{})",
-                without, 2 * dano, with, dano
-            );
+            args.human(format!(
+                "  d={d}: without rollback -> {without:?} (expected ~{}), \
+                 with rollback -> {with:?} (expected ~{dano})",
+                2 * dano
+            ));
         }
     }
-    println!("\nExpected shape: rollback curves sit between the MBBE-free and no-rollback curves;");
-    println!(
-        "the distance reduction converges towards 2*d_ano without rollback and d_ano with it."
+    args.human(
+        "\nExpected shape: rollback curves sit between the MBBE-free and no-rollback curves;",
+    );
+    args.human(
+        "the distance reduction converges towards 2*d_ano without rollback and d_ano with it.",
     );
 }

@@ -5,23 +5,74 @@
 //! idle for `d` cycles; with the configured per-shot probability a strike
 //! of size `d_ano = 4` lands uniformly on the chip plane (possibly
 //! straddling patch boundaries) and the chip fails when **any** patch
-//! fails.  The overhead columns reuse the analytic models: the spare-qubit
-//! ratio comes from `ChipLayout` provisioned for one concurrent
-//! `d → d + 2·d_ano` expansion, the decoder buffer memory from
-//! `q3de_scaling::MemoryOverheadModel` (Table III) scaled to the patch
-//! count.
+//! fails.  The points run on the shared sweep engine (work-stealing across
+//! the whole grid, `--target-rse` adaptive stopping, `--checkpoint`/
+//! `--resume`); per-patch and struck-shot tallies ride along in atomic side
+//! counters, which stay deterministic because the engine always executes a
+//! deterministic stream set per point.  (Side counters only see streams run
+//! in *this* process, so the "worst patch" / struck-fraction columns of a
+//! `--resume`d sweep are estimated over the resumed shots only — unbiased,
+//! but on fewer samples; the engine-tracked chip failure rates are always
+//! complete.)  The overhead columns reuse the
+//! analytic models: the spare-qubit ratio comes from `ChipLayout`
+//! provisioned for one concurrent `d → d + 2·d_ano` expansion, the decoder
+//! buffer memory from `q3de_scaling::MemoryOverheadModel` (Table III)
+//! scaled to the patch count.
 //!
 //! Usage: `cargo run --release -p q3de_bench --bin fig_system
-//! [--samples N] [--seed N] [--json] [--matcher exact|greedy|union-find]`
+//! [--samples N] [--seed N] [--json] [--matcher exact|greedy|union-find]
+//! [--target-rse X] [--checkpoint PATH] [--resume] [--report PATH]`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use q3de::lattice::ChipLayout;
 use q3de::scaling::MemoryOverheadModel;
+use q3de::sim::engine::SweepPoint;
 use q3de::sim::{
     ChipMemoryExperiment, ChipMemoryExperimentConfig, ChipStrikePolicy, DecodingStrategy,
     MemoryExperimentConfig,
 };
-use q3de_bench::{print_row, sci, ExperimentArgs};
+use q3de_bench::{sci, ExperimentArgs};
 use rand_chacha::ChaCha8Rng;
+
+/// Deterministic side tallies of one chip sweep point (per-patch failures
+/// and struck shots), accumulated from inside the shot kernel.  Rates
+/// divide by the number of shots *this process* executed (tracked in
+/// `executed`), so they are unbiased estimates over the covered streams
+/// even when a `--resume`d sweep skips checkpointed shots.
+#[derive(Clone)]
+struct SideTally {
+    per_patch: Arc<Vec<AtomicUsize>>,
+    struck: Arc<AtomicUsize>,
+    executed: Arc<AtomicUsize>,
+}
+
+impl SideTally {
+    fn new(patches: usize) -> Self {
+        Self {
+            per_patch: Arc::new((0..patches).map(|_| AtomicUsize::new(0)).collect()),
+            struck: Arc::new(AtomicUsize::new(0)),
+            executed: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    fn max_patch_rate(&self) -> f64 {
+        let executed = self.executed.load(Ordering::Relaxed);
+        if executed == 0 {
+            return 0.0;
+        }
+        self.per_patch
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as f64 / executed as f64)
+            .fold(0.0, f64::max)
+    }
+
+    fn struck_fraction(&self) -> f64 {
+        self.struck.load(Ordering::Relaxed) as f64
+            / self.executed.load(Ordering::Relaxed).max(1) as f64
+    }
+}
 
 fn main() {
     let args = ExperimentArgs::parse(200);
@@ -38,33 +89,11 @@ fn main() {
     let buffer_model = MemoryOverheadModel::new(distance, detection_window);
     let per_patch_buffer_kbit = MemoryOverheadModel::to_kbit(buffer_model.total_bits());
 
-    println!(
-        "System sweep: d={distance}, p={physical_error_rate}, d_ano={anomaly_size}, \
-         {} shots/point, {} matcher",
-        args.samples,
-        args.matcher.name()
-    );
-    println!(
-        "spare pool: {spare_budget} qubits (one d={distance} -> d_exp={expanded} expansion); \
-         decoder buffers: {per_patch_buffer_kbit:.0} kbit/patch (c_win={detection_window})"
-    );
-    print_row(
-        "configuration",
-        &[
-            format!("{:<10}", "p_strike"),
-            format!("{:<10}", "blind"),
-            format!("{:<10}", "rollback"),
-            format!("{:<10}", "worst patch"),
-            format!("{:<10}", "qubit ovh"),
-            format!("{:<10}", "buffer kbit"),
-        ],
-    );
-
+    // One sweep point per (grid, strike probability, strategy) cell; the
+    // stream seeds match the pre-engine layout.
+    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for &(rows, cols) in &grids {
-        let patches = rows * cols;
-        let layout = ChipLayout::new(rows, cols, distance, spare_budget).expect("valid layout");
-        let qubit_overhead = layout.qubit_overhead_ratio();
-        let buffer_kbit = patches as f64 * per_patch_buffer_kbit;
         for (pi, &probability) in strike_probabilities.iter().enumerate() {
             let patch = MemoryExperimentConfig::new(distance, physical_error_rate)
                 .with_matcher(args.matcher);
@@ -78,47 +107,106 @@ fn main() {
                 ChipStrikePolicy::None
             };
             let config = ChipMemoryExperimentConfig::new(rows, cols, patch).with_strike(strike);
-            let experiment = ChipMemoryExperiment::new(config).expect("valid chip");
             // stride-2 salts: blind and rollback estimates of one point use
             // disjoint stream blocks
             let salt = 2 * (rows * 10_000 + cols * 1_000 + pi) as u64;
-            let blind = experiment.estimate_parallel::<ChaCha8Rng>(
-                args.samples,
-                DecodingStrategy::Blind,
-                args.stream_seed(salt),
-            );
-            let aware = experiment.estimate_parallel::<ChaCha8Rng>(
-                args.samples,
-                DecodingStrategy::AnomalyAware,
-                args.stream_seed(salt + 1),
-            );
-            print_row(
-                &format!("{rows}x{cols} ({patches} patches)"),
-                &[
-                    format!("{probability:<10.2}"),
-                    sci(blind.chip_failure_rate()),
-                    sci(aware.chip_failure_rate()),
-                    sci(blind.max_patch_rate()),
-                    format!("{qubit_overhead:<10.3}"),
-                    format!("{buffer_kbit:<10.0}"),
-                ],
-            );
-            if args.json {
-                println!(
-                    "{{\"figure\":\"system\",\"rows\":{rows},\"cols\":{cols},\
-                     \"patches\":{patches},\"strike_prob\":{probability},\
-                     \"chip_rate_blind\":{},\"chip_rate_rollback\":{},\
-                     \"max_patch_rate_blind\":{},\"struck_fraction\":{},\
-                     \"qubit_overhead\":{qubit_overhead},\"buffer_kbit\":{buffer_kbit}}}",
-                    blind.chip_failure_rate(),
-                    aware.chip_failure_rate(),
-                    blind.max_patch_rate(),
-                    blind.struck_shots as f64 / blind.shots.max(1) as f64,
+            let mut ids = Vec::new();
+            let mut tallies = Vec::new();
+            for (k, strategy) in [DecodingStrategy::Blind, DecodingStrategy::AnomalyAware]
+                .into_iter()
+                .enumerate()
+            {
+                let experiment = ChipMemoryExperiment::new(config).expect("valid chip");
+                let tally = SideTally::new(experiment.num_patches());
+                let kernel_tally = tally.clone();
+                let base_seed = args.stream_seed(salt + k as u64);
+                let id = format!(
+                    "system/{rows}x{cols}/p_strike={probability}/{}",
+                    if k == 0 { "blind" } else { "rollback" }
                 );
+                points.push(SweepPoint::new(&id, move |stream| {
+                    let (failures, struck) =
+                        experiment.run_chip_shot::<ChaCha8Rng>(strategy, base_seed, stream);
+                    kernel_tally.executed.fetch_add(1, Ordering::Relaxed);
+                    for (patch, &failed) in failures.iter().enumerate() {
+                        if failed {
+                            kernel_tally.per_patch[patch].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if struck {
+                        kernel_tally.struck.fetch_add(1, Ordering::Relaxed);
+                    }
+                    failures.iter().any(|&f| f)
+                }));
+                ids.push(id);
+                tallies.push(tally);
             }
+            cells.push((rows, cols, probability, ids, tallies));
         }
     }
-    println!("\nExpected shape: the chip failure rate grows with both patch count (more targets)");
-    println!("and strike rate; rollback recovers most of the strike-induced loss; the relative");
-    println!("qubit overhead of the shared spare pool shrinks as patches amortise it.");
+
+    args.human(format!(
+        "System sweep: d={distance}, p={physical_error_rate}, d_ano={anomaly_size}, \
+         {} shots/point{}, {} matcher",
+        args.samples,
+        args.target_rse
+            .map_or(String::new(), |rse| format!(" (ceiling, target rse {rse})")),
+        args.matcher.name()
+    ));
+    args.human(format!(
+        "spare pool: {spare_budget} qubits (one d={distance} -> d_exp={expanded} expansion); \
+         decoder buffers: {per_patch_buffer_kbit:.0} kbit/patch (c_win={detection_window})"
+    ));
+    let report = args.run_sweep(points);
+
+    args.human_row(
+        "configuration",
+        &[
+            format!("{:<10}", "p_strike"),
+            format!("{:<10}", "blind"),
+            format!("{:<10}", "rollback"),
+            format!("{:<10}", "worst patch"),
+            format!("{:<10}", "qubit ovh"),
+            format!("{:<10}", "buffer kbit"),
+        ],
+    );
+    for (rows, cols, probability, ids, tallies) in &cells {
+        let patches = rows * cols;
+        let layout = ChipLayout::new(*rows, *cols, distance, spare_budget).expect("valid layout");
+        let qubit_overhead = layout.qubit_overhead_ratio();
+        let buffer_kbit = patches as f64 * per_patch_buffer_kbit;
+        let blind = report.point(&ids[0]).expect("point ran");
+        let aware = report.point(&ids[1]).expect("point ran");
+        args.human_row(
+            &format!("{rows}x{cols} ({patches} patches)"),
+            &[
+                format!("{probability:<10.2}"),
+                sci(blind.failure_rate()),
+                sci(aware.failure_rate()),
+                sci(tallies[0].max_patch_rate()),
+                format!("{qubit_overhead:<10.3}"),
+                format!("{buffer_kbit:<10.0}"),
+            ],
+        );
+        if args.json {
+            println!(
+                "{{\"figure\":\"system\",\"rows\":{rows},\"cols\":{cols},\
+                 \"patches\":{patches},\"strike_prob\":{probability},\
+                 \"chip_rate_blind\":{},\"chip_rate_rollback\":{},\
+                 \"max_patch_rate_blind\":{},\"struck_fraction\":{},\
+                 \"shots_blind\":{},\"qubit_overhead\":{qubit_overhead},\
+                 \"buffer_kbit\":{buffer_kbit}}}",
+                blind.failure_rate(),
+                aware.failure_rate(),
+                tallies[0].max_patch_rate(),
+                tallies[0].struck_fraction(),
+                blind.shots,
+            );
+        }
+    }
+    args.human(
+        "\nExpected shape: the chip failure rate grows with both patch count (more targets)",
+    );
+    args.human("and strike rate; rollback recovers most of the strike-induced loss; the relative");
+    args.human("qubit overhead of the shared spare pool shrinks as patches amortise it.");
 }

@@ -1,0 +1,193 @@
+//! CI performance smoke: a small pinned-seed sweep over representative
+//! kernels of every layer (single-patch memory, burst decoding with and
+//! without rollback, chip-level strikes), timed by the sweep engine and
+//! written out as `bench_report.json`.
+//!
+//! The report is the artifact the CI `perf` job uploads on every run; with
+//! `--baseline PATH` the binary additionally compares each point's
+//! shots/sec against the checked-in `BENCH_baseline.json` and exits
+//! non-zero when any point regresses by more than `--max-regression`
+//! (default 2.0×) — the regression gate of the BENCH trajectory.
+//!
+//! Usage: `cargo run --release -p q3de_bench --bin perf_smoke
+//! [--samples N] [--seed N] [--matcher M] [--report PATH]
+//! [--baseline PATH] [--max-regression X]`
+
+use q3de::sim::engine::json::JsonValue;
+use q3de::sim::engine::SweepPoint;
+use q3de::sim::{
+    AnomalyInjection, ChipMemoryExperimentConfig, ChipStrikePolicy, DecodingStrategy,
+    MemoryExperimentConfig,
+};
+use q3de_bench::{format_row, ExperimentArgs};
+use rand_chacha::ChaCha8Rng;
+
+/// The `shots_per_sec` entries of a report document, in document order.
+fn throughputs(doc: &JsonValue) -> Vec<(String, f64)> {
+    doc.get("points")
+        .and_then(JsonValue::as_array)
+        .map(|points| {
+            points
+                .iter()
+                .filter_map(|p| {
+                    let id = p.get("id")?.as_str()?.to_string();
+                    let sps = p.get("shots_per_sec")?.as_f64()?;
+                    Some((id, sps))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() {
+    let args = ExperimentArgs::parse(200);
+    // perf_smoke-specific flags (ExperimentArgs ignores unknown flags).
+    let mut baseline_path: Option<String> = None;
+    let mut max_regression = 2.0f64;
+    let cli: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < cli.len() {
+        match cli[i].as_str() {
+            "--baseline" if i + 1 < cli.len() => {
+                baseline_path = Some(cli[i + 1].clone());
+                i += 1;
+            }
+            "--max-regression" if i + 1 < cli.len() => {
+                max_regression = match cli[i + 1].parse::<f64>() {
+                    Ok(factor) if factor >= 1.0 => factor,
+                    _ => {
+                        // A typo must not silently loosen the CI gate.
+                        eprintln!(
+                            "invalid --max-regression '{}': expected a number >= 1.0",
+                            cli[i + 1]
+                        );
+                        std::process::exit(2);
+                    }
+                };
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let report_path = args
+        .report
+        .clone()
+        .unwrap_or_else(|| "bench_report.json".into());
+    let mut args = args;
+    args.report = Some(report_path.clone());
+
+    // Representative kernels, one per hot path.  Ids are the contract with
+    // BENCH_baseline.json — renaming one invalidates its baseline entry.
+    let mem = |id: &str, config: MemoryExperimentConfig, strategy, salt: u64| {
+        SweepPoint::from_memory::<ChaCha8Rng>(id, config, strategy, args.stream_seed(salt))
+            .expect("valid config")
+    };
+    let burst = MemoryExperimentConfig::new(5, 8e-3)
+        .with_matcher(args.matcher)
+        .with_anomaly(AnomalyInjection::centered(2, 0.5));
+    let chip = ChipMemoryExperimentConfig::new(
+        2,
+        2,
+        MemoryExperimentConfig::new(3, 8e-3).with_matcher(args.matcher),
+    )
+    .with_strike(ChipStrikePolicy::Random {
+        probability: 0.5,
+        size: 2,
+        rate: 0.5,
+    });
+    let points = vec![
+        mem(
+            "perf/mem/d3/uniform",
+            MemoryExperimentConfig::new(3, 2e-2).with_matcher(args.matcher),
+            DecodingStrategy::MbbeFree,
+            0,
+        ),
+        mem("perf/mem/d5/burst/blind", burst, DecodingStrategy::Blind, 1),
+        mem(
+            "perf/mem/d5/burst/rollback",
+            burst,
+            DecodingStrategy::AnomalyAware,
+            2,
+        ),
+        SweepPoint::from_chip::<ChaCha8Rng>(
+            "perf/chip/2x2/d3/strike",
+            chip,
+            DecodingStrategy::Blind,
+            args.stream_seed(3),
+        )
+        .expect("valid chip"),
+    ];
+
+    eprintln!(
+        "perf smoke: {} shots/point, seed {}, {} matcher -> {report_path}",
+        args.samples,
+        args.seed,
+        args.matcher.name()
+    );
+    let report = args.run_sweep(points);
+    for point in &report.points {
+        eprintln!(
+            "{}",
+            format_row(
+                &point.id,
+                &[
+                    format!("{:>8} shots", point.shots),
+                    format!("{:>10.1} shots/sec", point.shots_per_sec()),
+                    format!("{:>8.3} busy secs", point.busy_secs),
+                ],
+            )
+        );
+    }
+    eprintln!(
+        "total: {} shots in {:.3} s wall clock on {} threads",
+        report.total_shots(),
+        report.wall_clock_secs,
+        report.threads
+    );
+
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("cannot read baseline {baseline_path}: {error}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = match JsonValue::parse(&text) {
+        Ok(doc) => doc,
+        Err(error) => {
+            eprintln!("cannot parse baseline {baseline_path}: {error}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut failed = false;
+    eprintln!("\nregression gate (fail below baseline/{max_regression}):");
+    for (id, reference) in throughputs(&baseline) {
+        let Some(point) = report.point(&id) else {
+            eprintln!("  {id}: MISSING from this run (baseline stale?)");
+            failed = true;
+            continue;
+        };
+        let current = point.shots_per_sec();
+        let floor = reference / max_regression;
+        let verdict = if current < floor { "FAIL" } else { "ok" };
+        eprintln!(
+            "  {id}: {current:.1} vs baseline {reference:.1} shots/sec \
+             (floor {floor:.1}) {verdict}"
+        );
+        if current < floor {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "perf smoke FAILED: throughput regressed >{max_regression}x against {baseline_path}"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("perf smoke passed");
+}

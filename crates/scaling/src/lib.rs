@@ -10,6 +10,8 @@
 //!   HLS synthesis; see DESIGN.md).
 //! * [`effective`] — the Eq. (1) effective logical error rate and the
 //!   Eq. (4) effective code-distance reduction.
+//! * [`stats`] — Wilson-score confidence-interval helpers used by the
+//!   adaptive Monte-Carlo experiment engine.
 
 #![deny(missing_docs)]
 
@@ -17,8 +19,10 @@ pub mod decoder_hw;
 pub mod effective;
 pub mod memory_overhead;
 pub mod qubit_density;
+pub mod stats;
 
 pub use decoder_hw::{DecoderHardwareModel, DecoderResources, DecoderVariant};
 pub use effective::{effective_distance_reduction, effective_logical_error_rate};
 pub use memory_overhead::MemoryOverheadModel;
 pub use qubit_density::{ScalabilityConfig, ScalabilityModel, ScalabilityPoint};
+pub use stats::{relative_half_width, wilson_center, wilson_half_width, wilson_interval, Z_95};

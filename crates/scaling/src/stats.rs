@@ -1,0 +1,143 @@
+//! Binomial confidence-interval helpers (Wilson score).
+//!
+//! The Monte-Carlo sweeps estimate failure probabilities from
+//! `failures / shots` tallies.  The adaptive experiment engine
+//! (`q3de_sim::engine`) stops sampling a parameter point once the *Wilson
+//! score interval* of its tally is narrow enough relative to the estimate;
+//! the Wilson interval is preferred over the normal (Wald) interval because
+//! it stays well-behaved in exactly the regime cosmic-ray sweeps live in:
+//! very small failure counts, including zero.
+
+/// The two-sided 95 % normal quantile, `z = Φ⁻¹(0.975)`.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// The Wilson score interval `(low, high)` for a binomial proportion
+/// estimated from `failures` successes in `shots` trials at confidence
+/// parameter `z` (e.g. [`Z_95`]).
+///
+/// Returns `(0.0, 1.0)` when `shots == 0` (no information).
+///
+/// ```
+/// use q3de_scaling::{wilson_interval, Z_95};
+/// let (low, high) = wilson_interval(10, 100, Z_95);
+/// assert!((low - 0.0552).abs() < 1e-3);
+/// assert!((high - 0.1744).abs() < 1e-3);
+/// ```
+pub fn wilson_interval(failures: usize, shots: usize, z: f64) -> (f64, f64) {
+    if shots == 0 {
+        return (0.0, 1.0);
+    }
+    let center = wilson_center(failures, shots, z);
+    let half = wilson_half_width(failures, shots, z);
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// The centre of the Wilson score interval,
+/// `(p̂ + z²/2n) / (1 + z²/n)`.
+///
+/// Returns `0.0` when `shots == 0`.
+pub fn wilson_center(failures: usize, shots: usize, z: f64) -> f64 {
+    if shots == 0 {
+        return 0.0;
+    }
+    let n = shots as f64;
+    let p = failures as f64 / n;
+    let zz = z * z;
+    (p + zz / (2.0 * n)) / (1.0 + zz / n)
+}
+
+/// The half-width of the Wilson score interval,
+/// `z/(1 + z²/n) · √(p̂(1−p̂)/n + z²/4n²)`.
+///
+/// Returns `1.0` when `shots == 0` (the vacuous `[0, 1]` interval).
+pub fn wilson_half_width(failures: usize, shots: usize, z: f64) -> f64 {
+    if shots == 0 {
+        return 1.0;
+    }
+    let n = shots as f64;
+    let p = failures as f64 / n;
+    let zz = z * z;
+    z / (1.0 + zz / n) * (p * (1.0 - p) / n + zz / (4.0 * n * n)).sqrt()
+}
+
+/// The Wilson half-width relative to the interval centre — the "relative
+/// standard error" the adaptive engine drives below a target.
+///
+/// Returns [`f64::INFINITY`] when `failures == 0` (or `shots == 0`): a
+/// zero-failure tally carries no meaningful relative precision, so
+/// rare-event points keep sampling until their shot ceiling instead of
+/// stopping on a spuriously "converged" empty tally.
+///
+/// ```
+/// use q3de_scaling::{relative_half_width, Z_95};
+/// assert!(relative_half_width(0, 10_000, Z_95).is_infinite());
+/// let rse = relative_half_width(400, 10_000, Z_95);
+/// assert!(rse > 0.0 && rse < 0.11);
+/// ```
+pub fn relative_half_width(failures: usize, shots: usize, z: f64) -> f64 {
+    if failures == 0 || shots == 0 {
+        return f64::INFINITY;
+    }
+    wilson_half_width(failures, shots, z) / wilson_center(failures, shots, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_matches_textbook_value() {
+        // 10/100 at 95 %: the classic worked example.
+        let (low, high) = wilson_interval(10, 100, Z_95);
+        assert!((low - 0.05522).abs() < 5e-4, "low {low}");
+        assert!((high - 0.17436).abs() < 5e-4, "high {high}");
+    }
+
+    #[test]
+    fn interval_brackets_the_point_estimate() {
+        for &(f, n) in &[(1usize, 50usize), (7, 200), (199, 200), (100, 100)] {
+            let (low, high) = wilson_interval(f, n, Z_95);
+            let p = f as f64 / n as f64;
+            assert!(low <= p && p <= high, "{f}/{n}: [{low}, {high}] vs {p}");
+            assert!((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high));
+        }
+    }
+
+    #[test]
+    fn interval_narrows_with_more_shots() {
+        let w_small = wilson_half_width(10, 100, Z_95);
+        let w_large = wilson_half_width(100, 1000, Z_95);
+        assert!(w_large < w_small);
+    }
+
+    #[test]
+    fn zero_failures_yield_infinite_relative_error() {
+        assert!(relative_half_width(0, 1_000_000, Z_95).is_infinite());
+        assert!(relative_half_width(5, 0, Z_95).is_infinite());
+        // ... but the absolute interval still shrinks towards zero (the low
+        // end is 0 up to floating-point residue).
+        let (low, high) = wilson_interval(0, 1_000_000, Z_95);
+        assert!((0.0..1e-12).contains(&low), "low {low}");
+        assert!(high < 1e-4);
+    }
+
+    #[test]
+    fn no_information_gives_the_unit_interval() {
+        assert_eq!(wilson_interval(0, 0, Z_95), (0.0, 1.0));
+        assert_eq!(wilson_half_width(0, 0, Z_95), 1.0);
+        assert_eq!(wilson_center(0, 0, Z_95), 0.0);
+    }
+
+    #[test]
+    fn relative_error_decreases_monotonically_along_a_growing_tally() {
+        // Fix the true rate at 4 % and grow the tally: the relative error
+        // must fall below 10 % well before 10⁵ shots.
+        let mut previous = f64::INFINITY;
+        for &n in &[100usize, 1_000, 10_000, 100_000] {
+            let rse = relative_half_width(n / 25, n, Z_95);
+            assert!(rse < previous, "rse {rse} at n={n}");
+            previous = rse;
+        }
+        assert!(previous < 0.1);
+    }
+}

@@ -123,15 +123,14 @@ impl ChipEstimate {
 /// `chip_patch_seed(base, stream, patch)` replays exactly the stream the
 /// chip experiment hands that patch in shot `stream`.
 pub fn chip_patch_seed(base_seed: u64, stream: u64, patch_linear: usize) -> u64 {
-    base_seed
-        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    crate::shot_stream_seed(base_seed, stream)
         ^ (patch_linear as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
 }
 
 /// The RNG seed of a shot's strike-placement stream (disjoint from every
 /// patch stream by construction).
 fn strike_seed(base_seed: u64, stream: u64) -> u64 {
-    base_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA076_1D64_78BD_642F
+    crate::shot_stream_seed(base_seed, stream) ^ 0xA076_1D64_78BD_642F
 }
 
 /// A reusable chip-level memory experiment for one parameter point.

@@ -1,0 +1,230 @@
+//! Sweep checkpoints: partial tallies persisted as JSON.
+//!
+//! The [`SweepRunner`](super::SweepRunner) writes a checkpoint every time a
+//! point completes a scheduling block, so a killed sweep loses at most the
+//! in-flight block of each point.  Checkpointed tallies always cover the
+//! contiguous stream prefix `0..shots`, which is what makes a resumed sweep
+//! *bit-identical* to an uninterrupted one: the resumed run simply executes
+//! the remaining streams.
+
+use std::path::{Path, PathBuf};
+
+use super::json::JsonValue;
+use super::EngineError;
+
+/// The schema version written to (and required of) checkpoint files.
+pub const CHECKPOINT_VERSION: usize = 1;
+
+/// One point's committed tally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPoint {
+    /// The sweep point's stable identifier.
+    pub id: String,
+    /// Shots completed — always a block boundary, i.e. the tally covers
+    /// exactly the streams `0..shots`.
+    pub shots: usize,
+    /// Logical failures among those shots.
+    pub failures: usize,
+}
+
+/// A persisted sweep state: one committed tally per point plus the sweep
+/// fingerprint that guards against resuming with incompatible settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Fingerprint of the sweep configuration and point list (see
+    /// [`SweepConfig::fingerprint`](super::SweepConfig::fingerprint)).
+    pub fingerprint: String,
+    /// Per-point committed tallies, in sweep order.
+    pub points: Vec<CheckpointPoint>,
+}
+
+impl Checkpoint {
+    /// Loads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] when the file cannot be read and
+    /// [`EngineError::Parse`] when it is not a valid checkpoint document.
+    pub fn load(path: &Path) -> Result<Self, EngineError> {
+        let text = std::fs::read_to_string(path).map_err(|source| EngineError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let value = JsonValue::parse(&text).map_err(|message| EngineError::Parse {
+            path: path.to_path_buf(),
+            message,
+        })?;
+        Self::from_json(&value).map_err(|message| EngineError::Parse {
+            path: path.to_path_buf(),
+            message,
+        })
+    }
+
+    /// Saves the checkpoint to `path` atomically (write to a sibling
+    /// temporary file, then rename), so a crash mid-write never corrupts an
+    /// existing checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), EngineError> {
+        let io = |source| EngineError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let tmp: PathBuf = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json().to_string()).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// The checkpoint as a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "version".into(),
+                JsonValue::Number(CHECKPOINT_VERSION as f64),
+            ),
+            (
+                "fingerprint".into(),
+                JsonValue::String(self.fingerprint.clone()),
+            ),
+            (
+                "points".into(),
+                JsonValue::Array(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            JsonValue::Object(vec![
+                                ("id".into(), JsonValue::String(p.id.clone())),
+                                ("shots".into(), JsonValue::Number(p.shots as f64)),
+                                ("failures".into(), JsonValue::Number(p.failures as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a checkpoint from a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first schema violation.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let version = value
+            .get("version")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
+        let fingerprint = value
+            .get("fingerprint")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing fingerprint")?
+            .to_string();
+        let points = value
+            .get("points")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing points")?
+            .iter()
+            .map(|p| {
+                let id = p
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("point missing id")?
+                    .to_string();
+                let shots = p
+                    .get("shots")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or("point missing shots")?;
+                let failures = p
+                    .get("failures")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or("point missing failures")?;
+                if failures > shots {
+                    return Err(format!("point '{id}': failures {failures} > shots {shots}"));
+                }
+                Ok(CheckpointPoint {
+                    id,
+                    shots,
+                    failures,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            fingerprint,
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: "floor=64;rse=None".into(),
+            points: vec![
+                CheckpointPoint {
+                    id: "fig3/d=5/p=4e-3".into(),
+                    shots: 128,
+                    failures: 3,
+                },
+                CheckpointPoint {
+                    id: "fig3/d=9/p=4e-3".into(),
+                    shots: 64,
+                    failures: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let cp = sample();
+        let parsed = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(parsed, cp);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("q3de-cp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let cp = sample();
+        cp.save(&path).unwrap();
+        // A second save must atomically replace the first.
+        cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = Checkpoint::load(Path::new("/nonexistent/q3de/checkpoint.json")).unwrap_err();
+        assert!(matches!(err, EngineError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        for (doc, what) in [
+            (r#"{"points": []}"#, "missing version"),
+            (
+                r#"{"version": 99, "fingerprint": "x", "points": []}"#,
+                "bad version",
+            ),
+            (r#"{"version": 1, "points": []}"#, "missing fingerprint"),
+            (r#"{"version": 1, "fingerprint": "x"}"#, "missing points"),
+            (
+                r#"{"version": 1, "fingerprint": "x", "points": [{"id": "a", "shots": 1, "failures": 2}]}"#,
+                "failures > shots",
+            ),
+        ] {
+            let value = JsonValue::parse(doc).unwrap();
+            assert!(Checkpoint::from_json(&value).is_err(), "{what}");
+        }
+    }
+}

@@ -1,0 +1,1306 @@
+//! The adaptive Monte-Carlo sweep engine.
+//!
+//! Every figure of the paper is a Monte-Carlo estimate over a grid of
+//! parameter points, and before this module existed each figure binary
+//! hand-rolled its own fixed-shot loop — wasting cores on long-converged
+//! points while starving the rare-event points cosmic-ray bursts live in.
+//! [`SweepRunner`] replaces those loops with one shared scheduler:
+//!
+//! * **a sweep is a grid** — each [`SweepPoint`] wraps an arbitrary boxed
+//!   [`ShotKernel`] (built from a [`MemoryExperimentConfig`], a
+//!   [`ChipMemoryExperiment`], or any closure) that maps a global stream
+//!   index to one shot's pass/fail outcome;
+//! * **work-stealing across points** — shots are scheduled in fixed-size
+//!   batches drawn from a single queue shared by all worker threads, so a
+//!   slow high-distance point and twenty cheap points together keep every
+//!   core busy until the whole sweep ends;
+//! * **adaptive stopping** — with a `target_rse`, each point stops once the
+//!   relative half-width of the Wilson score interval of its tally drops
+//!   below the target, checked only at deterministic block boundaries
+//!   (`shot_floor`, then doubling up to `shot_ceiling`), so results are
+//!   bit-identical for a fixed seed regardless of thread count or machine;
+//! * **checkpoint/resume** — committed tallies (always covering the stream
+//!   prefix `0..shots`) are persisted as JSON after every completed block;
+//!   a killed sweep resumed from its checkpoint *with the same
+//!   configuration* finishes with bit-identical statistics.  A *finished*
+//!   sweep can also be extended by resuming with a larger ceiling; the
+//!   extended schedule doubles onward from the resumed count, so in
+//!   adaptive mode its convergence look-points (and therefore the final
+//!   shot counts) may differ from a fresh run at the larger ceiling —
+//!   every tally is still an honest prefix estimate.
+//!
+//! Statistical honesty: the sequential looks at block boundaries inflate
+//! the realised coverage of the final interval slightly (the usual optional
+//! stopping caveat); boundaries double in size, so the number of looks is
+//! logarithmic and the effect is small, and the shot floor keeps any point
+//! from stopping on noise.
+//!
+//! ```
+//! use q3de_sim::engine::{SweepConfig, SweepPoint, SweepRunner};
+//!
+//! // A toy kernel: stream parity. Real sweeps build points from
+//! // MemoryExperimentConfig / ChipMemoryExperiment instead.
+//! let points = vec![SweepPoint::new("even", |stream| stream % 2 == 0)];
+//! let report = SweepRunner::new(SweepConfig::fixed(100)).run(points)?;
+//! let point = report.point("even").unwrap();
+//! assert_eq!((point.shots, point.failures), (100, 50));
+//! # Ok::<(), q3de_sim::engine::EngineError>(())
+//! ```
+
+pub mod json;
+
+mod checkpoint;
+
+pub use checkpoint::{Checkpoint, CheckpointPoint, CHECKPOINT_VERSION};
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::chip::{ChipMemoryExperiment, ChipMemoryExperimentConfig};
+use crate::memory::{DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
+use json::JsonValue;
+use q3de_lattice::LatticeError;
+use q3de_scaling::{relative_half_width, wilson_interval, Z_95};
+use rand::{Rng, SeedableRng};
+
+/// Errors of the sweep engine (checkpoint and report I/O).
+#[derive(Debug)]
+pub enum EngineError {
+    /// Reading or writing a file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A file was read but is not a valid document.
+    Parse {
+        /// The file involved.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+    /// A checkpoint exists but belongs to a different sweep (other points,
+    /// seeds, floor or target), or its tallies do not fit this schedule.
+    CheckpointMismatch {
+        /// Why the checkpoint cannot be resumed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            EngineError::Parse { path, message } => {
+                write!(f, "cannot parse {}: {message}", path.display())
+            }
+            EngineError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint does not match this sweep: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One shot of a sweep point: maps a global stream index to whether the
+/// shot *failed* (e.g. ended in a logical error).
+///
+/// Kernels must be deterministic in `stream` — the engine relies on the
+/// tally over a stream set being independent of execution order and thread
+/// assignment.  Blanket-implemented for closures.
+pub trait ShotKernel: Send + Sync {
+    /// Runs the shot of stream index `stream`; `true` means failure.
+    fn run(&self, stream: u64) -> bool;
+}
+
+impl<F> ShotKernel for F
+where
+    F: Fn(u64) -> bool + Send + Sync,
+{
+    fn run(&self, stream: u64) -> bool {
+        self(stream)
+    }
+}
+
+/// One parameter point of a sweep: a stable identifier plus a boxed shot
+/// kernel.
+pub struct SweepPoint {
+    id: String,
+    kernel: Box<dyn ShotKernel>,
+}
+
+impl fmt::Debug for SweepPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepPoint").field("id", &self.id).finish()
+    }
+}
+
+impl SweepPoint {
+    /// Wraps an arbitrary kernel.  The `id` keys checkpoint entries and
+    /// report rows, so it must be unique within a sweep and stable across
+    /// runs.
+    pub fn new(id: impl Into<String>, kernel: impl ShotKernel + 'static) -> Self {
+        Self {
+            id: id.into(),
+            kernel: Box::new(kernel),
+        }
+    }
+
+    /// A point whose shots run a single-patch memory experiment: stream
+    /// `s` replays [`MemoryExperiment::run_stream`]`(strategy, base_seed, s)`
+    /// with an RNG of type `R`, exactly like
+    /// [`MemoryExperiment::estimate_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configured code distance is invalid.
+    pub fn from_memory<R>(
+        id: impl Into<String>,
+        config: MemoryExperimentConfig,
+        strategy: DecodingStrategy,
+        base_seed: u64,
+    ) -> Result<Self, LatticeError>
+    where
+        R: Rng + SeedableRng,
+    {
+        let experiment = MemoryExperiment::new(config)?;
+        Ok(Self::new(id, move |stream| {
+            experiment
+                .run_stream::<R>(strategy, base_seed, stream)
+                .logical_failure
+        }))
+    }
+
+    /// A point whose shots run a chip-level memory experiment: stream `s`
+    /// replays [`ChipMemoryExperiment::run_chip_shot`] and fails when any
+    /// patch fails, exactly like
+    /// [`ChipMemoryExperiment::estimate_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the chip configuration is invalid.
+    pub fn from_chip<R>(
+        id: impl Into<String>,
+        config: ChipMemoryExperimentConfig,
+        strategy: DecodingStrategy,
+        base_seed: u64,
+    ) -> Result<Self, LatticeError>
+    where
+        R: Rng + SeedableRng,
+    {
+        let experiment = ChipMemoryExperiment::new(config)?;
+        Ok(Self::new(id, move |stream| {
+            let (failures, _struck) = experiment.run_chip_shot::<R>(strategy, base_seed, stream);
+            failures.iter().any(|&failed| failed)
+        }))
+    }
+
+    /// The point's identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Runs the shot of stream index `stream`.
+    pub fn run(&self, stream: u64) -> bool {
+        self.kernel.run(stream)
+    }
+}
+
+/// Configuration of a [`SweepRunner`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Minimum shots per point before the first convergence check — the
+    /// floor that keeps fixed-seed runs reproducible and stops no point on
+    /// noise.  Clamped into `1..=shot_ceiling`.
+    pub shot_floor: usize,
+    /// Maximum shots per point (the budget of a point that never
+    /// converges; in fixed mode, simply *the* shot count).
+    pub shot_ceiling: usize,
+    /// Adaptive stopping target: a point stops once the relative Wilson
+    /// half-width of its tally is at most this value.  `None` disables
+    /// adaptive stopping (every point runs to `shot_ceiling`).
+    pub target_rse: Option<f64>,
+    /// The `z` quantile of the Wilson interval (default [`Z_95`]).
+    pub confidence_z: f64,
+    /// Work-stealing granularity: shots per scheduled batch.
+    pub batch_size: usize,
+    /// Worker threads; `None` uses [`std::thread::available_parallelism`].
+    pub num_threads: Option<usize>,
+    /// Checkpoint file: written after every completed block, loaded by
+    /// [`SweepConfig::resume`].
+    pub checkpoint: Option<PathBuf>,
+    /// Whether to resume from an existing checkpoint file (a missing file
+    /// is not an error — the sweep just starts fresh).
+    pub resume: bool,
+}
+
+impl SweepConfig {
+    /// A fixed-shot sweep: every point runs exactly `shots` shots.
+    ///
+    /// The shot floor is set to `min(shots, 64)` — with no stopping target
+    /// it never ends a point early, it only sizes the first scheduling
+    /// block, so long fixed sweeps checkpoint progressively (after 64, 128,
+    /// 256, … shots per point) instead of only at completion, and a
+    /// finished sweep can be extended by resuming with a larger `shots`
+    /// (both runs need the same floor, i.e. `shots >= 64` in both, for the
+    /// checkpoint fingerprints to agree).
+    pub fn fixed(shots: usize) -> Self {
+        Self {
+            shot_floor: shots.min(64),
+            shot_ceiling: shots,
+            target_rse: None,
+            confidence_z: Z_95,
+            batch_size: 32,
+            num_threads: None,
+            checkpoint: None,
+            resume: false,
+        }
+    }
+
+    /// An adaptive sweep: each point runs at least `floor` and at most
+    /// `ceiling` shots, stopping early once its relative Wilson half-width
+    /// reaches `target_rse`.
+    pub fn adaptive(floor: usize, ceiling: usize, target_rse: f64) -> Self {
+        Self {
+            shot_floor: floor,
+            shot_ceiling: ceiling,
+            target_rse: Some(target_rse),
+            ..Self::fixed(ceiling)
+        }
+    }
+
+    /// Sets the checkpoint path, builder style.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Enables or disables resuming, builder style.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Sets the worker-thread count, builder style.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.num_threads = Some(threads);
+        self
+    }
+
+    /// Sets the batch size, builder style.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// The fingerprint persisted into checkpoints.  It covers everything
+    /// that determines which streams a tally is made of and where block
+    /// boundaries fall: the point ids (in order), the shot floor, the
+    /// stopping target and the confidence quantile.  The shot *ceiling* is
+    /// deliberately excluded so a finished sweep can be extended by
+    /// resuming with a larger budget (in adaptive mode the extension's
+    /// convergence look-points continue from the resumed count rather than
+    /// replaying a fresh schedule — see the module docs).
+    pub fn fingerprint(&self, points: &[SweepPoint]) -> String {
+        let ids: Vec<&str> = points.iter().map(|p| p.id()).collect();
+        format!(
+            "v{CHECKPOINT_VERSION};floor={};rse={:?};z={};ids={}",
+            self.shot_floor.clamp(1, self.shot_ceiling.max(1)),
+            self.target_rse,
+            self.confidence_z,
+            ids.join("\u{1f}")
+        )
+    }
+
+    /// The first block boundary of the schedule (0 for an empty sweep).
+    fn first_target(&self) -> usize {
+        if self.shot_ceiling == 0 {
+            return 0;
+        }
+        self.shot_floor.clamp(1, self.shot_ceiling)
+    }
+
+    /// The block boundary after `current` (doubling, capped at the
+    /// ceiling).
+    fn next_target(&self, current: usize) -> usize {
+        current.saturating_mul(2).min(self.shot_ceiling)
+    }
+
+    /// Whether a tally at a block boundary satisfies the stopping rule.
+    fn is_converged(&self, shots: usize, failures: usize) -> bool {
+        match self.target_rse {
+            None => false,
+            Some(target) => {
+                shots >= self.first_target()
+                    && relative_half_width(failures, shots, self.confidence_z) <= target
+            }
+        }
+    }
+}
+
+/// The final tally of one sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointReport {
+    /// The point's identifier.
+    pub id: String,
+    /// Shots executed (tally covers streams `0..shots`).
+    pub shots: usize,
+    /// Logical failures among those shots.
+    pub failures: usize,
+    /// Whether the point stopped early on the adaptive target (`false`
+    /// means it ran to the shot ceiling).
+    pub converged: bool,
+    /// Shots taken over from a resumed checkpoint (0 for a fresh sweep).
+    /// Only the remaining `shots - resumed_shots` were timed in this
+    /// process.
+    pub resumed_shots: usize,
+    /// Summed kernel wall-clock across all worker threads, in seconds
+    /// (covers only the `shots - resumed_shots` shots run here).
+    pub busy_secs: f64,
+    /// The `z` quantile used by [`PointReport::wilson`].
+    pub confidence_z: f64,
+}
+
+impl PointReport {
+    /// The point estimate `failures / shots` (0 for an empty tally).
+    pub fn failure_rate(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.shots as f64
+    }
+
+    /// The Wilson score interval of the tally.
+    pub fn wilson(&self) -> (f64, f64) {
+        wilson_interval(self.failures, self.shots, self.confidence_z)
+    }
+
+    /// The relative Wilson half-width ([`f64::INFINITY`] for a
+    /// zero-failure tally).
+    pub fn relative_half_width(&self) -> f64 {
+        relative_half_width(self.failures, self.shots, self.confidence_z)
+    }
+
+    /// Per-core decoding throughput, shots per busy second, measured over
+    /// the shots actually run in this process (checkpoint-resumed shots
+    /// carry no timing).  Returns [`f64::NAN`] when no shot ran here (a
+    /// fully-resumed point; serialised as `null` in the JSON report) and
+    /// [`f64::INFINITY`] when shots ran faster than the timer resolution.
+    pub fn shots_per_sec(&self) -> f64 {
+        let fresh = self.shots.saturating_sub(self.resumed_shots);
+        if self.busy_secs > 0.0 {
+            fresh as f64 / self.busy_secs
+        } else if fresh > 0 {
+            f64::INFINITY
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// The result of a sweep: one [`PointReport`] per point (input order) plus
+/// sweep-level timing, serialisable as the `bench_report.json` artifact CI
+/// tracks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-point tallies, in the order the points were submitted.
+    pub points: Vec<PointReport>,
+    /// End-to-end wall clock of the sweep, in seconds.
+    pub wall_clock_secs: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// The shot floor of the schedule.
+    pub shot_floor: usize,
+    /// The shot ceiling of the schedule.
+    pub shot_ceiling: usize,
+    /// The adaptive stopping target, if any.
+    pub target_rse: Option<f64>,
+    /// Free-form key/value metadata (seed, binary name, …) embedded in the
+    /// JSON report.
+    pub meta: Vec<(String, String)>,
+}
+
+impl SweepReport {
+    /// The report of the point with the given id.
+    pub fn point(&self, id: &str) -> Option<&PointReport> {
+        self.points.iter().find(|p| p.id == id)
+    }
+
+    /// Total shots across all points.
+    pub fn total_shots(&self) -> usize {
+        self.points.iter().map(|p| p.shots).sum()
+    }
+
+    /// Total failures across all points.
+    pub fn total_failures(&self) -> usize {
+        self.points.iter().map(|p| p.failures).sum()
+    }
+
+    /// The report as a JSON document (the `bench_report.json` schema).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("version".into(), JsonValue::Number(1.0)),
+            (
+                "wall_clock_secs".into(),
+                JsonValue::Number(self.wall_clock_secs),
+            ),
+            ("threads".into(), JsonValue::Number(self.threads as f64)),
+            (
+                "shot_floor".into(),
+                JsonValue::Number(self.shot_floor as f64),
+            ),
+            (
+                "shot_ceiling".into(),
+                JsonValue::Number(self.shot_ceiling as f64),
+            ),
+            (
+                "target_rse".into(),
+                self.target_rse.map_or(JsonValue::Null, JsonValue::Number),
+            ),
+            (
+                "total_shots".into(),
+                JsonValue::Number(self.total_shots() as f64),
+            ),
+            (
+                "meta".into(),
+                JsonValue::Object(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::String(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "points".into(),
+                JsonValue::Array(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            let (low, high) = p.wilson();
+                            JsonValue::Object(vec![
+                                ("id".into(), JsonValue::String(p.id.clone())),
+                                ("shots".into(), JsonValue::Number(p.shots as f64)),
+                                ("failures".into(), JsonValue::Number(p.failures as f64)),
+                                ("failure_rate".into(), JsonValue::Number(p.failure_rate())),
+                                ("wilson_low".into(), JsonValue::Number(low)),
+                                ("wilson_high".into(), JsonValue::Number(high)),
+                                ("converged".into(), JsonValue::Bool(p.converged)),
+                                (
+                                    "resumed_shots".into(),
+                                    JsonValue::Number(p.resumed_shots as f64),
+                                ),
+                                ("busy_secs".into(), JsonValue::Number(p.busy_secs)),
+                                ("shots_per_sec".into(), JsonValue::Number(p.shots_per_sec())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] when the file cannot be written.
+    pub fn write_json(&self, path: &Path) -> Result<(), EngineError> {
+        std::fs::write(path, format!("{}\n", self.to_json())).map_err(|source| EngineError::Io {
+            path: path.to_path_buf(),
+            source,
+        })
+    }
+}
+
+/// A batch of contiguous shot streams of one point.
+#[derive(Debug, Clone, Copy)]
+struct Batch {
+    point: usize,
+    start: u64,
+    len: usize,
+}
+
+/// Mutable per-point scheduling state.
+#[derive(Debug, Clone)]
+struct PointState {
+    /// Tally including batches of the in-flight block.
+    shots: usize,
+    failures: usize,
+    /// Tally at the last completed block boundary (what checkpoints
+    /// persist).
+    committed_shots: usize,
+    committed_failures: usize,
+    /// Current block boundary: the point's tally grows to exactly this
+    /// value before the next scheduling decision.
+    target: usize,
+    /// Next stream index to hand out.
+    next_stream: u64,
+    /// Shots taken over from a resumed checkpoint (untimed here).
+    resumed: usize,
+    busy_secs: f64,
+    finished: bool,
+    converged: bool,
+}
+
+struct SweepState {
+    pending: VecDeque<Batch>,
+    points: Vec<PointState>,
+    unfinished: usize,
+    /// Bumped every time a point commits a block; orders checkpoint writes.
+    checkpoint_epoch: u64,
+    /// First checkpoint-write failure, surfaced after the run.
+    checkpoint_error: Option<EngineError>,
+}
+
+struct Shared<'p> {
+    config: &'p SweepConfig,
+    points: &'p [SweepPoint],
+    fingerprint: &'p str,
+    state: Mutex<SweepState>,
+    work_ready: Condvar,
+    /// Serialises checkpoint file writes without holding the scheduler
+    /// lock; holds the epoch of the last snapshot written so a slow older
+    /// write can never clobber a newer one.
+    checkpoint_io: Mutex<u64>,
+}
+
+/// The sweep scheduler: runs a grid of [`SweepPoint`]s under a
+/// [`SweepConfig`].  See the [module docs](self) for the scheduling model.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    config: SweepConfig,
+}
+
+impl SweepRunner {
+    /// Creates a runner.  A zero `shot_ceiling` is allowed and yields
+    /// empty tallies (every point finishes immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero, if an explicit thread count is
+    /// zero, or if a `target_rse` is not positive.
+    pub fn new(config: SweepConfig) -> Self {
+        assert!(config.batch_size > 0, "batch_size must be positive");
+        assert!(
+            config.num_threads != Some(0),
+            "num_threads must be positive"
+        );
+        if let Some(rse) = config.target_rse {
+            assert!(rse > 0.0, "target_rse must be positive");
+        }
+        Self { config }
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// Runs the sweep to completion and returns the per-point tallies.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an existing checkpoint cannot be read, does
+    /// not belong to this sweep, or cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two points share an id, or if a worker thread (i.e. a
+    /// shot kernel) panics.
+    pub fn run(&self, points: Vec<SweepPoint>) -> Result<SweepReport, EngineError> {
+        let config = &self.config;
+        for (i, a) in points.iter().enumerate() {
+            for b in &points[..i] {
+                assert!(a.id() != b.id(), "duplicate sweep point id '{}'", a.id());
+            }
+        }
+        let fingerprint = config.fingerprint(&points);
+        let resumed = self.load_checkpoint(&fingerprint, &points)?;
+
+        // Per-point scheduling state, seeded from the checkpoint if any.
+        let mut states = Vec::with_capacity(points.len());
+        for (i, _point) in points.iter().enumerate() {
+            let (shots, failures) = resumed
+                .as_ref()
+                .map_or((0, 0), |cp| (cp.points[i].shots, cp.points[i].failures));
+            let mut state = PointState {
+                shots,
+                failures,
+                committed_shots: shots,
+                committed_failures: failures,
+                target: shots,
+                next_stream: shots as u64,
+                resumed: shots,
+                busy_secs: 0.0,
+                finished: false,
+                converged: false,
+            };
+            if config.is_converged(shots, failures) {
+                state.finished = true;
+                state.converged = true;
+            } else if shots >= config.shot_ceiling {
+                state.finished = true;
+            } else if shots == 0 {
+                state.target = config.first_target();
+            } else {
+                state.target = config.next_target(shots);
+            }
+            states.push(state);
+        }
+
+        // Initial batches, interleaved round-robin across points so every
+        // point makes progress (and checkpoints stay fresh) from the start.
+        let mut per_point: Vec<VecDeque<Batch>> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if s.finished {
+                    VecDeque::new()
+                } else {
+                    batches(config.batch_size, i, s.next_stream, s.target - s.shots)
+                }
+            })
+            .collect();
+        for state in states.iter_mut().filter(|s| !s.finished) {
+            state.next_stream = state.target as u64;
+        }
+        let mut pending = VecDeque::new();
+        loop {
+            let mut any = false;
+            for queue in &mut per_point {
+                if let Some(batch) = queue.pop_front() {
+                    pending.push_back(batch);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        let unfinished = states.iter().filter(|s| !s.finished).count();
+        let threads = config
+            .num_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+
+        let shared = Shared {
+            config,
+            points: &points,
+            fingerprint: &fingerprint,
+            state: Mutex::new(SweepState {
+                pending,
+                points: states,
+                unfinished,
+                checkpoint_epoch: 0,
+                checkpoint_error: None,
+            }),
+            work_ready: Condvar::new(),
+            checkpoint_io: Mutex::new(0),
+        };
+
+        let start = Instant::now();
+        // Probe the checkpoint path up front (and persist the starting
+        // state): an unwritable path fails here, before any shot runs,
+        // instead of after hours of compute.
+        if config.checkpoint.is_some() {
+            let state = shared.state.lock().expect("engine lock poisoned");
+            write_checkpoint(&shared, &state)?;
+        }
+        let has_work = {
+            let state = shared.state.lock().expect("engine lock poisoned");
+            state.unfinished > 0
+        };
+        if has_work {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| scope.spawn(|| worker(&shared)))
+                    .collect();
+                for handle in handles {
+                    handle.join().expect("sweep worker panicked");
+                }
+            });
+        }
+        let wall_clock_secs = start.elapsed().as_secs_f64();
+
+        let state = shared.state.into_inner().expect("engine lock poisoned");
+        if let Some(error) = state.checkpoint_error {
+            return Err(error);
+        }
+        Ok(SweepReport {
+            points: points
+                .iter()
+                .zip(&state.points)
+                .map(|(point, s)| PointReport {
+                    id: point.id().to_string(),
+                    shots: s.shots,
+                    failures: s.failures,
+                    converged: s.converged,
+                    resumed_shots: s.resumed,
+                    busy_secs: s.busy_secs,
+                    confidence_z: config.confidence_z,
+                })
+                .collect(),
+            wall_clock_secs,
+            threads,
+            shot_floor: config.first_target(),
+            shot_ceiling: config.shot_ceiling,
+            target_rse: config.target_rse,
+            meta: Vec::new(),
+        })
+    }
+
+    /// Loads and validates the checkpoint configured for this sweep, if
+    /// resuming.  Returns tallies re-ordered to match `points`.
+    fn load_checkpoint(
+        &self,
+        fingerprint: &str,
+        points: &[SweepPoint],
+    ) -> Result<Option<Checkpoint>, EngineError> {
+        let Some(path) = self.config.checkpoint.as_deref() else {
+            return Ok(None);
+        };
+        if !self.config.resume || !path.exists() {
+            return Ok(None);
+        }
+        let checkpoint = Checkpoint::load(path)?;
+        if checkpoint.fingerprint != fingerprint {
+            return Err(EngineError::CheckpointMismatch {
+                reason: format!(
+                    "fingerprint mismatch (checkpoint '{}' vs sweep '{fingerprint}')",
+                    checkpoint.fingerprint
+                ),
+            });
+        }
+        let mut ordered = Vec::with_capacity(points.len());
+        for point in points {
+            let entry = checkpoint
+                .points
+                .iter()
+                .find(|p| p.id == point.id())
+                .ok_or_else(|| EngineError::CheckpointMismatch {
+                    reason: format!("checkpoint has no tally for point '{}'", point.id()),
+                })?;
+            if entry.shots > self.config.shot_ceiling {
+                return Err(EngineError::CheckpointMismatch {
+                    reason: format!(
+                        "point '{}' already has {} shots, above the ceiling {}",
+                        point.id(),
+                        entry.shots,
+                        self.config.shot_ceiling
+                    ),
+                });
+            }
+            // Any resumed shot count is accepted as the point's current
+            // block boundary (the schedule continues doubling from it):
+            // checkpoints of *this* schedule are always at its own
+            // boundaries, which preserves bit-identity with an
+            // uninterrupted run, while checkpoints of a smaller finished
+            // sweep land wherever its old ceiling was and simply extend.
+            ordered.push(entry.clone());
+        }
+        Ok(Some(Checkpoint {
+            fingerprint: checkpoint.fingerprint,
+            points: ordered,
+        }))
+    }
+}
+
+/// Whether `shots` is one of the schedule's block boundaries
+/// (`floor, 2·floor, 4·floor, …, ceiling`).
+#[cfg(test)]
+fn is_block_boundary(config: &SweepConfig, shots: usize) -> bool {
+    let mut boundary = config.first_target();
+    loop {
+        if shots == boundary {
+            return true;
+        }
+        if shots < boundary || boundary == config.shot_ceiling {
+            return false;
+        }
+        boundary = config.next_target(boundary);
+    }
+}
+
+/// Splits `count` shots starting at `start` into batches of at most
+/// `batch_size`.
+fn batches(batch_size: usize, point: usize, start: u64, count: usize) -> VecDeque<Batch> {
+    let mut out = VecDeque::new();
+    let mut offset = 0usize;
+    while offset < count {
+        let len = batch_size.min(count - offset);
+        out.push_back(Batch {
+            point,
+            start: start + offset as u64,
+            len,
+        });
+        offset += len;
+    }
+    out
+}
+
+/// Builds the checkpoint snapshot of all committed tallies (cheap; safe to
+/// call under the scheduler lock).
+fn checkpoint_snapshot(shared: &Shared<'_>, state: &SweepState) -> Checkpoint {
+    Checkpoint {
+        fingerprint: shared.fingerprint.to_string(),
+        points: shared
+            .points
+            .iter()
+            .zip(&state.points)
+            .map(|(point, s)| CheckpointPoint {
+                id: point.id().to_string(),
+                shots: s.committed_shots,
+                failures: s.committed_failures,
+            })
+            .collect(),
+    }
+}
+
+/// Builds and immediately writes the checkpoint (used on the no-work resume
+/// path, where there is no lock contention to avoid).
+fn write_checkpoint(shared: &Shared<'_>, state: &SweepState) -> Result<(), EngineError> {
+    let Some(path) = shared.config.checkpoint.as_deref() else {
+        return Ok(());
+    };
+    checkpoint_snapshot(shared, state).save(path)
+}
+
+/// The worker loop: steal a batch from any point, run it, merge the tally,
+/// and extend or finish the point's schedule at block boundaries.
+fn worker(shared: &Shared<'_>) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("engine lock poisoned");
+            loop {
+                // A checkpoint-write failure aborts the sweep promptly (the
+                // user asked for durability; silently losing it — or
+                // computing for hours only to discard the tallies at the
+                // end — would both be worse).
+                if state.checkpoint_error.is_some() {
+                    return;
+                }
+                if let Some(batch) = state.pending.pop_front() {
+                    break batch;
+                }
+                if state.unfinished == 0 {
+                    return;
+                }
+                state = shared.work_ready.wait(state).expect("engine lock poisoned");
+            }
+        };
+
+        let started = Instant::now();
+        let mut failures = 0usize;
+        for offset in 0..batch.len {
+            if shared.points[batch.point].run(batch.start + offset as u64) {
+                failures += 1;
+            }
+        }
+        let busy = started.elapsed().as_secs_f64();
+
+        let mut state = shared.state.lock().expect("engine lock poisoned");
+        let config = shared.config;
+        {
+            let point = &mut state.points[batch.point];
+            point.shots += batch.len;
+            point.failures += failures;
+            point.busy_secs += busy;
+        }
+        let (at_boundary, finished_now) = {
+            let point = &mut state.points[batch.point];
+            if point.shots != point.target {
+                (false, false)
+            } else {
+                point.committed_shots = point.shots;
+                point.committed_failures = point.failures;
+                let converged = config.is_converged(point.shots, point.failures);
+                if converged || point.target >= config.shot_ceiling {
+                    point.finished = true;
+                    point.converged = converged;
+                    (true, true)
+                } else {
+                    (true, false)
+                }
+            }
+        };
+        if at_boundary {
+            if finished_now {
+                state.unfinished -= 1;
+                if state.unfinished == 0 {
+                    shared.work_ready.notify_all();
+                }
+            } else {
+                let point = &mut state.points[batch.point];
+                let new_target = config.next_target(point.target);
+                let start_stream = point.next_stream;
+                let count = new_target - point.target;
+                point.target = new_target;
+                point.next_stream += count as u64;
+                let mut fresh = batches(config.batch_size, batch.point, start_stream, count);
+                state.pending.append(&mut fresh);
+                shared.work_ready.notify_all();
+            }
+            // Snapshot under the scheduler lock (a small Vec clone), then
+            // serialise and write the file outside it so disk latency never
+            // stalls the other workers.
+            if config.checkpoint.is_some() {
+                state.checkpoint_epoch += 1;
+                let epoch = state.checkpoint_epoch;
+                let snapshot = checkpoint_snapshot(shared, &state);
+                drop(state);
+                let path = config.checkpoint.as_deref().expect("checked above");
+                let mut last_written = shared
+                    .checkpoint_io
+                    .lock()
+                    .expect("checkpoint lock poisoned");
+                if epoch > *last_written {
+                    if let Err(error) = snapshot.save(path) {
+                        let mut state = shared.state.lock().expect("engine lock poisoned");
+                        state.checkpoint_error.get_or_insert(error);
+                        // Wake every waiting worker so the sweep aborts.
+                        shared.work_ready.notify_all();
+                    } else {
+                        *last_written = epoch;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A deterministic toy kernel: stream hash against a threshold.
+    fn noisy_kernel(rate_per_64: u64) -> impl Fn(u64) -> bool + Send + Sync {
+        move |stream| stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 64 < rate_per_64
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("q3de-engine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn fixed_sweep_runs_every_stream_exactly_once() {
+        let executed = Arc::new(AtomicUsize::new(0));
+        let executed_in = Arc::clone(&executed);
+        let points = vec![SweepPoint::new("count", move |stream: u64| {
+            executed_in.fetch_add(1, Ordering::SeqCst);
+            stream < 10
+        })];
+        let report = SweepRunner::new(SweepConfig::fixed(101).with_batch_size(7))
+            .run(points)
+            .unwrap();
+        assert_eq!(executed.load(Ordering::SeqCst), 101);
+        let point = report.point("count").unwrap();
+        assert_eq!((point.shots, point.failures), (101, 10));
+        assert!(!point.converged);
+        assert_eq!(report.total_shots(), 101);
+        assert_eq!(report.total_failures(), 10);
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count_and_batch_size() {
+        let run = |threads: usize, batch: usize| {
+            let points = vec![
+                SweepPoint::new("a", noisy_kernel(13)),
+                SweepPoint::new("b", noisy_kernel(3)),
+                SweepPoint::new("c", noisy_kernel(0)),
+            ];
+            let config = SweepConfig::adaptive(32, 512, 0.2)
+                .with_threads(threads)
+                .with_batch_size(batch);
+            let report = SweepRunner::new(config).run(points).unwrap();
+            report
+                .points
+                .iter()
+                .map(|p| (p.id.clone(), p.shots, p.failures, p.converged))
+                .collect::<Vec<_>>()
+        };
+        let reference = run(1, 32);
+        assert_eq!(run(4, 32), reference);
+        assert_eq!(run(3, 5), reference);
+        assert_eq!(run(8, 100), reference);
+    }
+
+    #[test]
+    fn adaptive_mode_stops_converged_points_early_and_rare_points_late() {
+        let points = vec![
+            SweepPoint::new("common", noisy_kernel(32)), // rate 0.5: converges fast
+            SweepPoint::new("never", noisy_kernel(0)),   // no failures: runs to ceiling
+        ];
+        let report = SweepRunner::new(SweepConfig::adaptive(64, 4096, 0.25))
+            .run(points)
+            .unwrap();
+        let common = report.point("common").unwrap();
+        let never = report.point("never").unwrap();
+        assert!(common.converged);
+        assert!(common.shots < 4096, "converged point stopped at floor-ish");
+        assert!(!never.converged);
+        assert_eq!(never.shots, 4096, "zero-failure point must hit the ceiling");
+        assert!(never.relative_half_width().is_infinite());
+    }
+
+    #[test]
+    fn adaptive_tally_is_a_prefix_of_the_fixed_tally() {
+        // The adaptive run executes streams 0..n for some boundary n, so
+        // its tally must equal the fixed run's tally restricted to 0..n.
+        let kernel = noisy_kernel(8);
+        let adaptive = SweepRunner::new(SweepConfig::adaptive(32, 2048, 0.3))
+            .run(vec![SweepPoint::new("p", noisy_kernel(8))])
+            .unwrap();
+        let point = adaptive.point("p").unwrap();
+        let expected = (0..point.shots as u64).filter(|&s| kernel(s)).count();
+        assert_eq!(point.failures, expected);
+        assert!(is_block_boundary(
+            &SweepConfig::adaptive(32, 2048, 0.3),
+            point.shots
+        ));
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_bit_identically() {
+        let path = temp_path("resume.json");
+        let _ = std::fs::remove_file(&path);
+        let make_points = || {
+            vec![
+                SweepPoint::new("a", noisy_kernel(6)),
+                SweepPoint::new("b", noisy_kernel(1)),
+            ]
+        };
+        // Uninterrupted reference: 512 shots per point, floor 64.
+        let full_config = SweepConfig {
+            shot_floor: 64,
+            ..SweepConfig::fixed(512)
+        };
+        let reference = SweepRunner::new(full_config.clone())
+            .run(make_points())
+            .unwrap();
+        // "Killed" run: same floor, ceiling 64 → checkpoint at the first
+        // boundary, then resume with the full ceiling.
+        let partial = SweepConfig {
+            shot_floor: 64,
+            ..SweepConfig::fixed(64)
+        }
+        .with_checkpoint(&path);
+        SweepRunner::new(partial).run(make_points()).unwrap();
+        let resumed = SweepRunner::new(full_config.with_checkpoint(&path).with_resume(true))
+            .run(make_points())
+            .unwrap();
+        for (r, f) in resumed.points.iter().zip(&reference.points) {
+            assert_eq!(
+                (r.id.as_str(), r.shots, r.failures),
+                (f.id.as_str(), f.shots, f.failures)
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_shot_sweeps_finish_immediately_with_empty_tallies() {
+        let report = SweepRunner::new(SweepConfig::fixed(0))
+            .run(vec![SweepPoint::new("x", noisy_kernel(6))])
+            .unwrap();
+        let point = report.point("x").unwrap();
+        assert_eq!((point.shots, point.failures), (0, 0));
+        assert_eq!(point.failure_rate(), 0.0);
+        assert!(!point.converged);
+    }
+
+    #[test]
+    fn unwritable_checkpoint_path_fails_before_any_shot_runs() {
+        let executed = Arc::new(AtomicUsize::new(0));
+        let executed_in = Arc::clone(&executed);
+        let config =
+            SweepConfig::fixed(64).with_checkpoint("/nonexistent-q3de-dir/checkpoint.json");
+        let err = SweepRunner::new(config)
+            .run(vec![SweepPoint::new("x", move |stream: u64| {
+                executed_in.fetch_add(1, Ordering::SeqCst);
+                noisy_kernel(6)(stream)
+            })])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Io { .. }), "{err}");
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            0,
+            "the up-front probe must fail before any kernel runs"
+        );
+    }
+
+    #[test]
+    fn finished_sweep_extends_from_a_non_aligned_ceiling() {
+        // fixed(100) checkpoints its final tally at 100 shots — not a
+        // boundary of the fixed(250) schedule (64, 128, 250) — and resuming
+        // with the larger budget must still work and match a fresh run.
+        let path = temp_path("extend.json");
+        let _ = std::fs::remove_file(&path);
+        SweepRunner::new(SweepConfig::fixed(100).with_checkpoint(&path))
+            .run(vec![SweepPoint::new("a", noisy_kernel(6))])
+            .unwrap();
+        let extended = SweepRunner::new(
+            SweepConfig::fixed(250)
+                .with_checkpoint(&path)
+                .with_resume(true),
+        )
+        .run(vec![SweepPoint::new("a", noisy_kernel(6))])
+        .unwrap();
+        let fresh = SweepRunner::new(SweepConfig::fixed(250))
+            .run(vec![SweepPoint::new("a", noisy_kernel(6))])
+            .unwrap();
+        let (e, f) = (extended.point("a").unwrap(), fresh.point("a").unwrap());
+        assert_eq!((e.shots, e.failures), (f.shots, f.failures));
+        assert_eq!(e.resumed_shots, 100);
+        assert_eq!(f.resumed_shots, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatched_checkpoints_are_rejected() {
+        let path = temp_path("mismatch.json");
+        Checkpoint {
+            fingerprint: "something else".into(),
+            points: vec![CheckpointPoint {
+                id: "a".into(),
+                shots: 64,
+                failures: 1,
+            }],
+        }
+        .save(&path)
+        .unwrap();
+        let config = SweepConfig::fixed(128)
+            .with_checkpoint(&path)
+            .with_resume(true);
+        let err = SweepRunner::new(config)
+            .run(vec![SweepPoint::new("a", noisy_kernel(1))])
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fully_complete_checkpoint_resumes_without_rerunning_kernels() {
+        let path = temp_path("complete.json");
+        let _ = std::fs::remove_file(&path);
+        let config = SweepConfig::fixed(64).with_checkpoint(&path);
+        SweepRunner::new(config.clone())
+            .run(vec![SweepPoint::new("a", noisy_kernel(6))])
+            .unwrap();
+        let executed = Arc::new(AtomicUsize::new(0));
+        let executed_in = Arc::clone(&executed);
+        let resumed = SweepRunner::new(config.with_resume(true))
+            .run(vec![SweepPoint::new("a", move |stream: u64| {
+                executed_in.fetch_add(1, Ordering::SeqCst);
+                noisy_kernel(6)(stream)
+            })])
+            .unwrap();
+        assert_eq!(executed.load(Ordering::SeqCst), 0, "no shot may re-run");
+        assert_eq!(resumed.point("a").unwrap().shots, 64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn memory_point_matches_estimate_parallel() {
+        use rand_chacha::ChaCha8Rng;
+        let config = MemoryExperimentConfig::new(3, 2e-2);
+        let experiment = MemoryExperiment::new(config).unwrap();
+        let expected =
+            experiment.estimate_parallel::<ChaCha8Rng>(96, DecodingStrategy::MbbeFree, 0xBEEF);
+        let report = SweepRunner::new(SweepConfig::fixed(96))
+            .run(vec![SweepPoint::from_memory::<ChaCha8Rng>(
+                "mem",
+                config,
+                DecodingStrategy::MbbeFree,
+                0xBEEF,
+            )
+            .unwrap()])
+            .unwrap();
+        assert_eq!(report.point("mem").unwrap().failures, expected.failures);
+    }
+
+    #[test]
+    fn chip_point_matches_estimate_parallel() {
+        use rand_chacha::ChaCha8Rng;
+        let config = ChipMemoryExperimentConfig::new(2, 2, MemoryExperimentConfig::new(3, 2e-2));
+        let experiment = ChipMemoryExperiment::new(config).unwrap();
+        let expected =
+            experiment.estimate_parallel::<ChaCha8Rng>(48, DecodingStrategy::MbbeFree, 0xC41F);
+        let report = SweepRunner::new(SweepConfig::fixed(48))
+            .run(vec![SweepPoint::from_chip::<ChaCha8Rng>(
+                "chip",
+                config,
+                DecodingStrategy::MbbeFree,
+                0xC41F,
+            )
+            .unwrap()])
+            .unwrap();
+        assert_eq!(
+            report.point("chip").unwrap().failures,
+            expected.chip_failures
+        );
+    }
+
+    #[test]
+    fn report_serialises_and_reparses() {
+        let report = SweepRunner::new(SweepConfig::fixed(40))
+            .run(vec![SweepPoint::new("x", noisy_kernel(10))])
+            .unwrap();
+        let json = report.to_json();
+        let text = json.to_string();
+        let parsed = JsonValue::parse(&text).unwrap();
+        let points = parsed.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].get("id").unwrap().as_str(), Some("x"));
+        assert_eq!(
+            points[0].get("shots").unwrap().as_usize(),
+            Some(report.points[0].shots)
+        );
+        assert_eq!(parsed.get("version").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sweep point id")]
+    fn duplicate_ids_are_rejected() {
+        let _ = SweepRunner::new(SweepConfig::fixed(1)).run(vec![
+            SweepPoint::new("same", noisy_kernel(1)),
+            SweepPoint::new("same", noisy_kernel(1)),
+        ]);
+    }
+
+    #[test]
+    fn block_boundaries_double_from_the_floor() {
+        let config = SweepConfig::adaptive(50, 500, 0.1);
+        for boundary in [50usize, 100, 200, 400, 500] {
+            assert!(is_block_boundary(&config, boundary), "{boundary}");
+        }
+        for not in [1usize, 49, 51, 99, 300, 499] {
+            assert!(!is_block_boundary(&config, not), "{not}");
+        }
+    }
+}

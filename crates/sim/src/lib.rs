@@ -40,6 +40,8 @@
 
 #![deny(missing_docs)]
 
+pub mod engine;
+
 mod chip;
 mod detection_experiment;
 mod memory;
@@ -50,8 +52,13 @@ pub use chip::{
     ChipStrikePolicy,
 };
 pub use detection_experiment::{DetectionExperiment, DetectionExperimentConfig, DetectionTrial};
+pub use engine::{
+    EngineError, PointReport, ShotKernel, SweepConfig, SweepPoint, SweepReport, SweepRunner,
+};
 pub use memory::{
     AnomalyInjection, DecodingStrategy, EstimateResult, MemoryExperiment, MemoryExperimentConfig,
     ShotOutcome,
 };
-pub use parallel::{run_shots_auto, run_shots_fold, run_shots_fold_auto, run_shots_parallel};
+pub use parallel::{
+    run_shots_auto, run_shots_fold, run_shots_fold_auto, run_shots_parallel, shot_stream_seed,
+};

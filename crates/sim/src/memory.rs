@@ -396,6 +396,28 @@ impl MemoryExperiment {
         }
     }
 
+    /// Runs the shot of global stream index `stream`: a fresh RNG of type
+    /// `R` is seeded from [`crate::shot_stream_seed`]`(base_seed, stream)`
+    /// and handed to [`MemoryExperiment::run_shot`].
+    ///
+    /// This is the kernel behind [`MemoryExperiment::estimate_parallel`] and
+    /// the sweep engine's [`SweepPoint::from_memory`](crate::engine::SweepPoint::from_memory):
+    /// any runner that executes the stream set `0..shots` — sequentially, on
+    /// a thread pool, or adaptively batch by batch — reproduces the same
+    /// failure count.
+    pub fn run_stream<R>(
+        &self,
+        strategy: DecodingStrategy,
+        base_seed: u64,
+        stream: u64,
+    ) -> ShotOutcome
+    where
+        R: Rng + SeedableRng,
+    {
+        let mut rng = R::seed_from_u64(crate::shot_stream_seed(base_seed, stream));
+        self.run_shot(strategy, &mut rng)
+    }
+
     /// Monte-Carlo estimate over all available cores
     /// ([`crate::run_shots_auto`]).  Each shot draws from its own RNG of
     /// type `R`, seeded from `base_seed` and a globally unique stream index:
@@ -414,8 +436,8 @@ impl MemoryExperiment {
         let next_stream = std::sync::atomic::AtomicU64::new(0);
         let failures = crate::run_shots_auto(shots, |_, _| {
             let stream = next_stream.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let mut rng = R::seed_from_u64(base_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            self.run_shot(strategy, &mut rng).logical_failure
+            self.run_stream::<R>(strategy, base_seed, stream)
+                .logical_failure
         });
         EstimateResult {
             shots,

@@ -2,6 +2,18 @@
 
 use std::thread;
 
+/// Derives the RNG seed of global shot stream `stream` from a sweep-level
+/// `base_seed` (golden-ratio mixing).
+///
+/// This is *the* seed schedule of the whole stack: sequential replays,
+/// [`MemoryExperiment::estimate_parallel`](crate::MemoryExperiment::estimate_parallel),
+/// the chip experiment's per-patch streams and the sweep engine's shot
+/// kernels all derive per-shot RNGs through it, so a `(base_seed, stream)`
+/// pair identifies the same shot everywhere.
+pub fn shot_stream_seed(base_seed: u64, stream: u64) -> u64 {
+    base_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Runs `shots` independent trials across `num_threads` OS threads,
 /// folding each trial into a per-thread accumulator and merging the
 /// per-thread accumulators in thread order.
