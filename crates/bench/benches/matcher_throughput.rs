@@ -52,11 +52,13 @@ fn bench_matcher_throughput(c: &mut Criterion) {
     for d in [3usize, 5, 7, 9, 11, 13, 15] {
         let fix = fixture(d, 0x03DE);
         for kind in MatcherKind::ALL {
-            let decoder = SurfaceDecoder::with_config(
-                &fix.graph,
-                DecoderConfig::default().with_matcher(kind),
-            );
             group.bench_function(format!("d{d}/{}", kind.name()), |b| {
+                // One decoder per bench: iterations decode on a warm context,
+                // which is exactly how the Monte-Carlo kernels run it.
+                let mut decoder = SurfaceDecoder::with_config(
+                    &fix.graph,
+                    DecoderConfig::default().with_matcher(kind),
+                );
                 b.iter(|| black_box(decoder.decode(&fix.history, &fix.model)));
             });
         }
@@ -74,7 +76,7 @@ fn bench_matcher_throughput(c: &mut Criterion) {
 fn report_speedup(d: usize) {
     let fix = fixture(d, 7);
     let time = |kind: MatcherKind, iters: u32| {
-        let decoder =
+        let mut decoder =
             SurfaceDecoder::with_config(&fix.graph, DecoderConfig::default().with_matcher(kind));
         // warm-up
         black_box(decoder.decode(&fix.history, &fix.model));

@@ -13,14 +13,49 @@
 //! [--samples N] [--seed N] [--matcher M] [--report PATH]
 //! [--baseline PATH] [--max-regression X]`
 
+use q3de::decoder::{ContextPool, DecoderConfig, MatcherKind, SyndromeHistory};
+use q3de::lattice::ErrorKind;
 use q3de::sim::engine::json::JsonValue;
 use q3de::sim::engine::SweepPoint;
 use q3de::sim::{
     AnomalyInjection, ChipMemoryExperimentConfig, ChipStrikePolicy, DecodingStrategy,
-    MemoryExperimentConfig,
+    MemoryExperiment, MemoryExperimentConfig,
 };
 use q3de_bench::{format_row, ExperimentArgs};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// The pure-decode hot-path kernel: a d = 11 union-find decoder replaying
+/// pre-sampled burst windows through the two-pass rollback flow (blind
+/// uniform pass + anomaly-re-weighted re-execution).  Sampling happens once
+/// up front, so the measured shots/sec is decode throughput — the number
+/// the persistent `DecoderContext` refactor exists to move.
+fn decode_window_point(base_seed: u64) -> SweepPoint {
+    const WINDOWS: u64 = 16;
+    let config = MemoryExperimentConfig::new(11, 5e-3)
+        .with_matcher(MatcherKind::UnionFind)
+        .with_anomaly(AnomalyInjection::centered(4, 0.5));
+    let experiment = MemoryExperiment::new(config).expect("valid config");
+    let graph = experiment.code().matching_graph(ErrorKind::X);
+    let region = *experiment.region().expect("anomaly configured");
+    let windows: Vec<(SyndromeHistory, bool)> = (0..WINDOWS)
+        .map(|w| {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(base_seed ^ (0xDEC0DE ^ w.wrapping_mul(0x9E37)));
+            experiment.sample_history(DecodingStrategy::AnomalyAware, &mut rng)
+        })
+        .collect();
+    let pool = ContextPool::new(DecoderConfig::default().with_matcher(MatcherKind::UnionFind));
+    SweepPoint::new("perf/decode_window/d11/uf/rollback", move |stream: u64| {
+        let (history, parity) = &windows[(stream % WINDOWS) as usize];
+        pool.with(|context| {
+            context
+                .decode_with_rollback(&graph, 5e-3, history, Some(&[region]), 0)
+                .final_outcome()
+                .is_logical_failure(*parity)
+        })
+    })
+}
 
 /// The `shots_per_sec` entries of a report document, in document order.
 fn throughputs(doc: &JsonValue) -> Vec<(String, f64)> {
@@ -117,6 +152,7 @@ fn main() {
             args.stream_seed(3),
         )
         .expect("valid chip"),
+        decode_window_point(args.stream_seed(4)),
     ];
 
     eprintln!(

@@ -1,0 +1,448 @@
+//! Long-lived decoder state: the persistent [`DecoderContext`] and the
+//! thread-safe [`ContextPool`] the simulation kernels draw from.
+//!
+//! Building the space-time decoding graph is the most allocation-heavy step
+//! of a decode call — one vertex per `(stabilizer, layer)` state, adjacency
+//! lists, boundary-side tags — yet its *topology* depends only on the layer
+//! graph and the window depth, and its *weights* only on the
+//! [`WeightModel`].  A `DecoderContext` therefore caches the built
+//! [`SpaceTimeGraph`] keyed by `(error kind, node count, edge count,
+//! window layers)` and treats the weight model as an epoch: decoding with
+//! the same model reuses the graph untouched, decoding with a different
+//! model re-weights it in place (only the edges whose rate actually
+//! changed), and only a *structural* change — code expansion/shrink, a
+//! different window depth — rebuilds the graph.  The matching backend
+//! lives in the context too, so its scratch (Dijkstra buffers, union-find
+//! forest) persists across windows and shots.
+
+use crate::{
+    DecodeOutcome, DecoderConfig, MatchedPair, ReExecutionOutcome, SpaceTimeGraph, SyndromeHistory,
+    WeightModel,
+};
+use q3de_lattice::{ErrorKind, MatchingGraph};
+use q3de_matching::DecoderBackend;
+use q3de_noise::AnomalousRegion;
+use std::fmt;
+use std::sync::Mutex;
+
+/// The structural identity of a cached space-time graph: error kind, layer
+/// graph shape, and window depth.  A decode call whose key differs from the
+/// cache's rebuilds the graph (this is what happens on code
+/// expansion/shrink or a change in window depth).
+type CacheKey = (ErrorKind, usize, usize, usize);
+
+struct GraphCache {
+    key: CacheKey,
+    spacetime: SpaceTimeGraph,
+    /// The model whose weights are currently installed in `spacetime` —
+    /// the cache's *weight epoch*.
+    model: WeightModel,
+}
+
+/// Reusable decoding state for one worker: the configured matching backend
+/// (with its scratch buffers) plus the cached, re-weightable space-time
+/// graph of the last-seen window shape.
+///
+/// A context is *not* tied to one layer graph: every [`DecoderContext::decode`]
+/// call passes the graph explicitly, and the cache invalidates itself
+/// whenever the graph's structure or the window depth changes.  Reused
+/// contexts are bit-identical to fresh ones (pinned by
+/// `tests/decoder_reuse.rs`); the only observable difference is speed.
+///
+/// # Invalidation rules
+///
+/// | change | action |
+/// |---|---|
+/// | same graph, same layers, same weight model | full reuse, zero rebuild |
+/// | weight model changed (anomaly re-weighting, rollback pass) | in-place re-weight of the affected edges |
+/// | window depth changed | rebuild |
+/// | graph structure changed (expansion/shrink, other error kind) | rebuild |
+pub struct DecoderContext {
+    config: DecoderConfig,
+    backend: Box<dyn DecoderBackend + Send>,
+    cache: Option<GraphCache>,
+    defects: Vec<usize>,
+    graph_builds: u64,
+    reweights: u64,
+}
+
+impl fmt::Debug for DecoderContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecoderContext")
+            .field("config", &self.config)
+            .field("backend", &self.backend.name())
+            .field("warm", &self.cache.is_some())
+            .field("graph_builds", &self.graph_builds)
+            .field("reweights", &self.reweights)
+            .finish()
+    }
+}
+
+impl DecoderContext {
+    /// Creates a cold context for the given decoder configuration.
+    pub fn new(config: DecoderConfig) -> Self {
+        Self {
+            backend: config.backend(),
+            config,
+            cache: None,
+            defects: Vec::new(),
+            graph_builds: 0,
+            reweights: 0,
+        }
+    }
+
+    /// The decoder configuration the context was built with.
+    pub fn config(&self) -> DecoderConfig {
+        self.config
+    }
+
+    /// The name of the matching backend in use.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Whether a space-time graph is currently cached.
+    pub fn is_warm(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// How many times the context has built a space-time graph from
+    /// scratch — the number a cold per-call decoder would multiply by its
+    /// decode count.  Exposed so reuse tests can assert the cache worked.
+    pub fn graph_builds(&self) -> u64 {
+        self.graph_builds
+    }
+
+    /// How many times the cached graph was re-weighted in place (the weight
+    /// epoch advanced without a rebuild).
+    pub fn reweights(&self) -> u64 {
+        self.reweights
+    }
+
+    /// Drops the cached space-time graph.  Decoding works identically
+    /// afterwards; the next call simply rebuilds.  Callers that deform the
+    /// lattice (code expansion/shrink) may invalidate eagerly, though the
+    /// structural cache key catches such changes on its own.
+    pub fn invalidate(&mut self) {
+        self.cache = None;
+    }
+
+    /// Decodes a syndrome window under the given weight model — the
+    /// persistent-state equivalent of building a fresh
+    /// [`crate::SurfaceDecoder`] per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history's node count does not match the layer graph.
+    pub fn decode(
+        &mut self,
+        graph: &MatchingGraph,
+        history: &SyndromeHistory,
+        model: &WeightModel,
+    ) -> DecodeOutcome {
+        assert_eq!(
+            history.num_nodes(),
+            graph.num_nodes(),
+            "syndrome history and matching graph disagree on the node count"
+        );
+        let events = history.detection_events();
+        if events.is_empty() {
+            return DecodeOutcome::default();
+        }
+        let num_layers = history.num_layers().max(1);
+        let key: CacheKey = (
+            graph.kind(),
+            graph.num_nodes(),
+            graph.num_edges(),
+            num_layers,
+        );
+        match &mut self.cache {
+            Some(cache) if cache.key == key => {
+                if cache.model != *model {
+                    cache.spacetime.reweight(graph, Some(&cache.model), model);
+                    cache.model = model.clone();
+                    self.reweights += 1;
+                }
+            }
+            _ => {
+                self.cache = Some(GraphCache {
+                    key,
+                    spacetime: SpaceTimeGraph::build(graph, num_layers, model),
+                    model: model.clone(),
+                });
+                self.graph_builds += 1;
+            }
+        }
+        let Self {
+            backend,
+            cache,
+            defects,
+            ..
+        } = self;
+        let spacetime = &cache.as_ref().expect("cache installed above").spacetime;
+        defects.clear();
+        defects.extend(events.iter().map(|&e| spacetime.vertex_of(e)));
+
+        let matching = backend.decode_defects(spacetime.graph(), defects);
+        debug_assert!(
+            matching.is_perfect(defects.len()),
+            "backend {} returned an imperfect matching",
+            backend.name()
+        );
+
+        let mut outcome = DecodeOutcome {
+            num_clusters: matching.num_clusters,
+            ..DecodeOutcome::default()
+        };
+        for pair in &matching.pairs {
+            let (a, b) = if defects[pair.a] <= defects[pair.b] {
+                (pair.a, pair.b)
+            } else {
+                (pair.b, pair.a)
+            };
+            outcome.pairs.push(MatchedPair {
+                a: events[a],
+                b: events[b],
+                cost: pair.cost,
+            });
+            outcome.total_weight += pair.cost;
+        }
+        for bm in &matching.boundary {
+            let side = spacetime
+                .side_of(bm.edge)
+                .expect("boundary match must reference a boundary edge");
+            outcome
+                .boundary_matches
+                .push((events[bm.defect], side, bm.cost));
+            outcome.total_weight += bm.cost;
+        }
+        outcome.events = events;
+        outcome
+    }
+
+    /// The two-pass Q3DE rollback flow on persistent state: a blind pass
+    /// under `WeightModel::uniform(base_rate)`, then — when
+    /// `detected_regions` is non-empty — a re-executed pass under
+    /// anomaly-aware weights for the same window.  Both passes share the
+    /// cached graph; the second pass only re-weights the region edges.
+    pub fn decode_with_rollback(
+        &mut self,
+        graph: &MatchingGraph,
+        base_rate: f64,
+        history: &SyndromeHistory,
+        detected_regions: Option<&[AnomalousRegion]>,
+        window_start_cycle: u64,
+    ) -> ReExecutionOutcome {
+        let first_pass = self.decode(graph, history, &WeightModel::uniform(base_rate));
+        let second_pass = match detected_regions {
+            Some(regions) if !regions.is_empty() => {
+                let model =
+                    WeightModel::anomaly_aware(base_rate, regions.to_vec(), window_start_cycle);
+                Some(self.decode(graph, history, &model))
+            }
+            _ => None,
+        };
+        ReExecutionOutcome {
+            first_pass,
+            second_pass,
+        }
+    }
+}
+
+/// A thread-safe pool of [`DecoderContext`]s sharing one configuration.
+///
+/// The Monte-Carlo kernels run shots from many worker threads through
+/// `&self` closures, so they cannot hold a `&mut DecoderContext` each.  The
+/// pool bridges that: [`ContextPool::with`] checks a context out (creating
+/// one only when every pooled context is busy), runs the closure, and
+/// returns it warm.  Steady state is one context per concurrently decoding
+/// worker — decoders are constructed once per worker, not once per shot.
+pub struct ContextPool {
+    config: DecoderConfig,
+    pool: Mutex<Vec<DecoderContext>>,
+}
+
+impl ContextPool {
+    /// Creates an empty pool handing out contexts of the given
+    /// configuration.
+    pub fn new(config: DecoderConfig) -> Self {
+        Self {
+            config,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configuration of every context the pool hands out.
+    pub fn config(&self) -> DecoderConfig {
+        self.config
+    }
+
+    /// Number of idle (checked-in) contexts currently pooled.
+    pub fn idle_contexts(&self) -> usize {
+        self.pool.lock().expect("context pool poisoned").len()
+    }
+
+    /// Runs `f` with a pooled context, checking it back in afterwards.  If
+    /// `f` panics the context is dropped, never returned to the pool.
+    pub fn with<T>(&self, f: impl FnOnce(&mut DecoderContext) -> T) -> T {
+        let checked_out = self.pool.lock().expect("context pool poisoned").pop();
+        let mut context = checked_out.unwrap_or_else(|| DecoderContext::new(self.config));
+        let result = f(&mut context);
+        self.pool
+            .lock()
+            .expect("context pool poisoned")
+            .push(context);
+        result
+    }
+}
+
+impl Clone for ContextPool {
+    /// Cloning yields an *empty* pool with the same configuration — warm
+    /// caches stay with the original.
+    fn clone(&self) -> Self {
+        Self::new(self.config)
+    }
+}
+
+impl fmt::Debug for ContextPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContextPool")
+            .field("config", &self.config)
+            .field("idle_contexts", &self.idle_contexts())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatcherKind;
+    use q3de_lattice::{Coord, Pauli, PauliString, StabilizerKind, SurfaceCode};
+
+    fn static_history(code: &SurfaceCode, error: &PauliString, rounds: usize) -> SyndromeHistory {
+        let graph = code.matching_graph(ErrorKind::X);
+        let syndrome = code.syndrome(StabilizerKind::Z, error);
+        let mut h = SyndromeHistory::new(graph.num_nodes());
+        for _ in 0..rounds {
+            h.push_layer(&syndrome);
+        }
+        h
+    }
+
+    #[test]
+    fn context_reuses_the_graph_across_identical_windows() {
+        let code = SurfaceCode::new(5).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let error: PauliString = [(Coord::new(0, 0), Pauli::X)].into_iter().collect();
+        let history = static_history(&code, &error, 3);
+        let model = WeightModel::uniform(1e-3);
+        let mut context = DecoderContext::new(DecoderConfig::default());
+        assert!(!context.is_warm());
+        let first = context.decode(&graph, &history, &model);
+        for _ in 0..5 {
+            assert_eq!(context.decode(&graph, &history, &model), first);
+        }
+        assert_eq!(context.graph_builds(), 1, "one build, five reuses");
+        assert_eq!(context.reweights(), 0);
+        assert!(context.is_warm());
+        context.invalidate();
+        assert!(!context.is_warm());
+        assert_eq!(context.decode(&graph, &history, &model), first);
+        assert_eq!(context.graph_builds(), 2);
+    }
+
+    #[test]
+    fn model_changes_reweight_instead_of_rebuilding() {
+        let code = SurfaceCode::new(5).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let error: PauliString = [(Coord::new(0, 2), Pauli::X), (Coord::new(0, 4), Pauli::X)]
+            .into_iter()
+            .collect();
+        let history = static_history(&code, &error, 3);
+        let region = q3de_noise::AnomalousRegion::new(Coord::new(0, 2), 4, 0, 100, 0.5);
+        let uniform = WeightModel::uniform(1e-3);
+        let aware = WeightModel::anomaly_aware(1e-3, vec![region], 0);
+        let mut context = DecoderContext::new(DecoderConfig::default());
+        let blind = context.decode(&graph, &history, &uniform);
+        let rolled = context.decode(&graph, &history, &aware);
+        let blind_again = context.decode(&graph, &history, &uniform);
+        assert_eq!(context.graph_builds(), 1, "re-weighting must not rebuild");
+        assert_eq!(context.reweights(), 2);
+        assert_eq!(blind, blind_again);
+        // fresh-per-call reference
+        let mut fresh = DecoderContext::new(DecoderConfig::default());
+        assert_eq!(fresh.decode(&graph, &history, &aware), rolled);
+    }
+
+    #[test]
+    fn structural_changes_rebuild_the_cache() {
+        let small = SurfaceCode::new(3).unwrap();
+        let large = SurfaceCode::new(5).unwrap();
+        let gs = small.matching_graph(ErrorKind::X);
+        let gl = large.matching_graph(ErrorKind::X);
+        let error: PauliString = [(Coord::new(0, 0), Pauli::X)].into_iter().collect();
+        let model = WeightModel::uniform(1e-3);
+        let mut context = DecoderContext::new(DecoderConfig::default());
+        let hs = static_history(&small, &error, 3);
+        let hl = static_history(&large, &error, 3);
+        context.decode(&gs, &hs, &model);
+        context.decode(&gl, &hl, &model); // expansion: different graph
+        context.decode(&gl, &static_history(&large, &error, 5), &model); // deeper window
+        assert_eq!(context.graph_builds(), 3);
+        // results still match fresh decoding after all that churn
+        let mut fresh = DecoderContext::new(DecoderConfig::default());
+        assert_eq!(
+            context.decode(&gs, &hs, &model),
+            fresh.decode(&gs, &hs, &model)
+        );
+    }
+
+    #[test]
+    fn rollback_on_context_matches_the_reexecuting_decoder() {
+        let code = SurfaceCode::new(5).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let region = q3de_noise::AnomalousRegion::new(Coord::new(0, 2), 4, 0, 100, 0.5);
+        let error: PauliString = [
+            (Coord::new(0, 2), Pauli::X),
+            (Coord::new(0, 4), Pauli::X),
+            (Coord::new(0, 6), Pauli::X),
+        ]
+        .into_iter()
+        .collect();
+        let history = static_history(&code, &error, 3);
+        let mut context = DecoderContext::new(DecoderConfig::default());
+        let outcome = context.decode_with_rollback(&graph, 1e-3, &history, Some(&[region]), 0);
+        assert!(outcome.was_rolled_back());
+        let mut decoder = crate::ReExecutingDecoder::new(&graph, 1e-3);
+        let reference = decoder.decode(&history, Some(&[region]), 0);
+        assert_eq!(outcome, reference);
+        // no detection → no second pass, still cached
+        let quiet = context.decode_with_rollback(&graph, 1e-3, &history, None, 0);
+        assert!(!quiet.was_rolled_back());
+        assert_eq!(context.graph_builds(), 1);
+    }
+
+    #[test]
+    fn pool_hands_out_warm_contexts() {
+        let pool = ContextPool::new(DecoderConfig::default().with_matcher(MatcherKind::UnionFind));
+        assert_eq!(pool.idle_contexts(), 0);
+        let code = SurfaceCode::new(3).unwrap();
+        let graph = code.matching_graph(ErrorKind::X);
+        let error: PauliString = [(Coord::new(0, 0), Pauli::X)].into_iter().collect();
+        let history = static_history(&code, &error, 2);
+        let model = WeightModel::uniform(1e-3);
+        let first = pool.with(|context| context.decode(&graph, &history, &model));
+        assert_eq!(pool.idle_contexts(), 1);
+        let (second, builds) = pool.with(|context| {
+            (
+                context.decode(&graph, &history, &model),
+                context.graph_builds(),
+            )
+        });
+        assert_eq!(first, second);
+        assert_eq!(builds, 1, "the second call got the warm context back");
+        assert_eq!(pool.config().matcher, MatcherKind::UnionFind);
+        // a clone starts cold
+        assert_eq!(pool.clone().idle_contexts(), 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! The surface-code decoder: detection events → matching → correction parity.
 
-use crate::spacetime::{BoundarySide, SpaceTimeGraph};
+use crate::spacetime::BoundarySide;
 use crate::{DetectionEvent, SyndromeHistory, WeightModel};
 use q3de_lattice::MatchingGraph;
 use q3de_matching::{DecoderBackend, ExactBackend, GreedyBackend, MatcherKind, UnionFindDecoder};
@@ -38,15 +38,17 @@ impl DecoderConfig {
     }
 
     /// Instantiates the configured [`DecoderBackend`].
-    pub fn backend(&self) -> Box<dyn DecoderBackend + Send + Sync> {
+    ///
+    /// Backends carry their own scratch buffers (`decode_defects` takes
+    /// `&mut self`), so the instance should be kept and reused — that is
+    /// what [`crate::DecoderContext`] does.
+    pub fn backend(&self) -> Box<dyn DecoderBackend + Send> {
         match self.matcher {
-            MatcherKind::Exact => Box::new(ExactBackend {
-                exact_threshold: self.exact_cluster_threshold,
-                refine_rounds: self.refine_rounds,
-            }),
-            MatcherKind::Greedy => Box::new(GreedyBackend {
-                repair_rounds: self.refine_rounds,
-            }),
+            MatcherKind::Exact => Box::new(ExactBackend::new(
+                self.exact_cluster_threshold,
+                self.refine_rounds,
+            )),
+            MatcherKind::Greedy => Box::new(GreedyBackend::new(self.refine_rounds)),
             MatcherKind::UnionFind => Box::new(UnionFindDecoder::default()),
         }
     }
@@ -64,7 +66,11 @@ pub struct MatchedPair {
 }
 
 /// The result of decoding one syndrome window.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares outcomes field for field (costs included, exactly)
+/// — reused-context decoding is *bit-identical* to fresh decoding, and the
+/// reuse tests assert it through this impl.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DecodeOutcome {
     /// All detection events of the window.
     pub events: Vec<DetectionEvent>,
@@ -107,11 +113,17 @@ impl DecodeOutcome {
 /// A matching decoder for one error sector of the surface code.
 ///
 /// The decoder builds the sparse space-time graph of the syndrome window
-/// ([`SpaceTimeGraph`]), hands it together with the detection events to the
-/// configured [`DecoderBackend`] (exact, greedy or union-find — see
+/// ([`crate::SpaceTimeGraph`]), hands it together with the detection events
+/// to the configured [`DecoderBackend`] (exact, greedy or union-find — see
 /// [`MatcherKind`]), and reports the correction parity needed for the
 /// logical-failure check.  Anomaly-aware re-weighting is applied when the
 /// graph is built, so every backend decodes the same re-weighted costs.
+///
+/// `SurfaceDecoder` is a convenience wrapper binding one layer graph to an
+/// owned [`crate::DecoderContext`]: decoding takes `&mut self` because the context
+/// keeps the space-time graph and the backend scratch warm between calls
+/// (see the context docs for the invalidation rules).  Reuse changes
+/// nothing but speed — every decode is bit-identical to a fresh decoder's.
 ///
 /// Performance note: the dense backends extract pairwise defect costs with
 /// Dijkstra on the sparse graph even under uniform weights (where a
@@ -120,10 +132,10 @@ impl DecodeOutcome {
 /// should come from selecting [`MatcherKind::UnionFind`], which skips the
 /// dense cost extraction entirely, rather than from special-casing the
 /// uniform model inside every dense backend.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SurfaceDecoder<'g> {
     graph: &'g MatchingGraph,
-    config: DecoderConfig,
+    context: crate::DecoderContext,
 }
 
 impl<'g> SurfaceDecoder<'g> {
@@ -134,7 +146,10 @@ impl<'g> SurfaceDecoder<'g> {
 
     /// Creates a decoder with an explicit configuration.
     pub fn with_config(graph: &'g MatchingGraph, config: DecoderConfig) -> Self {
-        Self { graph, config }
+        Self {
+            graph,
+            context: crate::DecoderContext::new(config),
+        }
     }
 
     /// The layer graph the decoder operates on.
@@ -144,64 +159,24 @@ impl<'g> SurfaceDecoder<'g> {
 
     /// The decoder configuration.
     pub fn config(&self) -> DecoderConfig {
-        self.config
+        self.context.config()
     }
 
-    /// Decodes a syndrome window under the given weight model.
+    /// The persistent decoding state (cached space-time graph, backend
+    /// scratch).
+    pub fn context(&self) -> &crate::DecoderContext {
+        &self.context
+    }
+
+    /// Decodes a syndrome window under the given weight model, reusing the
+    /// cached space-time graph from earlier calls when the window shape
+    /// matches (see [`crate::DecoderContext`]).
     ///
     /// # Panics
     ///
     /// Panics if the history's node count does not match the layer graph.
-    pub fn decode(&self, history: &SyndromeHistory, model: &WeightModel) -> DecodeOutcome {
-        assert_eq!(
-            history.num_nodes(),
-            self.graph.num_nodes(),
-            "syndrome history and matching graph disagree on the node count"
-        );
-        let events = history.detection_events();
-        if events.is_empty() {
-            return DecodeOutcome::default();
-        }
-        let num_layers = history.num_layers().max(1);
-        let spacetime = SpaceTimeGraph::build(self.graph, num_layers, model);
-        let defects: Vec<usize> = events.iter().map(|&e| spacetime.vertex_of(e)).collect();
-
-        let backend = self.config.backend();
-        let matching = backend.decode_defects(spacetime.graph(), &defects);
-        debug_assert!(
-            matching.is_perfect(defects.len()),
-            "backend {} returned an imperfect matching",
-            backend.name()
-        );
-
-        let mut outcome = DecodeOutcome {
-            events: events.clone(),
-            num_clusters: matching.num_clusters,
-            ..DecodeOutcome::default()
-        };
-        for pair in &matching.pairs {
-            let (a, b) = if defects[pair.a] <= defects[pair.b] {
-                (pair.a, pair.b)
-            } else {
-                (pair.b, pair.a)
-            };
-            outcome.pairs.push(MatchedPair {
-                a: events[a],
-                b: events[b],
-                cost: pair.cost,
-            });
-            outcome.total_weight += pair.cost;
-        }
-        for bm in &matching.boundary {
-            let side = spacetime
-                .side_of(bm.edge)
-                .expect("boundary match must reference a boundary edge");
-            outcome
-                .boundary_matches
-                .push((events[bm.defect], side, bm.cost));
-            outcome.total_weight += bm.cost;
-        }
-        outcome
+    pub fn decode(&mut self, history: &SyndromeHistory, model: &WeightModel) -> DecodeOutcome {
+        self.context.decode(self.graph, history, model)
     }
 }
 
@@ -218,7 +193,7 @@ mod tests {
         let syndrome = code.syndrome(StabilizerKind::Z, error);
         let mut h = SyndromeHistory::new(graph.num_nodes());
         for _ in 0..rounds {
-            h.push_layer(syndrome.clone());
+            h.push_layer(&syndrome);
         }
         h
     }
@@ -235,7 +210,7 @@ mod tests {
 
     fn decode_static(code: &SurfaceCode, error: &PauliString) -> bool {
         let graph = code.matching_graph(ErrorKind::X);
-        let decoder = SurfaceDecoder::new(&graph);
+        let mut decoder = SurfaceDecoder::new(&graph);
         let history = static_history(code, error, 3);
         let outcome = decoder.decode(&history, &WeightModel::uniform(1e-3));
         outcome.is_logical_failure(error_cut_parity(code, error))
@@ -245,10 +220,10 @@ mod tests {
     fn empty_syndrome_decodes_trivially() {
         let code = SurfaceCode::new(3).unwrap();
         let graph = code.matching_graph(ErrorKind::X);
-        let decoder = SurfaceDecoder::new(&graph);
+        let mut decoder = SurfaceDecoder::new(&graph);
         let mut h = SyndromeHistory::new(graph.num_nodes());
         for _ in 0..4 {
-            h.push_layer(vec![false; graph.num_nodes()]);
+            h.push_layer(&vec![false; graph.num_nodes()]);
         }
         let outcome = decoder.decode(&h, &WeightModel::uniform(1e-3));
         assert_eq!(outcome.num_events(), 0);
@@ -324,16 +299,16 @@ mod tests {
         // that should be matched together (not to the boundary).
         let code = SurfaceCode::new(5).unwrap();
         let graph = code.matching_graph(ErrorKind::X);
-        let decoder = SurfaceDecoder::new(&graph);
+        let mut decoder = SurfaceDecoder::new(&graph);
         let n = graph.num_nodes();
         let mut h = SyndromeHistory::new(n);
         let mut blip = vec![false; n];
         let central = graph.node_index(Coord::new(4, 5)).unwrap();
         blip[central] = true;
-        h.push_layer(vec![false; n]);
-        h.push_layer(blip);
-        h.push_layer(vec![false; n]);
-        h.push_layer(vec![false; n]);
+        h.push_layer(&vec![false; n]);
+        h.push_layer(&blip);
+        h.push_layer(&vec![false; n]);
+        h.push_layer(&vec![false; n]);
         let outcome = decoder.decode(&h, &WeightModel::uniform(1e-3));
         assert_eq!(outcome.num_events(), 2);
         assert_eq!(outcome.pairs.len(), 1);
@@ -345,7 +320,7 @@ mod tests {
     fn boundary_matches_pick_the_nearest_side() {
         let code = SurfaceCode::new(5).unwrap();
         let graph = code.matching_graph(ErrorKind::X);
-        let decoder = SurfaceDecoder::new(&graph);
+        let mut decoder = SurfaceDecoder::new(&graph);
         // single X error on the leftmost data qubit of row 0 → one event next
         // to the low boundary
         let error: PauliString = [(Coord::new(0, 0), Pauli::X)].into_iter().collect();
@@ -367,7 +342,7 @@ mod tests {
         // events across the (cheap) region.
         let code = SurfaceCode::new(5).unwrap();
         let graph = code.matching_graph(ErrorKind::X);
-        let decoder = SurfaceDecoder::new(&graph);
+        let mut decoder = SurfaceDecoder::new(&graph);
         // anomalous band: columns 2..6 of every row (size 2 region at col 2)
         let region = q3de_noise::AnomalousRegion::new(Coord::new(0, 2), 4, 0, 100, 0.5);
         // actual error: X on the three data qubits of row 0 inside the band
@@ -397,7 +372,7 @@ mod tests {
     fn clusters_are_reported() {
         let code = SurfaceCode::new(7).unwrap();
         let graph = code.matching_graph(ErrorKind::X);
-        let decoder = SurfaceDecoder::new(&graph);
+        let mut decoder = SurfaceDecoder::new(&graph);
         // two well-separated single errors → two independent clusters
         let error: PauliString = [(Coord::new(0, 0), Pauli::X), (Coord::new(12, 12), Pauli::X)]
             .into_iter()
@@ -413,7 +388,7 @@ mod tests {
         let code = SurfaceCode::new(5).unwrap();
         let graph = code.matching_graph(ErrorKind::X);
         for kind in q3de_matching::MatcherKind::ALL {
-            let decoder =
+            let mut decoder =
                 SurfaceDecoder::with_config(&graph, DecoderConfig::default().with_matcher(kind));
             for &q in code.data_qubits() {
                 let error: PauliString = [(q, Pauli::X)].into_iter().collect();
@@ -445,7 +420,7 @@ mod tests {
         let history = static_history(&code, &error, 3);
         let parity = error_cut_parity(&code, &error);
         for kind in q3de_matching::MatcherKind::ALL {
-            let decoder =
+            let mut decoder =
                 SurfaceDecoder::with_config(&graph, DecoderConfig::default().with_matcher(kind));
             let aware =
                 decoder.decode(&history, &WeightModel::anomaly_aware(1e-3, vec![region], 0));
@@ -461,9 +436,9 @@ mod tests {
     fn mismatched_history_is_rejected() {
         let code = SurfaceCode::new(3).unwrap();
         let graph = code.matching_graph(ErrorKind::X);
-        let decoder = SurfaceDecoder::new(&graph);
+        let mut decoder = SurfaceDecoder::new(&graph);
         let mut h = SyndromeHistory::new(graph.num_nodes() + 1);
-        h.push_layer(vec![false; graph.num_nodes() + 1]);
+        h.push_layer(&vec![false; graph.num_nodes() + 1]);
         let _ = decoder.decode(&h, &WeightModel::uniform(1e-3));
     }
 }

@@ -23,6 +23,33 @@
 //! `d − d_ano` effective distance of the paper's Case 3 analysis.
 //! [`ReExecutingDecoder`] packages the two-pass flow.
 //!
+//! # Persistent decoder state
+//!
+//! Decoding must keep up with the syndrome stream even while a burst
+//! inflates the defect density, so the hot path never rebuilds what it can
+//! reuse.  All decoding runs through a [`DecoderContext`], which caches the
+//! space-time graph keyed by *(error kind, layer-graph shape, window
+//! depth)* and treats the [`WeightModel`] as a weight epoch:
+//!
+//! * same window shape, same model → the cached graph is reused untouched;
+//! * model changed (anomaly re-weighting, the rollback's second pass) →
+//!   the cached graph is re-weighted **in place**, touching only the edges
+//!   whose error rate actually changed;
+//! * window depth or graph structure changed (code expansion/shrink) →
+//!   the graph is rebuilt, which is the only time the cache allocates.
+//!
+//! The matching backends live inside the context and keep their scratch
+//! (Dijkstra buffers, union-find forest, visited/parity arrays) across
+//! calls — the [`q3de_matching::DecoderBackend`] trait takes `&mut self`
+//! for exactly this reason.  Reuse is *bit-identical* to fresh-per-call
+//! decoding (pinned by the root `tests/decoder_reuse.rs`); debug builds
+//! additionally cross-check every cached edge weight against the active
+//! model so stale-cache bugs trip assertions instead of skewing results.
+//! [`SurfaceDecoder`] and [`ReExecutingDecoder`] own one context each;
+//! Monte-Carlo kernels that decode from `&self` closures share contexts
+//! through a [`ContextPool`] (one warm context per concurrently decoding
+//! worker).
+//!
 //! # Example
 //!
 //! ```
@@ -35,9 +62,9 @@
 //! // perfect readout, all syndromes quiet.
 //! let mut history = SyndromeHistory::new(graph.num_nodes());
 //! for _ in 0..4 {
-//!     history.push_layer(vec![false; graph.num_nodes()]);
+//!     history.push_layer(&vec![false; graph.num_nodes()]);
 //! }
-//! let decoder = SurfaceDecoder::new(&graph);
+//! let mut decoder = SurfaceDecoder::new(&graph);
 //! let outcome = decoder.decode(&history, &WeightModel::uniform(1e-3));
 //! assert!(!outcome.correction_crosses_cut());
 //! # Ok::<(), q3de_lattice::LatticeError>(())
@@ -45,12 +72,14 @@
 
 #![deny(missing_docs)]
 
+mod context;
 mod decode;
 mod rollback;
 mod spacetime;
 mod syndrome;
 mod weights;
 
+pub use context::{ContextPool, DecoderContext};
 pub use decode::{DecodeOutcome, DecoderConfig, MatchedPair, SurfaceDecoder};
 pub use rollback::{ReExecutingDecoder, ReExecutionOutcome};
 pub use spacetime::{BoundarySide, SpaceTimeCosts, SpaceTimeGraph};

@@ -7,14 +7,12 @@
 //! re-weighted costs as integer growth rates, the dense backends as
 //! shortest-path edge weights.
 
-use crate::{
-    DecodeOutcome, DecoderConfig, MatcherKind, SurfaceDecoder, SyndromeHistory, WeightModel,
-};
+use crate::{DecodeOutcome, DecoderConfig, DecoderContext, MatcherKind, SyndromeHistory};
 use q3de_lattice::MatchingGraph;
 use q3de_noise::AnomalousRegion;
 
 /// The result of a (possibly re-executed) decoding pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReExecutionOutcome {
     /// The first, anomaly-blind decoding pass.
     pub first_pass: DecodeOutcome,
@@ -53,15 +51,23 @@ impl ReExecutionOutcome {
 ///    a conventional architecture would;
 /// 2. when the anomaly-detection unit reports MBBE regions, the state of the
 ///    syndrome queue and decoding unit is rolled back and the same window is
-///    re-decoded with [`WeightModel::AnomalyAware`] weights.
+///    re-decoded with [`crate::WeightModel::AnomalyAware`] weights.
 ///
 /// The queue bookkeeping that makes the rollback cheap in hardware (enlarged
 /// syndrome queue, matching queue batches, instruction history buffer) is
 /// modelled in the `q3de-control` crate; this type captures the decoding
 /// semantics.
-#[derive(Debug, Clone)]
+///
+/// The decoder owns a persistent [`DecoderContext`], so both passes of
+/// every window share one cached space-time graph: the blind pass reuses it
+/// untouched and the re-executed pass only re-weights the edges inside the
+/// detected regions.  Decoding therefore takes `&mut self`; a long-lived
+/// `ReExecutingDecoder` is the intended usage (one per logical qubit in the
+/// pipeline, rebuilt only when the patch itself changes shape).
+#[derive(Debug)]
 pub struct ReExecutingDecoder<'g> {
-    decoder: SurfaceDecoder<'g>,
+    graph: &'g MatchingGraph,
+    context: DecoderContext,
     base_rate: f64,
 }
 
@@ -75,7 +81,8 @@ impl<'g> ReExecutingDecoder<'g> {
     /// Creates a re-executing decoder with an explicit decoder configuration.
     pub fn with_config(graph: &'g MatchingGraph, base_rate: f64, config: DecoderConfig) -> Self {
         Self {
-            decoder: SurfaceDecoder::with_config(graph, config),
+            graph,
+            context: DecoderContext::new(config),
             base_rate,
         }
     }
@@ -90,9 +97,19 @@ impl<'g> ReExecutingDecoder<'g> {
         )
     }
 
-    /// The underlying single-pass decoder.
-    pub fn decoder(&self) -> &SurfaceDecoder<'g> {
-        &self.decoder
+    /// The layer graph both passes decode over.
+    pub fn graph(&self) -> &MatchingGraph {
+        self.graph
+    }
+
+    /// The decoder configuration.
+    pub fn config(&self) -> DecoderConfig {
+        self.context.config()
+    }
+
+    /// The persistent decoding state shared by both passes.
+    pub fn context(&self) -> &DecoderContext {
+        &self.context
     }
 
     /// The base physical error rate used for the blind pass.
@@ -106,29 +123,18 @@ impl<'g> ReExecutingDecoder<'g> {
     /// `window_start_cycle` maps event layer 0 to an absolute code cycle so
     /// the regions' activity windows line up.
     pub fn decode(
-        &self,
+        &mut self,
         history: &SyndromeHistory,
         detected_regions: Option<&[AnomalousRegion]>,
         window_start_cycle: u64,
     ) -> ReExecutionOutcome {
-        let first_pass = self
-            .decoder
-            .decode(history, &WeightModel::uniform(self.base_rate));
-        let second_pass = match detected_regions {
-            Some(regions) if !regions.is_empty() => {
-                let model = WeightModel::anomaly_aware(
-                    self.base_rate,
-                    regions.to_vec(),
-                    window_start_cycle,
-                );
-                Some(self.decoder.decode(history, &model))
-            }
-            _ => None,
-        };
-        ReExecutionOutcome {
-            first_pass,
-            second_pass,
-        }
+        self.context.decode_with_rollback(
+            self.graph,
+            self.base_rate,
+            history,
+            detected_regions,
+            window_start_cycle,
+        )
     }
 }
 
@@ -155,7 +161,7 @@ mod tests {
         let syndrome = code.syndrome(StabilizerKind::Z, error);
         let mut h = SyndromeHistory::new(graph.num_nodes());
         for _ in 0..rounds {
-            h.push_layer(syndrome.clone());
+            h.push_layer(&syndrome);
         }
         h
     }
@@ -164,7 +170,7 @@ mod tests {
     fn no_detection_means_no_rollback() {
         let (code, error, _) = burst_setup();
         let graph = code.matching_graph(ErrorKind::X);
-        let decoder = ReExecutingDecoder::new(&graph, 1e-3);
+        let mut decoder = ReExecutingDecoder::new(&graph, 1e-3);
         let history = history_of(&code, &error, 3);
         let outcome = decoder.decode(&history, None, 0);
         assert!(!outcome.was_rolled_back());
@@ -178,7 +184,7 @@ mod tests {
     fn rollback_reexecutes_and_fixes_the_burst() {
         let (code, error, region) = burst_setup();
         let graph = code.matching_graph(ErrorKind::X);
-        let decoder = ReExecutingDecoder::new(&graph, 1e-3);
+        let mut decoder = ReExecutingDecoder::new(&graph, 1e-3);
         let history = history_of(&code, &error, 3);
         let error_parity = code
             .logical_z_support()
@@ -210,7 +216,7 @@ mod tests {
             % 2
             == 1;
         for kind in MatcherKind::ALL {
-            let decoder = ReExecutingDecoder::with_matcher(&graph, 1e-3, kind);
+            let mut decoder = ReExecutingDecoder::with_matcher(&graph, 1e-3, kind);
             let outcome = decoder.decode(&history, Some(&[region]), 0);
             assert!(outcome.was_rolled_back(), "{kind:?}");
             assert!(
@@ -224,7 +230,7 @@ mod tests {
     fn final_outcome_prefers_second_pass() {
         let (code, error, region) = burst_setup();
         let graph = code.matching_graph(ErrorKind::X);
-        let decoder = ReExecutingDecoder::new(&graph, 1e-3);
+        let mut decoder = ReExecutingDecoder::new(&graph, 1e-3);
         let history = history_of(&code, &error, 3);
         let outcome = decoder.decode(&history, Some(&[region]), 0);
         let second = outcome.second_pass.as_ref().unwrap();

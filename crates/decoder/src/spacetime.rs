@@ -104,6 +104,98 @@ impl SpaceTimeGraph {
         }
     }
 
+    /// Re-weights the graph's edges in place for a new [`WeightModel`],
+    /// leaving the topology (vertices, adjacency, boundary sides) untouched.
+    ///
+    /// With `previous` — the model whose weights are currently installed —
+    /// only the edges whose error rate actually changed between the two
+    /// models are rewritten: switching a uniform graph to an anomaly-aware
+    /// one (or back, or between two region sets) costs one rate comparison
+    /// per edge plus one log-likelihood evaluation per *affected* edge.
+    /// With `previous = None` every weight is recomputed from scratch.
+    ///
+    /// This is the primitive behind the decoder's persistent
+    /// [`crate::DecoderContext`]: rollback re-execution re-derives only the
+    /// edge costs inside the detected anomalous regions instead of
+    /// rebuilding the space-time graph per pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_graph` is not the graph this space-time graph was
+    /// built from (node or edge count mismatch).  Debug builds additionally
+    /// verify every installed weight against `model`, so a stale cache
+    /// (wrong `previous`) fails loudly under `debug_assertions`.
+    pub fn reweight(
+        &mut self,
+        layer_graph: &MatchingGraph,
+        previous: Option<&WeightModel>,
+        model: &WeightModel,
+    ) {
+        assert_eq!(
+            layer_graph.num_nodes(),
+            self.num_nodes,
+            "layer graph does not match the cached space-time graph"
+        );
+        let n = self.num_nodes;
+        let mut eid = 0usize;
+        let mut reweight_edge = |graph: &mut SyndromeGraph, coord, layer: usize| {
+            let changed = match previous {
+                Some(prev) => prev.rate_at(coord, layer) != model.rate_at(coord, layer),
+                None => true,
+            };
+            if changed {
+                graph.set_weight(eid, model.weight_at(coord, layer));
+            }
+            eid += 1;
+        };
+        for layer in 0..self.num_layers {
+            for edge in layer_graph.edges() {
+                reweight_edge(&mut self.graph, edge.qubit, layer);
+            }
+            if layer + 1 < self.num_layers {
+                for node in 0..n {
+                    reweight_edge(&mut self.graph, layer_graph.node(node), layer);
+                }
+            }
+        }
+        assert_eq!(
+            eid,
+            self.graph.num_edges(),
+            "layer graph does not match the cached space-time graph"
+        );
+        #[cfg(debug_assertions)]
+        self.debug_assert_weights(layer_graph, model);
+    }
+
+    /// Verifies that every installed edge weight matches `model` — the
+    /// stale-cache tripwire behind [`SpaceTimeGraph::reweight`]'s selective
+    /// update (debug builds only).
+    #[cfg(debug_assertions)]
+    fn debug_assert_weights(&self, layer_graph: &MatchingGraph, model: &WeightModel) {
+        let n = self.num_nodes;
+        let mut eid = 0usize;
+        let mut check = |coord, layer: usize| {
+            let expected = model.weight_at(coord, layer);
+            let actual = self.graph.edge(eid).weight;
+            debug_assert!(
+                actual == expected,
+                "stale cached weight on edge {eid} (qubit {coord}, layer {layer}): \
+                 installed {actual}, model says {expected}"
+            );
+            eid += 1;
+        };
+        for layer in 0..self.num_layers {
+            for edge in layer_graph.edges() {
+                check(edge.qubit, layer);
+            }
+            if layer + 1 < self.num_layers {
+                for node in 0..n {
+                    check(layer_graph.node(node), layer);
+                }
+            }
+        }
+    }
+
     /// The sparse graph representation.
     pub fn graph(&self) -> &SyndromeGraph {
         &self.graph
@@ -506,6 +598,42 @@ mod tests {
             .count();
         assert_eq!(boundary_edges, sided);
         assert_eq!(boundary_edges, layers * g.boundary_edges().count());
+    }
+
+    #[test]
+    fn in_place_reweight_matches_a_fresh_build_bit_for_bit() {
+        let g = graph(5);
+        let layers = 4;
+        let uniform = WeightModel::uniform(1e-3);
+        let region = AnomalousRegion::new(Coord::new(2, 0), 5, 0, 10, 0.5);
+        let aware = WeightModel::anomaly_aware(1e-3, vec![region], 0);
+        let mut st = SpaceTimeGraph::build(&g, layers, &uniform);
+        // uniform → anomaly-aware: only region edges are rewritten
+        st.reweight(&g, Some(&uniform), &aware);
+        let fresh = SpaceTimeGraph::build(&g, layers, &aware);
+        for e in 0..st.graph().num_edges() {
+            assert_eq!(st.graph().edge(e).weight, fresh.graph().edge(e).weight);
+        }
+        // ... and back again
+        st.reweight(&g, Some(&aware), &uniform);
+        let back = SpaceTimeGraph::build(&g, layers, &uniform);
+        for e in 0..st.graph().num_edges() {
+            assert_eq!(st.graph().edge(e).weight, back.graph().edge(e).weight);
+        }
+        // a full recompute (no previous model) agrees too
+        st.reweight(&g, None, &aware);
+        for e in 0..st.graph().num_edges() {
+            assert_eq!(st.graph().edge(e).weight, fresh.graph().edge(e).weight);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the cached space-time graph")]
+    fn reweight_rejects_a_different_layer_graph() {
+        let g = graph(5);
+        let other = graph(3);
+        let mut st = SpaceTimeGraph::build(&g, 2, &WeightModel::uniform(1e-3));
+        st.reweight(&other, None, &WeightModel::uniform(1e-3));
     }
 
     #[test]

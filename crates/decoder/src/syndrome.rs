@@ -26,10 +26,17 @@ impl fmt::Display for DetectionEvent {
 /// [`q3de_lattice::MatchingGraph`].  The final pushed layer is interpreted as
 /// the *perfect* readout layer obtained from the destructive data-qubit
 /// measurement that ends a memory experiment.
+///
+/// Layers are stored in one flat, contiguous buffer (`num_nodes` values per
+/// layer): pushing a layer is a single `memcpy` into the tail — no
+/// per-layer allocation — and [`SyndromeHistory::push_blank_layer`] lets
+/// samplers write a layer in place without building a temporary `Vec` at
+/// all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyndromeHistory {
     num_nodes: usize,
-    layers: Vec<Vec<bool>>,
+    num_layers: usize,
+    data: Vec<bool>,
 }
 
 impl SyndromeHistory {
@@ -37,7 +44,8 @@ impl SyndromeHistory {
     pub fn new(num_nodes: usize) -> Self {
         Self {
             num_nodes,
-            layers: Vec::new(),
+            num_layers: 0,
+            data: Vec::new(),
         }
     }
 
@@ -48,20 +56,21 @@ impl SyndromeHistory {
 
     /// Number of layers pushed so far.
     pub fn num_layers(&self) -> usize {
-        self.layers.len()
+        self.num_layers
     }
 
     /// Whether no layer has been pushed yet.
     pub fn is_empty(&self) -> bool {
-        self.layers.is_empty()
+        self.num_layers == 0
     }
 
-    /// Appends one measured syndrome layer.
+    /// Appends one measured syndrome layer (copied from the borrowed
+    /// slice — callers never need to clone a `Vec` to push it).
     ///
     /// # Panics
     ///
     /// Panics if the layer length differs from [`SyndromeHistory::num_nodes`].
-    pub fn push_layer(&mut self, layer: Vec<bool>) {
+    pub fn push_layer(&mut self, layer: &[bool]) {
         assert_eq!(
             layer.len(),
             self.num_nodes,
@@ -69,7 +78,18 @@ impl SyndromeHistory {
             layer.len(),
             self.num_nodes
         );
-        self.layers.push(layer);
+        self.data.extend_from_slice(layer);
+        self.num_layers += 1;
+    }
+
+    /// Appends an all-zero layer and returns it for in-place mutation — the
+    /// allocation-free path the shot samplers write their measured
+    /// syndromes through.
+    pub fn push_blank_layer(&mut self) -> &mut [bool] {
+        let start = self.data.len();
+        self.data.resize(start + self.num_nodes, false);
+        self.num_layers += 1;
+        &mut self.data[start..]
     }
 
     /// The raw syndrome value `s_{node, layer}`.
@@ -78,30 +98,41 @@ impl SyndromeHistory {
     ///
     /// Panics if either index is out of range.
     pub fn value(&self, layer: usize, node: usize) -> bool {
-        self.layers[layer][node]
+        assert!(layer < self.num_layers && node < self.num_nodes);
+        self.data[layer * self.num_nodes + node]
+    }
+
+    /// The measured layer at index `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn layer(&self, t: usize) -> &[bool] {
+        assert!(t < self.num_layers, "layer {t} out of range");
+        &self.data[t * self.num_nodes..(t + 1) * self.num_nodes]
     }
 
     /// The measured layers in chronological order.
-    pub fn layers(&self) -> &[Vec<bool>] {
-        &self.layers
+    pub fn layers(&self) -> impl Iterator<Item = &[bool]> + '_ {
+        (0..self.num_layers).map(move |t| self.layer(t))
     }
 
     /// Whether the detection-event lattice node `(layer, node)` is active:
     /// the XOR of the syndrome at `layer` and at `layer − 1` (layer 0 is
     /// compared against the deterministic all-zero reference).
     pub fn is_active(&self, layer: usize, node: usize) -> bool {
-        let current = self.layers[layer][node];
+        let current = self.value(layer, node);
         if layer == 0 {
             current
         } else {
-            current ^ self.layers[layer - 1][node]
+            current ^ self.value(layer - 1, node)
         }
     }
 
     /// All detection events, in (layer, node) order.
     pub fn detection_events(&self) -> Vec<DetectionEvent> {
         let mut events = Vec::new();
-        for layer in 0..self.layers.len() {
+        for layer in 0..self.num_layers {
             for node in 0..self.num_nodes {
                 if self.is_active(layer, node) {
                     events.push(DetectionEvent { layer, node });
@@ -124,7 +155,10 @@ impl SyndromeHistory {
     /// (Sec. VI-C): forgetting recent matches amounts to re-decoding a
     /// truncated-then-extended history.
     pub fn truncate(&mut self, num_layers: usize) {
-        self.layers.truncate(num_layers);
+        if num_layers < self.num_layers {
+            self.data.truncate(num_layers * self.num_nodes);
+            self.num_layers = num_layers;
+        }
     }
 
     /// Returns a sub-history covering layers `[start, end)`.
@@ -134,12 +168,13 @@ impl SyndromeHistory {
     /// Panics if the range is out of bounds or inverted.
     pub fn window(&self, start: usize, end: usize) -> SyndromeHistory {
         assert!(
-            start <= end && end <= self.layers.len(),
+            start <= end && end <= self.num_layers,
             "invalid window {start}..{end}"
         );
         SyndromeHistory {
             num_nodes: self.num_nodes,
-            layers: self.layers[start..end].to_vec(),
+            num_layers: end - start,
+            data: self.data[start * self.num_nodes..end * self.num_nodes].to_vec(),
         }
     }
 
@@ -172,7 +207,7 @@ mod tests {
     #[test]
     fn first_layer_diffs_against_zero_reference() {
         let mut h = SyndromeHistory::new(4);
-        h.push_layer(layer(&[1, 3], 4));
+        h.push_layer(&layer(&[1, 3], 4));
         let events = h.detection_events();
         assert_eq!(
             events,
@@ -188,10 +223,10 @@ mod tests {
         // A data error flips a stabilizer from some cycle onwards: the raw
         // syndrome stays 1 but only one detection event appears.
         let mut h = SyndromeHistory::new(3);
-        h.push_layer(layer(&[], 3));
-        h.push_layer(layer(&[2], 3));
-        h.push_layer(layer(&[2], 3));
-        h.push_layer(layer(&[2], 3));
+        h.push_layer(&layer(&[], 3));
+        h.push_layer(&layer(&[2], 3));
+        h.push_layer(&layer(&[2], 3));
+        h.push_layer(&layer(&[2], 3));
         let events = h.detection_events();
         assert_eq!(events, vec![DetectionEvent { layer: 1, node: 2 }]);
     }
@@ -201,9 +236,9 @@ mod tests {
         // A single wrong measurement outcome appears as a 1 sandwiched
         // between 0s: two detection events in consecutive layers.
         let mut h = SyndromeHistory::new(3);
-        h.push_layer(layer(&[], 3));
-        h.push_layer(layer(&[0], 3));
-        h.push_layer(layer(&[], 3));
+        h.push_layer(&layer(&[], 3));
+        h.push_layer(&layer(&[0], 3));
+        h.push_layer(&layer(&[], 3));
         let events = h.detection_events();
         assert_eq!(
             events,
@@ -217,8 +252,8 @@ mod tests {
     #[test]
     fn active_count_per_layer() {
         let mut h = SyndromeHistory::new(4);
-        h.push_layer(layer(&[0, 1], 4));
-        h.push_layer(layer(&[1, 2], 4));
+        h.push_layer(&layer(&[0, 1], 4));
+        h.push_layer(&layer(&[1, 2], 4));
         assert_eq!(h.active_count_in_layer(0), 2);
         // layer 1 vs layer 0: node 0 turns off, node 2 turns on → 2 events
         assert_eq!(h.active_count_in_layer(1), 2);
@@ -229,7 +264,7 @@ mod tests {
     fn window_and_truncate() {
         let mut h = SyndromeHistory::new(2);
         for i in 0..5 {
-            h.push_layer(layer(&[i % 2], 2));
+            h.push_layer(&layer(&[i % 2], 2));
         }
         let w = h.window(1, 4);
         assert_eq!(w.num_layers(), 3);
@@ -239,17 +274,37 @@ mod tests {
     }
 
     #[test]
+    fn blank_layers_are_writable_in_place() {
+        let mut h = SyndromeHistory::new(3);
+        let blank = h.push_blank_layer();
+        assert_eq!(blank, &[false; 3]);
+        blank[1] = true;
+        h.push_blank_layer();
+        assert_eq!(h.num_layers(), 2);
+        assert_eq!(h.layer(0), &[false, true, false]);
+        assert_eq!(h.layer(1), &[false, false, false]);
+        assert_eq!(
+            h.detection_events(),
+            vec![
+                DetectionEvent { layer: 0, node: 1 },
+                DetectionEvent { layer: 1, node: 1 }
+            ]
+        );
+        assert_eq!(h.layers().count(), 2);
+    }
+
+    #[test]
     #[should_panic(expected = "expected 3")]
     fn wrong_layer_size_is_rejected() {
         let mut h = SyndromeHistory::new(3);
-        h.push_layer(vec![false; 4]);
+        h.push_layer(&[false; 4]);
     }
 
     #[test]
     #[should_panic(expected = "invalid window")]
     fn inverted_window_is_rejected() {
         let mut h = SyndromeHistory::new(1);
-        h.push_layer(vec![false]);
+        h.push_layer(&[false]);
         let _ = h.window(1, 0);
     }
 }

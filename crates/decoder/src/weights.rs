@@ -7,7 +7,12 @@ use q3de_noise::{AnomalousRegion, NoiseModel};
 ///
 /// Edge weights follow the standard log-likelihood prescription: an error
 /// mechanism of probability `q` gets weight `−log(q / (1 − q))` (Sec. VI-B).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares models structurally (rates, regions, window
+/// anchor); the decoder's context cache uses it as the *weight epoch*: a
+/// cached space-time graph stays valid while the model compares equal and
+/// is re-weighted in place when it does not.
+#[derive(Debug, Clone, PartialEq)]
 pub enum WeightModel {
     /// All qubits share the same error rate; this is what a decoder that is
     /// unaware of MBBEs uses.

@@ -7,6 +7,12 @@
 //! matcher.  The cost is `O(k · E log V)` for the searches plus the dense
 //! solve — the cubic-ish bottleneck the union-find backend
 //! ([`crate::UnionFindDecoder`]) exists to avoid.
+//!
+//! Both backends honour the [`crate::DecoderBackend`] scratch contract:
+//! the Dijkstra distance array, its validity stamps and the search heap
+//! live in the backend and are reused across `decode_defects` calls, so a
+//! long-lived backend allocates only for the (small) per-cluster dense
+//! problems.
 
 use crate::sparse::{DefectBoundaryMatch, DefectMatching, DefectPair, SparseEdgeId, SyndromeGraph};
 use crate::{
@@ -25,42 +31,90 @@ struct DefectCosts {
     boundary: Option<(f64, SparseEdgeId)>,
 }
 
-/// Dijkstra from `defects[source]`, reporting distances to all defects and
-/// the cheapest boundary edge.  Ties on the boundary are broken towards the
-/// smallest edge id so results are deterministic.
-fn dijkstra(graph: &SyndromeGraph, defects: &[usize], source: usize) -> DefectCosts {
-    #[derive(PartialEq)]
-    struct Entry {
-        cost: f64,
-        vertex: usize,
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    cost: f64,
+    vertex: usize,
+}
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
     }
-    impl Eq for Entry {}
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            // reversed: BinaryHeap is a max-heap
-            other
-                .cost
-                .partial_cmp(&self.cost)
-                .unwrap_or(Ordering::Equal)
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable Dijkstra working memory: the distance array is validated per
+/// search through an epoch stamp, so "resetting" it costs nothing — stale
+/// entries from earlier searches (or earlier decode calls) simply read as
+/// unreached.
+#[derive(Debug, Clone, Default)]
+struct DijkstraScratch {
+    dist: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Entry>,
+}
+
+impl DijkstraScratch {
+    /// Prepares the scratch for one search over `n` vertices.
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.stamp.resize(n, 0);
         }
-    }
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
+        self.heap.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // The stamp space wrapped: old stamps could alias the new epoch.
+            self.stamp.fill(0);
+            self.epoch = 1;
         }
     }
 
-    let mut dist = vec![f64::INFINITY; graph.num_vertices()];
+    #[inline]
+    fn get(&self, v: usize) -> f64 {
+        if self.stamp[v] == self.epoch {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: usize, d: f64) {
+        self.stamp[v] = self.epoch;
+        self.dist[v] = d;
+    }
+}
+
+/// Dijkstra from `defects[source]`, reporting distances to all defects and
+/// the cheapest boundary edge.  Ties on the boundary are broken towards the
+/// smallest edge id so results are deterministic.
+fn dijkstra(
+    graph: &SyndromeGraph,
+    defects: &[usize],
+    source: usize,
+    scratch: &mut DijkstraScratch,
+) -> DefectCosts {
+    scratch.begin(graph.num_vertices());
     let mut boundary: Option<(f64, SparseEdgeId)> = None;
     let start = defects[source];
-    dist[start] = 0.0;
-    let mut heap = BinaryHeap::new();
-    heap.push(Entry {
+    scratch.set(start, 0.0);
+    scratch.heap.push(Entry {
         cost: 0.0,
         vertex: start,
     });
-    while let Some(Entry { cost, vertex }) = heap.pop() {
-        if cost > dist[vertex] {
+    while let Some(Entry { cost, vertex }) = scratch.heap.pop() {
+        if cost > scratch.get(vertex) {
             continue;
         }
         for &eid in graph.incident(vertex) {
@@ -68,9 +122,9 @@ fn dijkstra(graph: &SyndromeGraph, defects: &[usize], source: usize) -> DefectCo
             let next_cost = cost + edge.weight;
             match edge.other(vertex) {
                 Some(neighbor) => {
-                    if next_cost < dist[neighbor] {
-                        dist[neighbor] = next_cost;
-                        heap.push(Entry {
+                    if next_cost < scratch.get(neighbor) {
+                        scratch.set(neighbor, next_cost);
+                        scratch.heap.push(Entry {
                             cost: next_cost,
                             vertex: neighbor,
                         });
@@ -89,7 +143,7 @@ fn dijkstra(graph: &SyndromeGraph, defects: &[usize], source: usize) -> DefectCo
         }
     }
     DefectCosts {
-        to_defect: defects.iter().map(|&v| dist[v]).collect(),
+        to_defect: defects.iter().map(|&v| scratch.get(v)).collect(),
         boundary,
     }
 }
@@ -99,13 +153,16 @@ fn dijkstra(graph: &SyndromeGraph, defects: &[usize], source: usize) -> DefectCo
 fn decode_dense(
     graph: &SyndromeGraph,
     defects: &[usize],
+    scratch: &mut DijkstraScratch,
     solve: impl Fn(&MatchingProblem) -> crate::Matching,
 ) -> DefectMatching {
     let k = defects.len();
     if k == 0 {
         return DefectMatching::default();
     }
-    let costs: Vec<DefectCosts> = (0..k).map(|i| dijkstra(graph, defects, i)).collect();
+    let costs: Vec<DefectCosts> = (0..k)
+        .map(|i| dijkstra(graph, defects, i, scratch))
+        .collect();
 
     // Symmetrise: Dijkstra costs are symmetric up to floating-point noise,
     // and the dense matchers require exact symmetry.
@@ -197,31 +254,41 @@ fn decode_dense(
 /// This is the test oracle and the default decoding backend; it plays the
 /// role Kolmogorov's Blossom V plays in the paper.  Select it with
 /// [`crate::MatcherKind::Exact`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExactBackend {
     /// Clusters with at most this many defects are matched exactly; larger
     /// clusters fall back to the refined greedy matcher.
     pub exact_threshold: usize,
     /// Maximum 2-opt improvement sweeps of the fallback matcher.
     pub refine_rounds: usize,
+    scratch: DijkstraScratch,
 }
 
-impl Default for ExactBackend {
-    fn default() -> Self {
+impl ExactBackend {
+    /// Creates the backend with explicit tuning knobs.
+    pub fn new(exact_threshold: usize, refine_rounds: usize) -> Self {
         Self {
-            exact_threshold: 16,
-            refine_rounds: 64,
+            exact_threshold,
+            refine_rounds,
+            scratch: DijkstraScratch::default(),
         }
     }
 }
 
+impl Default for ExactBackend {
+    fn default() -> Self {
+        Self::new(16, 64)
+    }
+}
+
 impl DecoderBackend for ExactBackend {
-    fn decode_defects(&self, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching {
-        decode_dense(graph, defects, |problem| {
-            if problem.num_nodes() <= self.exact_threshold {
-                ExactMatcher::with_max_nodes(self.exact_threshold.max(1)).solve(problem)
+    fn decode_defects(&mut self, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching {
+        let (exact_threshold, refine_rounds) = (self.exact_threshold, self.refine_rounds);
+        decode_dense(graph, defects, &mut self.scratch, |problem| {
+            if problem.num_nodes() <= exact_threshold {
+                ExactMatcher::with_max_nodes(exact_threshold.max(1)).solve(problem)
             } else {
-                RefinedGreedyMatcher::with_max_rounds(self.refine_rounds).solve(problem)
+                RefinedGreedyMatcher::with_max_rounds(refine_rounds).solve(problem)
             }
         })
     }
@@ -239,22 +306,34 @@ impl DecoderBackend for ExactBackend {
 /// sub-`d/2` error chain — the raw sweep strands a chain's far event on the
 /// boundary whenever the near event sits closer to a boundary than to its
 /// partner.  Select it with [`crate::MatcherKind::Greedy`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GreedyBackend {
     /// Maximum 2-opt repair sweeps after the greedy initialisation.
     pub repair_rounds: usize,
+    scratch: DijkstraScratch,
+}
+
+impl GreedyBackend {
+    /// Creates the backend with an explicit repair-sweep bound.
+    pub fn new(repair_rounds: usize) -> Self {
+        Self {
+            repair_rounds,
+            scratch: DijkstraScratch::default(),
+        }
+    }
 }
 
 impl Default for GreedyBackend {
     fn default() -> Self {
-        Self { repair_rounds: 8 }
+        Self::new(8)
     }
 }
 
 impl DecoderBackend for GreedyBackend {
-    fn decode_defects(&self, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching {
-        decode_dense(graph, defects, |problem| {
-            RefinedGreedyMatcher::with_max_rounds(self.repair_rounds).solve(problem)
+    fn decode_defects(&mut self, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching {
+        let repair_rounds = self.repair_rounds;
+        decode_dense(graph, defects, &mut self.scratch, |problem| {
+            RefinedGreedyMatcher::with_max_rounds(repair_rounds).solve(problem)
         })
     }
 
@@ -271,10 +350,11 @@ mod tests {
     #[test]
     fn adjacent_defects_pair_up() {
         let g = SyndromeGraph::line(&[1.0, 1.0, 1.0], 10.0);
-        for backend in [
-            &ExactBackend::default() as &dyn DecoderBackend,
-            &GreedyBackend::default(),
-        ] {
+        let backends: [Box<dyn DecoderBackend>; 2] = [
+            Box::new(ExactBackend::default()),
+            Box::new(GreedyBackend::default()),
+        ];
+        for mut backend in backends {
             let m = backend.decode_defects(&g, &[1, 2]);
             assert!(m.is_perfect(2), "{}", backend.name());
             assert_eq!(m.pairs.len(), 1);
@@ -333,5 +413,27 @@ mod tests {
         let m = ExactBackend::default().decode_defects(&g, &[0, 5]);
         assert_eq!(m.pairs.len(), 1);
         assert!((m.pairs[0].cost - 2.0).abs() < 1e-12);
+    }
+
+    /// A reused backend must reproduce a fresh backend's matching exactly,
+    /// even across graphs of different sizes (the scratch arrays only ever
+    /// grow).
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_backends() {
+        let big = SyndromeGraph::line(&[1.0; 30], 2.0);
+        let small = SyndromeGraph::line(&[0.5, 2.0, 0.5], 1.0);
+        let mut reused_exact = ExactBackend::default();
+        let mut reused_greedy = GreedyBackend::default();
+        for (graph, defects) in [
+            (&big, vec![3usize, 4, 20, 27]),
+            (&small, vec![0usize, 3]),
+            (&big, vec![0usize, 1, 2, 3, 4, 5]),
+            (&small, vec![2usize]),
+        ] {
+            let fe = ExactBackend::default().decode_defects(graph, &defects);
+            let fg = GreedyBackend::default().decode_defects(graph, &defects);
+            assert_eq!(reused_exact.decode_defects(graph, &defects), fe);
+            assert_eq!(reused_greedy.decode_defects(graph, &defects), fg);
+        }
     }
 }

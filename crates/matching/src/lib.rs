@@ -81,6 +81,17 @@ pub trait Matcher {
 /// almost-linear cluster growth + peeling on the sparse graph.  All three
 /// consume the same re-weighted edge costs, so Q3DE's anomaly-aware
 /// rollback re-decoding works identically across backends.
+///
+/// # The `&mut` scratch contract
+///
+/// `decode_defects` takes `&mut self` so a backend can keep its working
+/// memory — Dijkstra distance/heap buffers, the union-find forest, visited
+/// and parity arrays — alive between calls instead of reallocating on
+/// every syndrome window.  Implementations must be *stateless up to
+/// scratch*: the returned matching depends only on `(graph, defects)` and
+/// the backend's configuration, never on what earlier calls decoded, so a
+/// reused backend is bit-identical to a freshly constructed one (the root
+/// test `tests/decoder_reuse.rs` pins this for all shipped backends).
 pub trait DecoderBackend {
     /// Decodes `defects` (vertex ids of the active syndrome nodes) over
     /// `graph`, returning a perfect [`DefectMatching`].
@@ -90,7 +101,7 @@ pub trait DecoderBackend {
     /// Implementations panic when the instance is infeasible — some defect
     /// can reach neither another defect nor a boundary — or when a defect
     /// vertex is out of range.
-    fn decode_defects(&self, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching;
+    fn decode_defects(&mut self, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching;
 
     /// A short human-readable name used in experiment reports.
     fn name(&self) -> &'static str;
@@ -181,7 +192,7 @@ mod trait_tests {
             Box::new(GreedyBackend::default()),
             Box::new(UnionFindDecoder::default()),
         ];
-        for (kind, backend) in MatcherKind::ALL.into_iter().zip(backends) {
+        for (kind, mut backend) in MatcherKind::ALL.into_iter().zip(backends) {
             let matching = backend.decode_defects(&graph, &[1, 2]);
             assert!(matching.is_perfect(2), "{}", backend.name());
             assert_eq!(backend.name(), kind.name());

@@ -134,6 +134,23 @@ impl SyndromeGraph {
         &self.edges[id]
     }
 
+    /// Overwrites the weight of an existing edge — the primitive behind
+    /// in-place re-weighting of a cached decoding graph (the decoder
+    /// crate's `DecoderContext` rewrites only the edges an anomaly model
+    /// actually changes instead of rebuilding the graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `weight` is negative or not
+    /// finite.
+    pub fn set_weight(&mut self, id: SparseEdgeId, weight: f64) {
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "edge weight must be finite and non-negative, got {weight}"
+        );
+        self.edges[id].weight = weight;
+    }
+
     /// All edges in id order.
     pub fn edges(&self) -> &[SparseEdge] {
         &self.edges
@@ -254,6 +271,21 @@ mod tests {
     fn negative_weight_is_rejected() {
         let mut g = SyndromeGraph::new(2);
         g.add_edge(0, 1, -0.5);
+    }
+
+    #[test]
+    fn set_weight_overwrites_in_place() {
+        let mut g = SyndromeGraph::line(&[1.0, 2.0], 3.0);
+        g.set_weight(1, 0.25);
+        assert_eq!(g.edge(1).weight, 0.25);
+        assert_eq!(g.edge(0).weight, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn set_weight_rejects_negative() {
+        let mut g = SyndromeGraph::line(&[1.0], 1.0);
+        g.set_weight(0, -1.0);
     }
 
     #[test]

@@ -22,27 +22,45 @@
 //! edges (a `p = 0.5` anomalous region) are grown instantly.  This is how
 //! the re-weighting of Q3DE's rollback path reaches the union-find backend:
 //! re-weighted edges simply grow faster.
+//!
+//! Per the [`crate::DecoderBackend`] scratch contract the forest, growth
+//! counters, frontier lists and peeling buffers all live in the decoder and
+//! are re-initialised in place on every call, so a long-lived
+//! `UnionFindDecoder` decodes window after window without reallocating.
 
 use crate::sparse::{DefectBoundaryMatch, DefectMatching, DefectPair, SyndromeGraph};
 use crate::DecoderBackend;
 
 /// The union-find decoder backend.  Select it with
 /// [`crate::MatcherKind::UnionFind`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct UnionFindDecoder {
     /// Quantisation resolution: the largest edge weight maps to at most this
     /// many integer growth units.  Larger values track the re-weighted costs
     /// more faithfully at the price of more growth rounds.
     pub max_growth: u32,
+    scratch: Scratch,
+}
+
+impl UnionFindDecoder {
+    /// Creates the decoder with an explicit quantisation resolution.
+    pub fn new(max_growth: u32) -> Self {
+        Self {
+            max_growth,
+            scratch: Scratch::default(),
+        }
+    }
 }
 
 impl Default for UnionFindDecoder {
     fn default() -> Self {
-        Self { max_growth: 16 }
+        Self::new(16)
     }
 }
 
-/// The weighted-union/path-compression cluster forest.
+/// The weighted-union/path-compression cluster forest, re-initialised in
+/// place by [`Forest::reset`] between decode calls.
+#[derive(Debug, Clone, Default)]
 struct Forest {
     parent: Vec<usize>,
     size: Vec<usize>,
@@ -55,17 +73,24 @@ struct Forest {
 }
 
 impl Forest {
-    fn new(graph: &SyndromeGraph) -> Self {
+    /// Re-initialises the forest for `graph`: every vertex a singleton whose
+    /// frontier is its incident edge list.  Reuses all allocations.
+    fn reset(&mut self, graph: &SyndromeGraph) {
         let n = graph.num_vertices();
-        // Every vertex starts as a singleton whose frontier is its incident
-        // edge list; unions concatenate frontiers (smaller into larger).
-        let frontier = (0..n).map(|v| graph.incident(v).to_vec()).collect();
-        Self {
-            parent: (0..n).collect(),
-            size: vec![1; n],
-            odd: vec![false; n],
-            boundary: vec![None; n],
-            frontier,
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.size.clear();
+        self.size.resize(n, 1);
+        self.odd.clear();
+        self.odd.resize(n, false);
+        self.boundary.clear();
+        self.boundary.resize(n, None);
+        if self.frontier.len() < n {
+            self.frontier.resize_with(n, Vec::new);
+        }
+        for (v, frontier) in self.frontier.iter_mut().enumerate().take(n) {
+            frontier.clear();
+            frontier.extend_from_slice(graph.incident(v));
         }
     }
 
@@ -105,19 +130,43 @@ impl Forest {
         self.odd[r] && self.boundary[r].is_none()
     }
 
-    /// The sorted, deduplicated roots of the still-active defect clusters.
-    fn active_roots(&mut self, defects: &[usize]) -> Vec<usize> {
-        let mut active = Vec::new();
+    /// Collects the sorted, deduplicated roots of the still-active defect
+    /// clusters into `out`.
+    fn active_roots_into(&mut self, defects: &[usize], out: &mut Vec<usize>) {
+        out.clear();
         for &v in defects {
             let r = self.find(v);
             if self.is_active(r) {
-                active.push(r);
+                out.push(r);
             }
         }
-        active.sort_unstable();
-        active.dedup();
-        active
+        out.sort_unstable();
+        out.dedup();
     }
+}
+
+/// All reusable working memory of the decoder: growth state, the cluster
+/// forest, and the peeling buffers.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    forest: Forest,
+    capacity: Vec<u32>,
+    growth: Vec<u32>,
+    grown: Vec<bool>,
+    /// `seen[e] == round` marks edges already collected in growth round
+    /// `round`; the round counter is monotonic *across* decode calls so the
+    /// array never needs clearing.
+    seen: Vec<u32>,
+    round: u32,
+    active: Vec<usize>,
+    round_edges: Vec<usize>,
+    // Peeling buffers.
+    adj: Vec<Vec<(usize, usize)>>,
+    token: Vec<Option<(usize, f64)>>,
+    visited: Vec<bool>,
+    order: Vec<usize>,
+    tree_parent: Vec<(usize, usize)>,
+    cluster_roots: Vec<usize>,
 }
 
 impl UnionFindDecoder {
@@ -127,7 +176,8 @@ impl UnionFindDecoder {
     /// meet in the middle — where `unit` maps the cheapest positive weight
     /// to one growth unit, capped so the dearest edge costs at most
     /// [`UnionFindDecoder::max_growth`] units.
-    fn capacities(&self, graph: &SyndromeGraph) -> Vec<u32> {
+    fn capacities(max_growth: u32, graph: &SyndromeGraph, out: &mut Vec<u32>) {
+        out.clear();
         let mut min_pos = f64::INFINITY;
         let mut max_w = 0.0f64;
         for e in graph.edges() {
@@ -138,37 +188,46 @@ impl UnionFindDecoder {
         }
         if !min_pos.is_finite() {
             // all edges are free
-            return vec![0; graph.num_edges()];
+            out.resize(graph.num_edges(), 0);
+            return;
         }
-        let unit = min_pos.max(max_w / self.max_growth.max(1) as f64);
-        graph
-            .edges()
-            .iter()
-            .map(|e| {
-                let units = (e.weight / unit).round() as u32;
-                // a positive weight never quantises to a free edge
-                let units = if e.weight > 0.0 { units.max(1) } else { 0 };
-                2 * units
-            })
-            .collect()
+        let unit = min_pos.max(max_w / max_growth.max(1) as f64);
+        out.extend(graph.edges().iter().map(|e| {
+            let units = (e.weight / unit).round() as u32;
+            // a positive weight never quantises to a free edge
+            let units = if e.weight > 0.0 { units.max(1) } else { 0 };
+            2 * units
+        }));
     }
 
     /// Stage 1: grows odd clusters until every cluster is even or
-    /// boundary-connected.  Returns the forest and the grown-edge flags.
-    fn grow(
-        &self,
-        graph: &SyndromeGraph,
-        defects: &[usize],
-        capacity: &[u32],
-    ) -> (Forest, Vec<bool>) {
-        let mut forest = Forest::new(graph);
+    /// boundary-connected.  Leaves the forest and the grown-edge flags in
+    /// the scratch.
+    fn grow(scratch: &mut Scratch, graph: &SyndromeGraph, defects: &[usize]) {
+        let Scratch {
+            forest,
+            capacity,
+            growth,
+            grown,
+            seen,
+            round,
+            active,
+            round_edges,
+            ..
+        } = scratch;
+        forest.reset(graph);
         for &v in defects {
             assert!(v < graph.num_vertices(), "defect vertex {v} out of range");
             assert!(!forest.odd[v], "duplicate defect vertex {v}");
             forest.odd[v] = true;
         }
-        let mut growth = vec![0u32; graph.num_edges()];
-        let mut grown = vec![false; graph.num_edges()];
+        growth.clear();
+        growth.resize(graph.num_edges(), 0);
+        grown.clear();
+        grown.resize(graph.num_edges(), false);
+        if seen.len() < graph.num_edges() {
+            seen.resize(graph.num_edges(), 0);
+        }
 
         // Edges with zero capacity (p = 0.5 regions) are grown from the
         // start: merge their endpoints before the first round.
@@ -190,47 +249,46 @@ impl UnionFindDecoder {
             }
         }
 
-        let mut active = forest.active_roots(defects);
+        forest.active_roots_into(defects, active);
 
-        // `seen[e] == round` marks edges already collected this round, so an
-        // edge listed in two frontier fragments of one merged cluster is
-        // grown only once per round.
-        let mut seen = vec![0u32; graph.num_edges()];
-        let mut round = 0u32;
         while !active.is_empty() {
-            round += 1;
+            if *round == u32::MAX {
+                // The monotonic round counter wrapped: stale `seen` marks
+                // could alias, so clear them once and restart the counter.
+                seen.fill(0);
+                *round = 0;
+            }
+            *round += 1;
             // Phase a: collect this round's candidate frontier edges from
             // every active cluster, pruning edges that are already grown.
-            let mut round_edges: Vec<usize> = Vec::new();
-            for &root in &active {
-                let root = forest.find(root);
+            round_edges.clear();
+            for &seed_root in active.iter() {
+                let root = forest.find(seed_root);
                 if !forest.is_active(root) {
                     continue; // merged or frozen earlier this round
                 }
-                let candidates = std::mem::take(&mut forest.frontier[root]);
-                let mut remaining = Vec::with_capacity(candidates.len());
-                for eid in candidates {
+                let frontier = &mut forest.frontier[root];
+                frontier.retain(|&eid| {
                     if grown[eid] {
-                        continue; // interior edge, drop from the frontier
+                        return false; // interior edge, drop from the frontier
                     }
-                    if seen[eid] != round {
-                        seen[eid] = round;
+                    if seen[eid] != *round {
+                        seen[eid] = *round;
                         round_edges.push(eid);
                     }
-                    remaining.push(eid);
-                }
+                    true
+                });
                 assert!(
-                    !remaining.is_empty(),
+                    !frontier.is_empty(),
                     "union-find growth stalled: an odd cluster exhausted its frontier \
                      without touching a boundary (infeasible decoding graph)"
                 );
-                forest.frontier[root].extend(remaining);
             }
             // Phase b: grow each candidate by one unit per *currently
             // active* endpoint cluster — two approaching clusters meet in
             // the middle — and merge across edges that reach full capacity.
             let mut progressed = false;
-            for eid in round_edges {
+            for &eid in round_edges.iter() {
                 if grown[eid] {
                     continue;
                 }
@@ -265,30 +323,39 @@ impl UnionFindDecoder {
                 }
             }
             // Re-derive the active roots; merged clusters collapse here.
-            active = forest.active_roots(defects);
+            forest.active_roots_into(defects, active);
             assert!(
                 progressed || active.is_empty(),
                 "union-find growth stalled: some defect cluster has an empty frontier \
                  and no boundary (infeasible decoding graph)"
             );
         }
-        (forest, grown)
     }
 
     /// Stage 2: peels the spanning forest of each defect-carrying cluster,
     /// pairing defect tokens as they collide on their way to the root.
-    fn peel(
-        &self,
-        graph: &SyndromeGraph,
-        defects: &[usize],
-        forest: &mut Forest,
-        grown: &[bool],
-    ) -> DefectMatching {
+    fn peel(scratch: &mut Scratch, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching {
+        let Scratch {
+            forest,
+            grown,
+            adj,
+            token,
+            visited,
+            order,
+            tree_parent,
+            cluster_roots,
+            ..
+        } = scratch;
         let n = graph.num_vertices();
 
         // Adjacency over fully-grown non-boundary edges, in edge-id order
         // (deterministic).
-        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        if adj.len() < n {
+            adj.resize_with(n, Vec::new);
+        }
+        for list in adj.iter_mut().take(n) {
+            list.clear();
+        }
         for (eid, &g) in grown.iter().enumerate() {
             if !g {
                 continue;
@@ -301,14 +368,16 @@ impl UnionFindDecoder {
         }
 
         // Defect tokens: (defect-list index, accumulated path cost).
-        let mut token: Vec<Option<(usize, f64)>> = vec![None; n];
+        token.clear();
+        token.resize(n, None);
         for (idx, &v) in defects.iter().enumerate() {
             token[v] = Some((idx, 0.0));
         }
 
         let mut out = DefectMatching::default();
-        let mut visited = vec![false; n];
-        let mut cluster_roots: Vec<usize> = Vec::new();
+        visited.clear();
+        visited.resize(n, false);
+        cluster_roots.clear();
         for &v in defects {
             let r = forest.find(v);
             if !cluster_roots.contains(&r) {
@@ -317,7 +386,7 @@ impl UnionFindDecoder {
         }
         out.num_clusters = cluster_roots.len();
 
-        for &cluster in &cluster_roots {
+        for &cluster in cluster_roots.iter() {
             // Root the spanning tree at the boundary attachment when the
             // cluster touches a boundary, else at the cluster's smallest
             // defect vertex (any vertex works; this one is deterministic).
@@ -332,8 +401,10 @@ impl UnionFindDecoder {
             };
 
             // BFS spanning tree over grown edges.
-            let mut order = vec![root];
-            let mut parent: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); 1];
+            order.clear();
+            order.push(root);
+            tree_parent.clear();
+            tree_parent.push((usize::MAX, usize::MAX));
             visited[root] = true;
             let mut head = 0;
             while head < order.len() {
@@ -342,7 +413,7 @@ impl UnionFindDecoder {
                     if !visited[v] {
                         visited[v] = true;
                         order.push(v);
-                        parent.push((u, eid));
+                        tree_parent.push((u, eid));
                     }
                 }
                 head += 1;
@@ -352,7 +423,7 @@ impl UnionFindDecoder {
             // in pairs when they collide.
             for i in (1..order.len()).rev() {
                 let v = order[i];
-                let (p, eid) = parent[i];
+                let (p, eid) = tree_parent[i];
                 if let Some((idx, cost)) = token[v].take() {
                     let cost = cost + graph.edge(eid).weight;
                     match token[p].take() {
@@ -382,19 +453,20 @@ impl UnionFindDecoder {
 
 impl DecoderBackend for UnionFindDecoder {
     /// Decodes `defects` on `graph` in two almost-linear passes (growth and
-    /// peeling).
+    /// peeling), reusing the forest and all working buffers from earlier
+    /// calls.
     ///
     /// # Panics
     ///
     /// Panics if a defect vertex is out of range or duplicated, or if some
     /// defect can reach neither another defect nor a boundary.
-    fn decode_defects(&self, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching {
+    fn decode_defects(&mut self, graph: &SyndromeGraph, defects: &[usize]) -> DefectMatching {
         if defects.is_empty() {
             return DefectMatching::default();
         }
-        let capacity = self.capacities(graph);
-        let (mut forest, grown) = self.grow(graph, defects, &capacity);
-        self.peel(graph, defects, &mut forest, &grown)
+        Self::capacities(self.max_growth, graph, &mut self.scratch.capacity);
+        Self::grow(&mut self.scratch, graph, defects);
+        Self::peel(&mut self.scratch, graph, defects)
     }
 
     fn name(&self) -> &'static str {
@@ -498,6 +570,7 @@ mod tests {
         // optimal, but on 1D instances it is usually exact).
         let g = SyndromeGraph::line(&[1.0; 20], 2.0);
         let mut state = 0x9E3779B97F4A7C15u64;
+        let mut reused = uf();
         for _ in 0..50 {
             let mut defects = Vec::new();
             for v in 0..21usize {
@@ -509,7 +582,7 @@ mod tests {
                 }
             }
             let exact = ExactBackend::default().decode_defects(&g, &defects);
-            let ufm = uf().decode_defects(&g, &defects);
+            let ufm = reused.decode_defects(&g, &defects);
             assert!(ufm.is_perfect(defects.len()), "defects {defects:?}");
             assert!(exact.is_perfect(defects.len()));
             assert!(
@@ -518,6 +591,8 @@ mod tests {
                 ufm.total_cost(),
                 exact.total_cost()
             );
+            // The reused decoder must match a fresh one bit for bit.
+            assert_eq!(uf().decode_defects(&g, &defects), ufm);
         }
     }
 

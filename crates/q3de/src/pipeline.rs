@@ -3,7 +3,9 @@
 use q3de_anomaly::{AnomalyDetector, CalibrationStats, DetectedAnomaly, DetectorConfig};
 use q3de_control::queues::ExpansionRequest;
 use q3de_control::{ExpansionQueue, Instruction, LogicalQubitId};
-use q3de_decoder::{MatcherKind, ReExecutingDecoder, ReExecutionOutcome, SyndromeHistory};
+use q3de_decoder::{
+    DecoderConfig, DecoderContext, MatcherKind, ReExecutionOutcome, SyndromeHistory,
+};
 use q3de_lattice::{
     deformation::ExpansionPlan, ErrorKind, LatticeError, MatchingGraph, SurfaceCode,
 };
@@ -140,6 +142,12 @@ pub struct Q3dePipeline {
     graph: MatchingGraph,
     detector: AnomalyDetector,
     expansion_queue: ExpansionQueue,
+    /// The persistent decoding state of this logical qubit: both rollback
+    /// passes of every window share its cached space-time graph and backend
+    /// scratch.  It would only need rebuilding if the patch changed shape
+    /// (expansion/shrink) — and even then the context's structural cache
+    /// key rebuilds it on its own.
+    decoder: DecoderContext,
     processed_cycles: u64,
 }
 
@@ -162,12 +170,14 @@ impl Q3dePipeline {
             calibration,
         };
         let detector = AnomalyDetector::new(detector_config, graph.nodes().to_vec());
+        let decoder = DecoderContext::new(DecoderConfig::default().with_matcher(config.matcher));
         Ok(Self {
             config,
             code,
             graph,
             detector,
             expansion_queue: ExpansionQueue::new(),
+            decoder,
             processed_cycles: 0,
         })
     }
@@ -225,10 +235,11 @@ impl Q3dePipeline {
     ) -> EpisodeReport {
         // 1. Anomaly detection on the active-node stream of this window.
         let mut detection = None;
+        let mut active = vec![false; history.num_nodes()];
         for layer in 0..history.num_layers() {
-            let active: Vec<bool> = (0..history.num_nodes())
-                .map(|n| history.is_active(layer, n))
-                .collect();
+            for (node, slot) in active.iter_mut().enumerate() {
+                *slot = history.is_active(layer, node);
+            }
             if let Some(found) = self.detector.observe_layer(&active) {
                 detection = Some(found);
             }
@@ -264,14 +275,12 @@ impl Q3dePipeline {
             None => (None, None),
         };
 
-        // 3. Decode, re-executing when a region was reported.
-        let decoder = ReExecutingDecoder::with_matcher(
+        // 3. Decode on the persistent context, re-executing when a region
+        // was reported.
+        let regions: Vec<AnomalousRegion> = assumed_region.into_iter().collect();
+        let decoding = self.decoder.decode_with_rollback(
             &self.graph,
             self.config.physical_error_rate,
-            self.config.matcher,
-        );
-        let regions: Vec<AnomalousRegion> = assumed_region.into_iter().collect();
-        let decoding = decoder.decode(
             history,
             if regions.is_empty() {
                 None
@@ -337,7 +346,7 @@ mod tests {
                     parity
                 })
                 .collect();
-            history.push_layer(layer);
+            history.push_layer(&layer);
         }
         history
     }

@@ -279,7 +279,7 @@ mod tests {
                 let n = system.patch(i).graph().num_nodes();
                 let mut h = SyndromeHistory::new(n);
                 for _ in 0..layers {
-                    h.push_layer(vec![false; n]);
+                    h.push_layer(&vec![false; n]);
                 }
                 h
             })

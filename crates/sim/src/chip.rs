@@ -10,6 +10,12 @@
 //! degrades several patches of the same shot.  Per-patch failure counts are
 //! aggregated with [`run_shots_fold`](crate::run_shots_fold), the fold
 //! variant of the shot runner.
+//!
+//! Each per-patch [`MemoryExperiment`] owns a pool of persistent decoder
+//! contexts (see [`q3de_decoder::ContextPool`]): a chip sweep constructs
+//! decoder state once per worker thread per patch, not once per shot, and
+//! the [`chip_patch_seed`] stream schedule keeps per-patch results exactly
+//! reproducible regardless of which warm context decodes a given shot.
 
 use crate::memory::{DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
 use q3de_lattice::{ChipLayout, LatticeError, PatchIndex};

@@ -13,7 +13,9 @@
 //! * **work-stealing across points** — shots are scheduled in fixed-size
 //!   batches drawn from a single queue shared by all worker threads, so a
 //!   slow high-distance point and twenty cheap points together keep every
-//!   core busy until the whole sweep ends;
+//!   core busy until the whole sweep ends (the memory/chip kernels decode
+//!   through pooled persistent decoder contexts, so each worker reuses one
+//!   warm space-time graph across all the shots it steals);
 //! * **adaptive stopping** — with a `target_rse`, each point stops once the
 //!   relative half-width of the Wilson score interval of its tally drops
 //!   below the target, checked only at deterministic block boundaries

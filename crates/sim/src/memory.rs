@@ -1,6 +1,6 @@
 //! The d-cycle idling (memory) experiment.
 
-use q3de_decoder::{DecoderConfig, MatcherKind, SurfaceDecoder, SyndromeHistory, WeightModel};
+use q3de_decoder::{ContextPool, DecoderConfig, MatcherKind, SyndromeHistory, WeightModel};
 use q3de_lattice::{Coord, ErrorKind, LatticeError, MatchingGraph, SurfaceCode};
 use q3de_noise::{AnomalousRegion, NoiseModel};
 use rand::{Rng, SeedableRng};
@@ -165,12 +165,19 @@ impl EstimateResult {
 }
 
 /// A reusable memory-experiment simulator for one parameter point.
+///
+/// The experiment owns a [`ContextPool`]: every shot checks a warm
+/// [`q3de_decoder::DecoderContext`] out (the cached space-time graph and
+/// backend scratch survive across all shots of a sweep point), so decoder
+/// state is constructed once per concurrently decoding worker, not once
+/// per shot.  Cloning the experiment starts a fresh, cold pool.
 #[derive(Debug, Clone)]
 pub struct MemoryExperiment {
     config: MemoryExperimentConfig,
     code: SurfaceCode,
     graph: MatchingGraph,
     region: Option<AnomalousRegion>,
+    decoders: ContextPool,
 }
 
 impl MemoryExperiment {
@@ -199,6 +206,7 @@ impl MemoryExperiment {
             code,
             graph,
             region,
+            decoders: ContextPool::new(config.decoder),
         })
     }
 
@@ -284,8 +292,9 @@ impl MemoryExperiment {
                     flipped[edge_index] = !flipped[edge_index];
                 }
             }
-            // syndrome extraction with ancilla (measurement) errors
-            let mut layer = vec![false; n];
+            // syndrome extraction with ancilla (measurement) errors,
+            // written straight into the history's flat layer storage
+            let layer = history.push_blank_layer();
             for (node, slot) in layer.iter_mut().enumerate() {
                 let mut parity = false;
                 for &e in self.graph.incident_edges(node) {
@@ -299,11 +308,10 @@ impl MemoryExperiment {
                 }
                 *slot = parity;
             }
-            history.push_layer(layer);
         }
 
         // final perfect readout layer
-        let mut final_layer = vec![false; n];
+        let final_layer = history.push_blank_layer();
         for (node, slot) in final_layer.iter_mut().enumerate() {
             let mut parity = false;
             for &e in self.graph.incident_edges(node) {
@@ -313,7 +321,6 @@ impl MemoryExperiment {
             }
             *slot = parity;
         }
-        history.push_layer(final_layer);
 
         // actual logical parity of the accumulated error
         let error_cut_parity = self
@@ -334,8 +341,9 @@ impl MemoryExperiment {
         rng: &mut R,
     ) -> ShotOutcome {
         let (history, error_cut_parity) = self.sample_history(strategy, rng);
-        let decoder = SurfaceDecoder::with_config(&self.graph, self.config.decoder);
-        let outcome = decoder.decode(&history, &self.weight_model(strategy));
+        let outcome = self
+            .decoders
+            .with(|context| context.decode(&self.graph, &history, &self.weight_model(strategy)));
         ShotOutcome {
             logical_failure: outcome.is_logical_failure(error_cut_parity),
             num_detection_events: outcome.num_events(),
@@ -371,8 +379,9 @@ impl MemoryExperiment {
             _ => WeightModel::uniform(self.config.physical_error_rate),
         };
         let (history, error_cut_parity) = self.sample_history_with(&noise, rng);
-        let decoder = SurfaceDecoder::with_config(&self.graph, self.config.decoder);
-        let outcome = decoder.decode(&history, &weights);
+        let outcome = self
+            .decoders
+            .with(|context| context.decode(&self.graph, &history, &weights));
         ShotOutcome {
             logical_failure: outcome.is_logical_failure(error_cut_parity),
             num_detection_events: outcome.num_events(),

@@ -62,7 +62,7 @@ fn main() {
                 parity
             })
             .collect();
-        history.push_layer(layer);
+        history.push_layer(&layer);
     }
 
     let report = pipeline.process_window(&history, 0);

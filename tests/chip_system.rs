@@ -59,7 +59,7 @@ fn sampled_patch_history(
                 parity
             })
             .collect();
-        history.push_layer(layer);
+        history.push_layer(&layer);
     }
     history
 }

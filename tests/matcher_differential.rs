@@ -56,11 +56,11 @@ fn differential(
     let experiment = MemoryExperiment::new(config).expect("valid distance");
     let graph = experiment.code().matching_graph(ErrorKind::X);
     let model = experiment.weight_model(strategy);
-    let exact = SurfaceDecoder::with_config(
+    let mut exact = SurfaceDecoder::with_config(
         &graph,
         DecoderConfig::default().with_matcher(MatcherKind::Exact),
     );
-    let union_find = SurfaceDecoder::with_config(
+    let mut union_find = SurfaceDecoder::with_config(
         &graph,
         DecoderConfig::default().with_matcher(MatcherKind::UnionFind),
     );

@@ -149,7 +149,7 @@ fn static_history(code: &SurfaceCode, error: &PauliString, rounds: usize) -> Syn
     let syndrome = code.syndrome(StabilizerKind::Z, error);
     let mut h = SyndromeHistory::new(graph.num_nodes());
     for _ in 0..rounds {
-        h.push_layer(syndrome.clone());
+        h.push_layer(&syndrome);
     }
     h
 }
@@ -172,7 +172,8 @@ fn decode_fails(
     kind: MatcherKind,
 ) -> bool {
     let graph = code.matching_graph(ErrorKind::X);
-    let decoder = SurfaceDecoder::with_config(&graph, DecoderConfig::default().with_matcher(kind));
+    let mut decoder =
+        SurfaceDecoder::with_config(&graph, DecoderConfig::default().with_matcher(kind));
     let history = static_history(code, error, 3);
     let outcome = decoder.decode(&history, model);
     outcome.is_logical_failure(error_cut_parity(code, error))

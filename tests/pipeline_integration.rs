@@ -45,7 +45,7 @@ fn sampled_history(
                 parity
             })
             .collect();
-        history.push_layer(layer);
+        history.push_layer(&layer);
     }
     history
 }

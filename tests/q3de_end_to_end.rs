@@ -90,7 +90,7 @@ fn sampled_history(
                 parity
             })
             .collect();
-        history.push_layer(layer);
+        history.push_layer(&layer);
     }
     history
 }
@@ -203,7 +203,7 @@ fn back_to_back_strikes_are_redecoded_together() {
     let syndrome = code.syndrome(StabilizerKind::Z, &error);
     let mut history = SyndromeHistory::new(graph.num_nodes());
     for _ in 0..3 {
-        history.push_layer(syndrome.clone());
+        history.push_layer(&syndrome);
     }
     let parity = code
         .logical_z_support()
@@ -215,7 +215,7 @@ fn back_to_back_strikes_are_redecoded_together() {
 
     let regions = [region_a, region_b];
     for kind in MatcherKind::ALL {
-        let decoder = ReExecutingDecoder::with_matcher(&graph, 1e-3, kind);
+        let mut decoder = ReExecutingDecoder::with_matcher(&graph, 1e-3, kind);
         let outcome = decoder.decode(&history, Some(&regions), window_start);
         assert!(outcome.was_rolled_back(), "{kind:?}");
         assert!(
