@@ -114,6 +114,15 @@ fn main() {
 
     // Representative kernels, one per hot path.  Ids are the contract with
     // BENCH_baseline.json — renaming one invalidates its baseline entry.
+    //
+    // The two d3 memory kernels (scalar and packed) run in a *separate*
+    // sweep at `samples × FAST_MULTIPLIER` shots: they are orders of
+    // magnitude faster than the burst/chip/decode points, and the packed
+    // kernel only reaches its steady state once its verdict memo is
+    // populated — hundreds of 64-lane groups in.  Measuring both at high
+    // shot counts makes the packed/scalar ratio a steady-state number
+    // instead of a cold-start artifact, at negligible wall-clock cost.
+    const FAST_MULTIPLIER: usize = 3200;
     let mem = |id: &str, config: MemoryExperimentConfig, strategy, salt: u64| {
         SweepPoint::from_memory::<ChaCha8Rng>(id, config, strategy, args.stream_seed(salt))
             .expect("valid config")
@@ -131,13 +140,25 @@ fn main() {
         size: 2,
         rate: 0.5,
     });
-    let points = vec![
+    let fast_points = vec![
         mem(
             "perf/mem/d3/uniform",
             MemoryExperimentConfig::new(3, 2e-2).with_matcher(args.matcher),
             DecodingStrategy::MbbeFree,
             0,
         ),
+        // the same workload through the bit-packed 64-shot batch kernel —
+        // the packed/scalar throughput ratio is the headline number of the
+        // batch spine and the CI gate keeps it from silently regressing
+        SweepPoint::from_memory_packed::<ChaCha8Rng>(
+            "perf/mem_packed/d3/uniform",
+            MemoryExperimentConfig::new(3, 2e-2).with_matcher(args.matcher),
+            DecodingStrategy::MbbeFree,
+            args.stream_seed(0),
+        )
+        .expect("valid config"),
+    ];
+    let slow_points = vec![
         mem("perf/mem/d5/burst/blind", burst, DecodingStrategy::Blind, 1),
         mem(
             "perf/mem/d5/burst/rollback",
@@ -155,13 +176,37 @@ fn main() {
         decode_window_point(args.stream_seed(4)),
     ];
 
+    let fast_samples = args.samples.saturating_mul(FAST_MULTIPLIER);
     eprintln!(
-        "perf smoke: {} shots/point, seed {}, {} matcher -> {report_path}",
+        "perf smoke: {} shots/point ({} for the d3 memory points), seed {}, \
+         {} matcher -> {report_path}",
         args.samples,
+        fast_samples,
         args.seed,
         args.matcher.name()
     );
-    let report = args.run_sweep(points);
+    // Neither sub-sweep writes the report artifact — the merged document
+    // below is the single source of truth the gate and CI consume.
+    let mut fast_args = args.clone();
+    fast_args.samples = fast_samples;
+    fast_args.report = None;
+    fast_args.checkpoint = None;
+    let mut slow_args = args.clone();
+    slow_args.report = None;
+    let mut report = fast_args.run_sweep(fast_points);
+    let slow_report = slow_args.run_sweep(slow_points);
+    report.points.extend(slow_report.points);
+    report.wall_clock_secs += slow_report.wall_clock_secs;
+    report.meta = vec![
+        ("seed".into(), args.seed.to_string()),
+        ("samples".into(), args.samples.to_string()),
+        ("fast_samples".into(), fast_samples.to_string()),
+        ("matcher".into(), args.matcher.name().to_string()),
+    ];
+    if let Err(error) = report.write_json(std::path::Path::new(&report_path)) {
+        eprintln!("cannot write report: {error}");
+        std::process::exit(2);
+    }
     for point in &report.points {
         eprintln!(
             "{}",
@@ -218,6 +263,25 @@ fn main() {
         if current < floor {
             failed = true;
         }
+    }
+    // The packed/scalar speedup gates as a *ratio*: both points run in the
+    // same process on the same host, so the ratio is robust to machine
+    // speed in a way the absolute baselines are not.
+    const PACKED_SPEEDUP_FLOOR: f64 = 5.0;
+    if let (Some(scalar), Some(packed)) = (
+        report.point("perf/mem/d3/uniform"),
+        report.point("perf/mem_packed/d3/uniform"),
+    ) {
+        let ratio = packed.shots_per_sec() / scalar.shots_per_sec();
+        let verdict = if ratio < PACKED_SPEEDUP_FLOOR {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  packed/scalar d3 speedup: {ratio:.2}x (floor {PACKED_SPEEDUP_FLOOR:.1}x) {verdict}"
+        );
     }
     if failed {
         eprintln!(

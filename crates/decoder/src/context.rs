@@ -16,8 +16,8 @@
 //! forest) persists across windows and shots.
 
 use crate::{
-    DecodeOutcome, DecoderConfig, MatchedPair, ReExecutionOutcome, SpaceTimeGraph, SyndromeHistory,
-    WeightModel,
+    DecodeOutcome, DecoderConfig, DetectionEvent, MatchedPair, ReExecutionOutcome, SpaceTimeGraph,
+    SyndromeHistory, WeightModel,
 };
 use q3de_lattice::{ErrorKind, MatchingGraph};
 use q3de_matching::DecoderBackend;
@@ -145,11 +145,34 @@ impl DecoderContext {
             graph.num_nodes(),
             "syndrome history and matching graph disagree on the node count"
         );
-        let events = history.detection_events();
+        self.decode_events(
+            graph,
+            history.num_layers(),
+            history.detection_events(),
+            model,
+        )
+    }
+
+    /// Decodes an explicit detection-event list over a `num_layers`-deep
+    /// window — the entry point for callers that extract events themselves,
+    /// such as the packed batch kernel, which never materialises a scalar
+    /// [`SyndromeHistory`] per lane.  [`DecoderContext::decode`] is exactly
+    /// this applied to `history.detection_events()`.
+    ///
+    /// Events must be sorted in `(layer, node)` order with every layer below
+    /// `num_layers.max(1)` and every node in the layer graph.  An empty list
+    /// decodes to the default (no-correction) outcome.
+    pub fn decode_events(
+        &mut self,
+        graph: &MatchingGraph,
+        num_layers: usize,
+        events: Vec<DetectionEvent>,
+        model: &WeightModel,
+    ) -> DecodeOutcome {
         if events.is_empty() {
             return DecodeOutcome::default();
         }
-        let num_layers = history.num_layers().max(1);
+        let num_layers = num_layers.max(1);
         let key: CacheKey = (
             graph.kind(),
             graph.num_nodes(),

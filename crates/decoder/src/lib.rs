@@ -83,7 +83,7 @@ pub use context::{ContextPool, DecoderContext};
 pub use decode::{DecodeOutcome, DecoderConfig, MatchedPair, SurfaceDecoder};
 pub use rollback::{ReExecutingDecoder, ReExecutionOutcome};
 pub use spacetime::{BoundarySide, SpaceTimeCosts, SpaceTimeGraph};
-pub use syndrome::{DetectionEvent, SyndromeHistory};
+pub use syndrome::{DetectionEvent, SyndromeBatch, SyndromeHistory};
 pub use weights::WeightModel;
 
 // The backend-selection surface is part of this crate's decoding API:

@@ -184,6 +184,160 @@ impl SyndromeHistory {
     }
 }
 
+/// Sixty-four [`SyndromeHistory`]s packed one per bit of a `u64` word.
+///
+/// The packed Monte-Carlo path simulates 64 independent shots of the same
+/// sweep point at once: bit `lane` of the word at `(layer, node)` is the raw
+/// syndrome value `s_{node, layer}` of shot `lane`.  Layers are stored in
+/// the same flat layer-major layout as [`SyndromeHistory`], so the scalar
+/// and packed representations agree on scan order — detector extraction,
+/// lane signatures, and [`SyndromeBatch::lane_history`] all enumerate
+/// `(layer, node)` identically, which is what lets the packed path share
+/// the scalar decoder unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyndromeBatch {
+    num_nodes: usize,
+    num_layers: usize,
+    words: Vec<u64>,
+}
+
+impl SyndromeBatch {
+    /// Creates an empty batch over `num_nodes` stabilizer nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            num_layers: 0,
+            words: Vec::new(),
+        }
+    }
+
+    /// Number of stabilizer nodes per layer.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of layers pushed so far.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Drops all layers, keeping the word buffer for reuse.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.num_layers = 0;
+    }
+
+    /// Appends an all-zero layer and returns it for in-place mutation — one
+    /// `u64` of 64 lanes per stabilizer node.
+    pub fn push_blank_layer(&mut self) -> &mut [u64] {
+        let start = self.words.len();
+        self.words.resize(start + self.num_nodes, 0);
+        self.num_layers += 1;
+        &mut self.words[start..]
+    }
+
+    /// The packed syndrome words of layer `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn layer(&self, t: usize) -> &[u64] {
+        assert!(t < self.num_layers, "layer {t} out of range");
+        &self.words[t * self.num_nodes..(t + 1) * self.num_nodes]
+    }
+
+    /// The detector word at `(layer, node)`: bit `lane` is set iff lane
+    /// `lane` has a detection event there (syndrome XOR against the previous
+    /// layer; layer 0 diffs against the all-zero reference).
+    pub fn detector_word(&self, layer: usize, node: usize) -> u64 {
+        let current = self.words[layer * self.num_nodes + node];
+        if layer == 0 {
+            current
+        } else {
+            current ^ self.words[(layer - 1) * self.num_nodes + node]
+        }
+    }
+
+    /// Writes every detector word into `out` (cleared first) in `(layer,
+    /// node)` scan order — one pass over the flat layer buffer, so hot
+    /// callers extract all lanes' events from this buffer instead of
+    /// re-deriving each word per lane.
+    pub fn detector_words(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.num_layers * self.num_nodes);
+        out.extend_from_slice(&self.words[..self.num_nodes.min(self.words.len())]);
+        for layer in 1..self.num_layers {
+            let prev = (layer - 1) * self.num_nodes;
+            let cur = layer * self.num_nodes;
+            for node in 0..self.num_nodes {
+                out.push(self.words[cur + node] ^ self.words[prev + node]);
+            }
+        }
+    }
+
+    /// Bit `lane` is set iff lane `lane` has at least one detection event
+    /// anywhere in the window.  Quiet lanes (`bit == 0`) decode to no
+    /// correction, so the packed kernel skips the decoder for them.
+    pub fn active_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for layer in 0..self.num_layers {
+            for node in 0..self.num_nodes {
+                mask |= self.detector_word(layer, node);
+            }
+        }
+        mask
+    }
+
+    /// Appends lane `lane`'s detection events to `out` in `(layer, node)`
+    /// order — the exact order [`SyndromeHistory::detection_events`] yields.
+    pub fn lane_events(&self, lane: usize, out: &mut Vec<DetectionEvent>) {
+        assert!(lane < 64, "lane {lane} out of range");
+        for layer in 0..self.num_layers {
+            for node in 0..self.num_nodes {
+                if (self.detector_word(layer, node) >> lane) & 1 == 1 {
+                    out.push(DetectionEvent { layer, node });
+                }
+            }
+        }
+    }
+
+    /// Packs lane `lane`'s detector bits into `out` (cleared first), one bit
+    /// per `(layer, node)` in scan order.  Two lanes with equal signatures
+    /// have identical detection-event sets, so the signature is an exact
+    /// memo key for any pure function of the events (such as the decoded
+    /// correction's cut parity under a fixed weight model).
+    pub fn lane_signature(&self, lane: usize, out: &mut Vec<u64>) {
+        assert!(lane < 64, "lane {lane} out of range");
+        out.clear();
+        out.resize((self.num_layers * self.num_nodes).div_ceil(64), 0);
+        let mut bit = 0usize;
+        for layer in 0..self.num_layers {
+            for node in 0..self.num_nodes {
+                if (self.detector_word(layer, node) >> lane) & 1 == 1 {
+                    out[bit / 64] |= 1u64 << (bit % 64);
+                }
+                bit += 1;
+            }
+        }
+    }
+
+    /// Unpacks lane `lane` into a scalar [`SyndromeHistory`] (used by the
+    /// differential oracle to replay a packed-sampled shot through the
+    /// scalar decode machinery).
+    pub fn lane_history(&self, lane: usize) -> SyndromeHistory {
+        assert!(lane < 64, "lane {lane} out of range");
+        let mut history = SyndromeHistory::new(self.num_nodes);
+        for layer in 0..self.num_layers {
+            let packed = self.layer(layer);
+            let out = history.push_blank_layer();
+            for (node, value) in out.iter_mut().enumerate() {
+                *value = (packed[node] >> lane) & 1 == 1;
+            }
+        }
+        history
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +460,145 @@ mod tests {
         let mut h = SyndromeHistory::new(1);
         h.push_layer(&[false]);
         let _ = h.window(1, 0);
+    }
+
+    /// Builds a batch whose lane `l` holds the history produced by
+    /// `make(l)`, all sharing a layer count and node count.
+    fn pack_lanes(num_nodes: usize, lanes: &[SyndromeHistory]) -> SyndromeBatch {
+        let mut batch = SyndromeBatch::new(num_nodes);
+        let num_layers = lanes[0].num_layers();
+        for layer in 0..num_layers {
+            let words = batch.push_blank_layer();
+            for (lane, h) in lanes.iter().enumerate() {
+                for (node, word) in words.iter_mut().enumerate() {
+                    if h.value(layer, node) {
+                        *word |= 1u64 << lane;
+                    }
+                }
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn detector_words_buffer_matches_per_word_queries() {
+        let mut lanes = Vec::new();
+        for lane in 0..7usize {
+            let mut h = SyndromeHistory::new(3);
+            h.push_layer(&layer(&[lane % 3], 3));
+            h.push_layer(&layer(&[(lane + 1) % 3], 3));
+            h.push_layer(&layer(&[], 3));
+            lanes.push(h);
+        }
+        let batch = pack_lanes(3, &lanes);
+        let mut buffer = Vec::new();
+        batch.detector_words(&mut buffer);
+        assert_eq!(buffer.len(), batch.num_layers() * batch.num_nodes());
+        for layer in 0..batch.num_layers() {
+            for node in 0..batch.num_nodes() {
+                assert_eq!(
+                    buffer[layer * batch.num_nodes() + node],
+                    batch.detector_word(layer, node),
+                    "(layer {layer}, node {node})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lanes_round_trip_through_scalar_histories() {
+        let mut lanes = Vec::new();
+        for lane in 0..5usize {
+            let mut h = SyndromeHistory::new(4);
+            h.push_layer(&layer(&[lane % 4], 4));
+            h.push_layer(&layer(&[(lane + 1) % 4, 2], 4));
+            h.push_layer(&layer(&[], 4));
+            lanes.push(h);
+        }
+        let batch = pack_lanes(4, &lanes);
+        assert_eq!(batch.num_layers(), 3);
+        assert_eq!(batch.num_nodes(), 4);
+        for (lane, h) in lanes.iter().enumerate() {
+            assert_eq!(&batch.lane_history(lane), h, "lane {lane}");
+            let mut events = Vec::new();
+            batch.lane_events(lane, &mut events);
+            assert_eq!(events, h.detection_events(), "lane {lane}");
+        }
+        // unused lanes are all-zero
+        assert!(batch.lane_history(63).detection_events().is_empty());
+    }
+
+    #[test]
+    fn batch_detector_words_match_scalar_is_active() {
+        let mut lanes = Vec::new();
+        for lane in 0..3usize {
+            let mut h = SyndromeHistory::new(3);
+            h.push_layer(&layer(&[lane], 3));
+            h.push_layer(&layer(&[lane], 3));
+            h.push_layer(&layer(&[2], 3));
+            lanes.push(h);
+        }
+        let batch = pack_lanes(3, &lanes);
+        for (lane, h) in lanes.iter().enumerate() {
+            for layer in 0..3 {
+                for node in 0..3 {
+                    assert_eq!(
+                        (batch.detector_word(layer, node) >> lane) & 1 == 1,
+                        h.is_active(layer, node),
+                        "lane {lane} layer {layer} node {node}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_mask_flags_exactly_the_eventful_lanes() {
+        let mut eventful = SyndromeHistory::new(2);
+        let mut quiet = SyndromeHistory::new(2);
+        let mut blip = SyndromeHistory::new(2);
+        for _ in 0..3 {
+            quiet.push_blank_layer();
+        }
+        eventful.push_layer(&layer(&[1], 2));
+        eventful.push_blank_layer();
+        eventful.push_blank_layer();
+        blip.push_blank_layer();
+        blip.push_layer(&layer(&[0], 2));
+        blip.push_blank_layer();
+        let batch = pack_lanes(2, &[quiet.clone(), eventful, quiet, blip]);
+        assert_eq!(batch.active_mask(), 0b1010);
+    }
+
+    #[test]
+    fn lane_signatures_are_equal_iff_event_sets_are() {
+        let mut a = SyndromeHistory::new(3);
+        a.push_layer(&layer(&[0], 3));
+        a.push_layer(&layer(&[0], 3));
+        let b = a.clone();
+        let mut c = SyndromeHistory::new(3);
+        c.push_layer(&layer(&[1], 3));
+        c.push_layer(&layer(&[1], 3));
+        let batch = pack_lanes(3, &[a, b, c]);
+        let (mut sa, mut sb, mut sc) = (Vec::new(), Vec::new(), Vec::new());
+        batch.lane_signature(0, &mut sa);
+        batch.lane_signature(1, &mut sb);
+        batch.lane_signature(2, &mut sc);
+        assert_eq!(sa, sb, "identical histories must share a signature");
+        assert_ne!(sa, sc, "different event sets must differ");
+        assert_eq!(sa.len(), 1, "6 detector bits fit one word");
+    }
+
+    #[test]
+    fn clear_resets_layers_but_keeps_the_shape() {
+        let mut batch = SyndromeBatch::new(3);
+        batch.push_blank_layer()[1] = u64::MAX;
+        batch.push_blank_layer();
+        assert_eq!(batch.num_layers(), 2);
+        assert_eq!(batch.active_mask(), u64::MAX);
+        batch.clear();
+        assert_eq!(batch.num_layers(), 0);
+        assert_eq!(batch.num_nodes(), 3);
+        assert_eq!(batch.active_mask(), 0);
     }
 }

@@ -101,11 +101,17 @@ impl NoiseModel {
 
     /// Samples a Pauli for an explicit rate (used by callers that cache the
     /// per-qubit rate).
+    ///
+    /// Exactly one uniform draw is consumed *regardless of the rate* — a
+    /// zero-rate qubit burns its draw and returns identity — so the RNG call
+    /// order of a shot is a pure function of the qubit schedule, never of
+    /// the noise model.  Replays with different rates (e.g. `p = 0` outside
+    /// an active anomaly) therefore stay stream-aligned.
     pub fn sample_pauli_with_rate<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> Pauli {
+        let u: f64 = rng.gen();
         if rate <= 0.0 {
             return Pauli::I;
         }
-        let u: f64 = rng.gen();
         let half = rate / 2.0;
         if u < half {
             Pauli::X
@@ -139,7 +145,7 @@ impl NoiseModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     #[test]
@@ -222,6 +228,64 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for _ in 0..1000 {
             assert_eq!(m.sample_pauli(Coord::new(0, 0), 0, &mut rng), Pauli::I);
+        }
+    }
+
+    #[test]
+    fn zero_rate_consumes_the_same_draws_as_positive_rate() {
+        // The draw schedule must be rate-independent: sampling the same
+        // qubit sequence under p = 0 and under p > 0 leaves the RNG in the
+        // same state, so zero-rate qubits cannot shift the stream of later
+        // (e.g. anomalous) qubits.
+        let zero = NoiseModel::uniform(0.0);
+        let noisy = NoiseModel::uniform(0.2);
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for i in 0..100 {
+            let _ = zero.sample_pauli(Coord::new(i, 0), 0, &mut a);
+            let _ = noisy.sample_pauli(Coord::new(i, 0), 0, &mut b);
+        }
+        assert_eq!(
+            a.next_u64(),
+            b.next_u64(),
+            "zero- and positive-rate sampling must consume identical draws"
+        );
+    }
+
+    #[test]
+    fn pauli_marginals_at_the_paper_anomalous_rate_and_at_the_boundary() {
+        // At rate r each of X, Y, Z occurs with probability r/2; the
+        // largest admissible rate is 2/3, where the three sectors exhaust
+        // the unit interval.  Rates above 2/3 would silently skew the Z
+        // marginal (the cumulative cutoffs exceed 1), which is why both
+        // NoiseModel::uniform and AnomalousRegion::new reject them.
+        for &rate in &[0.5, 2.0 / 3.0] {
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            let n = 200_000;
+            let mut counts = [0usize; 4];
+            for _ in 0..n {
+                let idx = match NoiseModel::sample_pauli_with_rate(rate, &mut rng) {
+                    Pauli::I => 0,
+                    Pauli::X => 1,
+                    Pauli::Y => 2,
+                    Pauli::Z => 3,
+                };
+                counts[idx] += 1;
+            }
+            let frac = |c: usize| c as f64 / n as f64;
+            let half = rate / 2.0;
+            for (sector, &count) in ["X", "Y", "Z"].iter().zip(&counts[1..]) {
+                assert!(
+                    (frac(count) - half).abs() < 0.01,
+                    "rate {rate}: {sector} marginal {} should be {half}",
+                    frac(count)
+                );
+            }
+            assert!(
+                (frac(counts[0]) - (1.0 - 1.5 * rate)).abs() < 0.01,
+                "rate {rate}: I marginal {}",
+                frac(counts[0])
+            );
         }
     }
 

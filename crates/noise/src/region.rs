@@ -26,7 +26,11 @@ impl AnomalousRegion {
     ///
     /// # Panics
     ///
-    /// Panics if `size == 0` or `anomalous_rate` is not a probability.
+    /// Panics if `size == 0` or `anomalous_rate` is not in `[0, 2/3]`.  The
+    /// rate domain matches `NoiseModel::uniform`: the sampler draws `X`,
+    /// `Y`, `Z` each with probability `rate/2` from one uniform variate, so
+    /// above `2/3` the cumulative cutoffs exceed one and the `Z` marginal
+    /// silently saturates instead of reaching `rate/2`.
     pub fn new(
         origin: Coord,
         size: usize,
@@ -36,8 +40,9 @@ impl AnomalousRegion {
     ) -> Self {
         assert!(size > 0, "anomaly size must be positive");
         assert!(
-            (0.0..=1.0).contains(&anomalous_rate),
-            "anomalous rate {anomalous_rate} is not a probability"
+            (0.0..=2.0 / 3.0).contains(&anomalous_rate),
+            "anomalous rate {anomalous_rate} outside [0, 2/3] \
+             (X/Y/Z draws of rate/2 each must sum to at most one)"
         );
         Self {
             origin,
@@ -80,8 +85,13 @@ impl AnomalousRegion {
 
     /// The geometric centre of the region (used to compare against the
     /// anomaly-detection unit's position estimate).
+    ///
+    /// The region spans `2·size` sites per axis starting at `origin`, so
+    /// its true centre sits between sites at `origin + size − 1/2`; this
+    /// rounds to the site `origin + size`, equidistant from both edges up
+    /// to the half-site parity of an even extent.
     pub fn center(&self) -> Coord {
-        let half = self.size as i32 - 1;
+        let half = self.size as i32;
         self.origin.offset(half, half)
     }
 
@@ -113,8 +123,9 @@ impl AnomalousRegion {
         self.active_at(cycle) && self.contains(coord)
     }
 
-    /// Returns a copy of the region shifted to a new onset cycle (used when a
-    /// second `op_expand` extends the lifetime of an existing anomaly).
+    /// Returns a copy of the region with a new duration, keeping the onset
+    /// cycle (used when a second `op_expand` extends the lifetime of an
+    /// existing anomaly).
     pub fn with_duration(mut self, duration_cycles: u64) -> Self {
         self.duration_cycles = duration_cycles;
         self
@@ -169,6 +180,34 @@ mod tests {
     }
 
     #[test]
+    fn center_is_equidistant_from_both_region_edges() {
+        // A 2·size-site region spanning rows [o, o + 2·size) has its true
+        // centre at o + size − 1/2; the site-rounded centre must sit within
+        // half a site of it on both axes, for every size.
+        for size in 1..=6 {
+            let r = AnomalousRegion::new(Coord::new(3, 7), size, 0, 1, 0.5);
+            let c = r.center();
+            let extent = 2 * size as i32;
+            let true_row = 3.0 + (extent as f64 - 1.0) / 2.0;
+            let true_col = 7.0 + (extent as f64 - 1.0) / 2.0;
+            assert!(
+                (c.row as f64 - true_row).abs() <= 0.5,
+                "size {size}: row {} vs true centre {true_row}",
+                c.row
+            );
+            assert!(
+                (c.col as f64 - true_col).abs() <= 0.5,
+                "size {size}: col {} vs true centre {true_col}",
+                c.col
+            );
+        }
+        // Pin one concrete value: size 2 at (3, 7) covers rows/cols 3..7,
+        // so the centre rounds to (5, 9), not the top-left-biased (4, 8).
+        let r = AnomalousRegion::new(Coord::new(3, 7), 2, 0, 1, 0.5);
+        assert_eq!(r.center(), Coord::new(5, 9));
+    }
+
+    #[test]
     fn accessors_round_trip() {
         let r = AnomalousRegion::new(Coord::new(1, 2), 3, 7, 11, 0.25);
         assert_eq!(r.origin(), Coord::new(1, 2));
@@ -186,8 +225,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a probability")]
+    #[should_panic(expected = "outside [0, 2/3]")]
     fn invalid_rate_is_rejected() {
         let _ = AnomalousRegion::new(Coord::new(0, 0), 1, 0, 1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 2/3]")]
+    fn rate_above_two_thirds_is_rejected() {
+        // 0.7 is a valid probability but past the point where the three
+        // Pauli sectors of rate/2 each still fit in the unit interval.
+        let _ = AnomalousRegion::new(Coord::new(0, 0), 1, 0, 1, 0.7);
+    }
+
+    #[test]
+    fn boundary_rate_is_accepted() {
+        let r = AnomalousRegion::new(Coord::new(0, 0), 1, 0, 1, 2.0 / 3.0);
+        assert_eq!(r.anomalous_rate(), 2.0 / 3.0);
     }
 }

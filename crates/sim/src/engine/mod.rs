@@ -138,11 +138,41 @@ where
     }
 }
 
+/// A kernel that runs 64 shots per call: group `g` covers streams
+/// `g · 64 .. g · 64 + 64`, and bit `lane` of the returned mask is the
+/// failure flag of stream `g · 64 + lane`.
+///
+/// Like [`ShotKernel`], the mask must be deterministic in `group` —
+/// independent of execution order, thread assignment and of how many other
+/// groups run — so a sweep's tally stays reproducible under any
+/// batch/thread configuration.  [`crate::PackedShotBatch`] is the canonical
+/// implementation.
+pub trait PackedShotKernel: Send + Sync {
+    /// Runs the 64 shots of group `group` and returns their failure mask.
+    fn run_group(&self, group: u64) -> u64;
+}
+
+impl<F> PackedShotKernel for F
+where
+    F: Fn(u64) -> u64 + Send + Sync,
+{
+    fn run_group(&self, group: u64) -> u64 {
+        self(group)
+    }
+}
+
+/// The two kernel shapes a sweep point can drive: one shot per call, or a
+/// packed 64-shot group per call.
+enum KernelImpl {
+    PerShot(Box<dyn ShotKernel>),
+    Packed(Box<dyn PackedShotKernel>),
+}
+
 /// One parameter point of a sweep: a stable identifier plus a boxed shot
 /// kernel.
 pub struct SweepPoint {
     id: String,
-    kernel: Box<dyn ShotKernel>,
+    kernel: KernelImpl,
 }
 
 impl fmt::Debug for SweepPoint {
@@ -158,7 +188,18 @@ impl SweepPoint {
     pub fn new(id: impl Into<String>, kernel: impl ShotKernel + 'static) -> Self {
         Self {
             id: id.into(),
-            kernel: Box::new(kernel),
+            kernel: KernelImpl::PerShot(Box::new(kernel)),
+        }
+    }
+
+    /// Wraps a packed 64-shot-group kernel.  Scheduling, checkpointing and
+    /// convergence work in shots exactly as for [`SweepPoint::new`]; the
+    /// engine maps each scheduled stream range onto the groups that cover
+    /// it and masks out-of-range lanes.
+    pub fn new_packed(id: impl Into<String>, kernel: impl PackedShotKernel + 'static) -> Self {
+        Self {
+            id: id.into(),
+            kernel: KernelImpl::Packed(Box::new(kernel)),
         }
     }
 
@@ -185,6 +226,35 @@ impl SweepPoint {
                 .run_stream::<R>(strategy, base_seed, stream)
                 .logical_failure
         }))
+    }
+
+    /// A point whose shots run through the bit-packed batch kernel
+    /// ([`crate::PackedShotBatch`]): group `g` simulates streams
+    /// `g · 64 .. g · 64 + 64` in one pass of bitwise sampling, packed
+    /// parity extraction and quiet-lane-skipping decode.
+    ///
+    /// Equivalent to [`MemoryExperiment::estimate_packed`] over the same
+    /// `(base_seed, shots)`; **not** stream-compatible with
+    /// [`SweepPoint::from_memory`] (the packed path has its own group-level
+    /// RNG discipline — see [`crate::PackedShotBatch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configured code distance is invalid.
+    pub fn from_memory_packed<R>(
+        id: impl Into<String>,
+        config: MemoryExperimentConfig,
+        strategy: DecodingStrategy,
+        base_seed: u64,
+    ) -> Result<Self, LatticeError>
+    where
+        R: Rng + SeedableRng + 'static,
+    {
+        let experiment = MemoryExperiment::new(config)?;
+        Ok(Self::new_packed(
+            id,
+            experiment.packed::<R>(strategy, base_seed),
+        ))
     }
 
     /// A point whose shots run a chip-level memory experiment: stream `s`
@@ -217,8 +287,49 @@ impl SweepPoint {
     }
 
     /// Runs the shot of stream index `stream`.
+    ///
+    /// On a packed point this computes the whole 64-lane group containing
+    /// `stream` and extracts one bit — correct but wasteful; batch
+    /// schedulers go through [`SweepPoint::run_range`] instead.
     pub fn run(&self, stream: u64) -> bool {
-        self.kernel.run(stream)
+        match &self.kernel {
+            KernelImpl::PerShot(kernel) => kernel.run(stream),
+            KernelImpl::Packed(kernel) => (kernel.run_group(stream / 64) >> (stream % 64)) & 1 == 1,
+        }
+    }
+
+    /// Runs the `len` shots of streams `start .. start + len` and returns
+    /// the failure count — the engine's batch entry point.
+    ///
+    /// Per-shot kernels just loop.  Packed kernels run each 64-lane group
+    /// overlapping the range once and popcount the in-range lanes, so a
+    /// group-aligned batch (the default `batch_size` of 64) costs exactly
+    /// one `run_group` call.
+    pub fn run_range(&self, start: u64, len: usize) -> usize {
+        match &self.kernel {
+            KernelImpl::PerShot(kernel) => (0..len)
+                .filter(|&offset| kernel.run(start + offset as u64))
+                .count(),
+            KernelImpl::Packed(kernel) => {
+                if len == 0 {
+                    return 0;
+                }
+                let end = start + len as u64;
+                let mut failures = 0usize;
+                for group in start / 64..=(end - 1) / 64 {
+                    let lo = start.saturating_sub(group * 64).min(64) as u32;
+                    let hi = (end - group * 64).min(64) as u32;
+                    // lanes lo..hi of this group are in range
+                    let mask = if hi - lo == 64 {
+                        u64::MAX
+                    } else {
+                        ((1u64 << (hi - lo)) - 1) << lo
+                    };
+                    failures += (kernel.run_group(group) & mask).count_ones() as usize;
+                }
+                failures
+            }
+        }
     }
 }
 
@@ -238,7 +349,10 @@ pub struct SweepConfig {
     pub target_rse: Option<f64>,
     /// The `z` quantile of the Wilson interval (default [`Z_95`]).
     pub confidence_z: f64,
-    /// Work-stealing granularity: shots per scheduled batch.
+    /// Work-stealing granularity: shots per scheduled batch.  The default
+    /// (64) matches the packed kernels' group width, so a packed point
+    /// computes each group exactly once; any value works for any kernel —
+    /// tallies are batch-size-independent either way.
     pub batch_size: usize,
     /// Worker threads; `None` uses [`std::thread::available_parallelism`].
     pub num_threads: Option<usize>,
@@ -266,7 +380,7 @@ impl SweepConfig {
             shot_ceiling: shots,
             target_rse: None,
             confidence_z: Z_95,
-            batch_size: 32,
+            batch_size: 64,
             num_threads: None,
             checkpoint: None,
             resume: false,
@@ -911,12 +1025,7 @@ fn worker(shared: &Shared<'_>) {
         };
 
         let started = Instant::now();
-        let mut failures = 0usize;
-        for offset in 0..batch.len {
-            if shared.points[batch.point].run(batch.start + offset as u64) {
-                failures += 1;
-            }
-        }
+        let failures = shared.points[batch.point].run_range(batch.start, batch.len);
         let busy = started.elapsed().as_secs_f64();
 
         let mut state = shared.state.lock().expect("engine lock poisoned");
@@ -1244,6 +1353,73 @@ mod tests {
             .unwrap()])
             .unwrap();
         assert_eq!(report.point("mem").unwrap().failures, expected.failures);
+    }
+
+    #[test]
+    fn packed_memory_point_matches_estimate_packed() {
+        use rand_chacha::ChaCha8Rng;
+        let config = MemoryExperimentConfig::new(3, 2e-2);
+        let experiment = MemoryExperiment::new(config).unwrap();
+        // a shot count straddling a group boundary exercises tail masking
+        let expected =
+            experiment.estimate_packed::<ChaCha8Rng>(150, DecodingStrategy::MbbeFree, 0xBEEF);
+        let report = SweepRunner::new(SweepConfig::fixed(150))
+            .run(vec![SweepPoint::from_memory_packed::<ChaCha8Rng>(
+                "mem_packed",
+                config,
+                DecodingStrategy::MbbeFree,
+                0xBEEF,
+            )
+            .unwrap()])
+            .unwrap();
+        assert_eq!(
+            report.point("mem_packed").unwrap().failures,
+            expected.failures
+        );
+    }
+
+    #[test]
+    fn packed_points_are_batch_size_independent() {
+        // A deterministic toy group kernel: the failure mask is a hash of
+        // the group index, so any misrouted lane shows up in the tally.
+        let group_kernel = |group: u64| group.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ group << 7;
+        let reference: u32 = (0..3u64) // 155 shots = 2 full groups + 27 lanes
+            .map(|g| {
+                let mask = if g == 2 { (1u64 << 27) - 1 } else { u64::MAX };
+                (group_kernel(g) & mask).count_ones()
+            })
+            .sum();
+        for (threads, batch) in [(1, 64), (4, 64), (3, 7), (2, 100), (1, 1)] {
+            let config = SweepConfig::fixed(155)
+                .with_threads(threads)
+                .with_batch_size(batch);
+            let report = SweepRunner::new(config)
+                .run(vec![SweepPoint::new_packed("p", group_kernel)])
+                .unwrap();
+            assert_eq!(
+                report.point("p").unwrap().failures,
+                reference as usize,
+                "threads {threads} batch {batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_point_run_extracts_single_lanes() {
+        let group_kernel = |group: u64| group + 1; // bit 0 set in group 0, bit 1 in group 1 …
+        let point = SweepPoint::new_packed("p", group_kernel);
+        assert!(point.run(0));
+        assert!(!point.run(1));
+        assert!(point.run(65));
+        assert_eq!(
+            point.run_range(0, 130),
+            (0..130).filter(|&s| point.run(s)).count()
+        );
+        assert_eq!(point.run_range(70, 0), 0);
+        assert_eq!(
+            point.run_range(63, 3),
+            (63..66).filter(|&s| point.run(s)).count()
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod engine;
 mod chip;
 mod detection_experiment;
 mod memory;
+mod packed;
 mod parallel;
 
 pub use chip::{
@@ -53,12 +54,14 @@ pub use chip::{
 };
 pub use detection_experiment::{DetectionExperiment, DetectionExperimentConfig, DetectionTrial};
 pub use engine::{
-    EngineError, PointReport, ShotKernel, SweepConfig, SweepPoint, SweepReport, SweepRunner,
+    EngineError, PackedShotKernel, PointReport, ShotKernel, SweepConfig, SweepPoint, SweepReport,
+    SweepRunner,
 };
 pub use memory::{
     AnomalyInjection, DecodingStrategy, EstimateResult, MemoryExperiment, MemoryExperimentConfig,
     ShotOutcome,
 };
+pub use packed::PackedShotBatch;
 pub use parallel::{
     run_shots_auto, run_shots_fold, run_shots_fold_auto, run_shots_parallel, shot_stream_seed,
 };

@@ -225,6 +225,11 @@ impl MemoryExperiment {
         self.region.as_ref()
     }
 
+    /// The X-sector matching graph the experiment samples and decodes over.
+    pub(crate) fn graph(&self) -> &MatchingGraph {
+        &self.graph
+    }
+
     /// The noise model a shot with the given strategy experiences.
     pub fn noise_model(&self, strategy: DecodingStrategy) -> NoiseModel {
         let mut model = NoiseModel::uniform(self.config.physical_error_rate);
@@ -270,8 +275,9 @@ impl MemoryExperiment {
     /// randomly placed strike fan-out) without rebuilding the experiment.
     ///
     /// The RNG call order is identical to [`MemoryExperiment::sample_history`]
-    /// for any noise model with a positive base rate, so per-patch streams
-    /// stay reproducible across the single-patch and chip paths.
+    /// for *every* noise model — each qubit consumes exactly one uniform
+    /// draw per cycle regardless of its rate — so per-patch streams stay
+    /// reproducible across the single-patch and chip paths.
     pub fn sample_history_with<R: Rng + ?Sized>(
         &self,
         noise: &NoiseModel,
@@ -454,6 +460,40 @@ impl MemoryExperiment {
             rounds: self.config.effective_rounds(),
         }
     }
+
+    /// Builds the bit-packed batch kernel for this experiment: 64 shots per
+    /// machine word, sampled with its own group-level RNG discipline (see
+    /// [`crate::PackedShotBatch`]).  The batch owns a clone of the
+    /// experiment, so the scalar path and its warm decoder pool are
+    /// untouched.
+    pub fn packed<R>(&self, strategy: DecodingStrategy, base_seed: u64) -> crate::PackedShotBatch<R>
+    where
+        R: Rng + SeedableRng,
+    {
+        crate::PackedShotBatch::new(self.clone(), strategy, base_seed)
+    }
+
+    /// Monte-Carlo estimate through the packed batch kernel — the
+    /// high-throughput counterpart of [`MemoryExperiment::estimate_parallel`].
+    ///
+    /// The packed path samples whole 64-lane groups from per-group RNG
+    /// streams, so for a given `(base_seed, shots)` it is deterministic and
+    /// machine-independent, but its failure set is *not* the per-shot
+    /// stream set of the scalar path — pin packed against scalar with
+    /// [`crate::PackedShotBatch::replay_lane_scalar`], which replays the
+    /// packed noise realizations through the scalar decode machinery.
+    pub fn estimate_packed<R>(
+        &self,
+        shots: usize,
+        strategy: DecodingStrategy,
+        base_seed: u64,
+    ) -> EstimateResult
+    where
+        R: Rng + SeedableRng,
+    {
+        self.packed::<R>(strategy, base_seed)
+            .estimate_parallel(shots)
+    }
 }
 
 #[cfg(test)]
@@ -574,6 +614,46 @@ mod tests {
             rounds: 7,
         };
         let _ = a.merge(&b);
+    }
+
+    #[test]
+    fn zero_base_rate_replays_identically_with_an_active_anomaly() {
+        // Regression test for the rate-dependent draw-order bug: a
+        // zero-rate qubit must still consume its per-cycle draw, so the
+        // anomalous qubits land on the same stream positions whether the
+        // base rate is 0 or (negligibly) positive.
+        let anomaly = AnomalyInjection::centered(2, 0.5);
+        let zero = MemoryExperiment::new(MemoryExperimentConfig::new(5, 0.0).with_anomaly(anomaly))
+            .unwrap();
+        let tiny =
+            MemoryExperiment::new(MemoryExperimentConfig::new(5, 1e-12).with_anomaly(anomaly))
+                .unwrap();
+        for seed in 0..20u64 {
+            let (hz, pz) = zero.sample_history(DecodingStrategy::Blind, &mut rng(seed));
+            let (ht, pt) = tiny.sample_history(DecodingStrategy::Blind, &mut rng(seed));
+            assert_eq!(hz, ht, "seed {seed}: histories must stay stream-aligned");
+            assert_eq!(pz, pt, "seed {seed}");
+            // the chip-path replay decodes the same shot bit-identically
+            let a = zero.run_shot(DecodingStrategy::Blind, &mut rng(seed));
+            let b = zero.run_shot_with(
+                &[*zero.region().unwrap()],
+                DecodingStrategy::Blind,
+                &mut rng(seed),
+            );
+            assert_eq!(a, b, "seed {seed}");
+        }
+        // the burst is the only noise source, and it must actually fire
+        let events: usize = (0..20u64)
+            .map(|seed| {
+                zero.sample_history(DecodingStrategy::Blind, &mut rng(seed))
+                    .0
+                    .num_detection_events()
+            })
+            .sum();
+        assert!(
+            events > 0,
+            "a p_ano = 0.5 burst at p = 0 must produce events"
+        );
     }
 
     #[test]

@@ -209,6 +209,73 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
+/// A biased-bit sampler producing 64 independent Bernoulli draws per call —
+/// one bit lane per draw.
+///
+/// The success probability is quantised exactly like the scalar flip test
+/// `f64::sample(rng) < p` (53 mantissa bits): a draw succeeds iff a uniform
+/// 53-bit integer `k` satisfies `k < ceil(p · 2^53)`, so the packed and
+/// scalar paths share the same marginal to the last ulp.
+///
+/// Sampling walks the binary expansion of the threshold most-significant bit
+/// first, consuming one random word per bit and retiring every lane whose
+/// comparison is already decided; it stops as soon as all 64 lanes are
+/// decided, which takes `log2(64) + O(1) ≈ 7–8` words in expectation —
+/// independent of `p` — instead of the 64 words a lane-by-lane scalar
+/// sampler would burn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedBernoulli {
+    /// `ceil(p · 2^53)`, in `0..=2^53`.
+    threshold: u64,
+}
+
+impl PackedBernoulli {
+    /// Creates a sampler with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        let scale = (1u64 << 53) as f64;
+        let threshold = ((p * scale).ceil() as u64).min(1 << 53);
+        Self { threshold }
+    }
+
+    /// The exact success probability of each lane, `threshold / 2^53`.
+    pub fn probability(&self) -> f64 {
+        self.threshold as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draws 64 independent Bernoulli samples; bit `l` of the result is
+    /// lane `l`'s draw.
+    pub fn sample_u64<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.threshold >= 1 << 53 {
+            return u64::MAX;
+        }
+        // Compare a fresh uniform 53-bit integer k (one random bit per lane
+        // per step) against the threshold t, MSB first: at the first bit
+        // where they differ the lane is decided (k_bit < t_bit → success).
+        // Lanes whose bits matched t exactly through all 53 steps have
+        // k == t, i.e. k < t is false.
+        let mut successes = 0u64;
+        let mut undecided = u64::MAX;
+        for j in (0..53).rev() {
+            let w = rng.next_u64();
+            if (self.threshold >> j) & 1 == 1 {
+                successes |= undecided & !w;
+                undecided &= w;
+            } else {
+                undecided &= !w;
+            }
+            if undecided == 0 {
+                break;
+            }
+        }
+        successes
+    }
+}
+
 /// Commonly imported traits, mirroring `rand::prelude`.
 pub mod prelude {
     pub use crate::{Rng, RngCore, SeedableRng};
@@ -314,6 +381,63 @@ mod tests {
         let mut rng = SplitMix64(4);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
         assert!((2000..3000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn packed_bernoulli_matches_the_scalar_marginal() {
+        // The packed sampler must hit the same quantised probability as the
+        // scalar `f64::sample(rng) < p` test: ceil(p · 2^53) / 2^53.
+        for &p in &[0.0, 2e-2, 0.25, 0.5, 2.0 / 3.0, 1.0] {
+            let sampler = PackedBernoulli::new(p);
+            assert!((sampler.probability() - p).abs() < 1e-12, "p={p}");
+            let mut rng = SplitMix64(9);
+            let draws = 4000u64;
+            let mut hits = 0u64;
+            for _ in 0..draws {
+                hits += sampler.sample_u64(&mut rng).count_ones() as u64;
+            }
+            let frac = hits as f64 / (draws * 64) as f64;
+            assert!(
+                (frac - p).abs() < 0.01,
+                "p={p}: packed fraction {frac} off by more than 1%"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_bernoulli_lanes_are_independent() {
+        // Adjacent lanes must not be correlated: the joint frequency of
+        // (lane i, lane i+1) both succeeding should be ≈ p².
+        let sampler = PackedBernoulli::new(0.5);
+        let mut rng = SplitMix64(11);
+        let draws = 8000;
+        let mut both = 0u64;
+        for _ in 0..draws {
+            let w = sampler.sample_u64(&mut rng);
+            both += (w & (w >> 1) & 0x7FFF_FFFF_FFFF_FFFF).count_ones() as u64;
+        }
+        let frac = both as f64 / (draws * 63) as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.02,
+            "pairwise success fraction {frac} should be ≈ 0.25"
+        );
+    }
+
+    #[test]
+    fn packed_bernoulli_extremes_are_exact() {
+        let mut rng = SplitMix64(13);
+        let never = PackedBernoulli::new(0.0);
+        let always = PackedBernoulli::new(1.0);
+        for _ in 0..100 {
+            assert_eq!(never.sample_u64(&mut rng), 0);
+            assert_eq!(always.sample_u64(&mut rng), u64::MAX);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn packed_bernoulli_rejects_invalid_probability() {
+        let _ = PackedBernoulli::new(1.5);
     }
 
     #[test]
