@@ -63,8 +63,19 @@ pub struct DetectedAnomaly {
 
 impl DetectedAnomaly {
     /// Detection latency implied by the onset estimate.
+    ///
+    /// Detections produced by [`AnomalyDetector::observe_layer`] always
+    /// satisfy `estimated_onset_cycle <= detection_cycle` (the onset is the
+    /// start of the window that *ends* at the detection cycle, and the
+    /// window is at least one cycle long).  `DetectedAnomaly` has public
+    /// fields, though, so hand-built values — replayed logs, synthetic
+    /// fixtures, degenerate window arithmetic — may violate that invariant;
+    /// the subtraction saturates to 0 rather than underflowing (which
+    /// panicked in debug builds and wrapped to an absurd latency in
+    /// release).
     pub fn estimated_latency(&self) -> u64 {
-        self.detection_cycle - self.estimated_onset_cycle
+        self.detection_cycle
+            .saturating_sub(self.estimated_onset_cycle)
     }
 }
 
@@ -336,6 +347,33 @@ mod tests {
         );
         assert!(d.triggered_nodes.len() > 20);
         assert!(d.estimated_latency() <= window as u64);
+    }
+
+    #[test]
+    fn estimated_latency_saturates_at_the_window_boundary() {
+        // The earliest possible detection fires at cycle `window - 1` (the
+        // first cycle with a full window), whose onset estimate is exactly
+        // 0 — the boundary where `detection_cycle - estimated_onset_cycle`
+        // has no slack.  A hand-built anomaly one past that boundary
+        // (onset > detection, as degenerate window arithmetic used to
+        // produce) must yield 0, not underflow.
+        let boundary = DetectedAnomaly {
+            detection_cycle: 9,
+            estimated_onset_cycle: (9 + 1u64).saturating_sub(10), // window = 10
+            estimated_center: Coord::new(0, 1),
+            triggered_nodes: vec![0],
+        };
+        assert_eq!(boundary.estimated_onset_cycle, 0);
+        assert_eq!(boundary.estimated_latency(), 9);
+        let degenerate = DetectedAnomaly {
+            estimated_onset_cycle: 10, // one past the detection cycle
+            ..boundary.clone()
+        };
+        assert_eq!(
+            degenerate.estimated_latency(),
+            0,
+            "an onset estimate past the detection cycle must saturate to 0"
+        );
     }
 
     #[test]

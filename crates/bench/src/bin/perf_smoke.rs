@@ -15,11 +15,12 @@
 
 use q3de::decoder::{ContextPool, DecoderConfig, MatcherKind, SyndromeHistory};
 use q3de::lattice::ErrorKind;
+use q3de::service::{DecodeServer, ServiceConfig};
 use q3de::sim::engine::json::JsonValue;
 use q3de::sim::engine::SweepPoint;
 use q3de::sim::{
     AnomalyInjection, ChipMemoryExperimentConfig, ChipStrikePolicy, DecodingStrategy,
-    MemoryExperiment, MemoryExperimentConfig,
+    MemoryExperiment, MemoryExperimentConfig, WindowSource,
 };
 use q3de_bench::{format_row, ExperimentArgs};
 use rand::SeedableRng;
@@ -55,6 +56,75 @@ fn decode_window_point(base_seed: u64) -> SweepPoint {
                 .is_logical_failure(*parity)
         })
     })
+}
+
+/// A functional smoke of the decode service: a two-tenant shard (one
+/// quiet, one under constant strikes) decodes a short window stream; the
+/// resulting [`q3de::service::ServiceReport`] must serialize to JSON the
+/// engine parser accepts, with finite tail latencies and every window
+/// accounted for.  Exits non-zero on any violation — this is the
+/// perf-smoke hook the CI service job leans on.
+fn service_smoke(base_seed: u64, matcher: MatcherKind) {
+    const WINDOWS: u64 = 32;
+    let quiet = WindowSource::new(MemoryExperimentConfig::new(3, 5e-3), 0.0, base_seed)
+        .expect("valid config");
+    let struck_config =
+        MemoryExperimentConfig::new(3, 5e-3).with_anomaly(AnomalyInjection::centered(1, 0.5));
+    let struck = WindowSource::new(struck_config, 1.0, base_seed ^ 1).expect("valid config");
+    let server = DecodeServer::new(
+        ServiceConfig::new(2).with_decoder(DecoderConfig::default().with_matcher(matcher)),
+    );
+    let tenants = [
+        server.register(quiet.graph().clone(), 5e-3, WINDOWS as usize),
+        server.register(struck.graph().clone(), 5e-3, WINDOWS as usize),
+    ];
+    for stream in 0..WINDOWS {
+        server
+            .submit(tenants[0], quiet.window::<ChaCha8Rng>(stream))
+            .expect("smoke queue sized for the full stream");
+        server
+            .submit(tenants[1], struck.window::<ChaCha8Rng>(stream))
+            .expect("smoke queue sized for the full stream");
+    }
+    let report = server.finish();
+    let doc = match JsonValue::parse(&report.to_json()) {
+        Ok(doc) => doc,
+        Err(error) => {
+            eprintln!("service smoke FAILED: report is not valid JSON: {error}");
+            std::process::exit(2);
+        }
+    };
+    let parsed = doc
+        .get("service")
+        .and_then(|s| s.get("tenants"))
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&[]);
+    let healthy = parsed.len() == 2
+        && parsed.iter().all(|tenant| {
+            tenant
+                .get("p999_ns")
+                .and_then(JsonValue::as_f64)
+                .is_some_and(f64::is_finite)
+                && tenant.get("completed").and_then(JsonValue::as_usize) == Some(WINDOWS as usize)
+        });
+    if !healthy {
+        eprintln!("service smoke FAILED: {}", report.to_json());
+        std::process::exit(2);
+    }
+    for tenant in &report.tenants {
+        eprintln!(
+            "{}",
+            format_row(
+                &format!("service/tenant{}", tenant.tenant),
+                &[
+                    format!("{:>8} windows", tenant.completed),
+                    format!("{:>10.1} us p99", tenant.p99_ns as f64 / 1000.0),
+                    format!("{:>8} rollbacks", tenant.rolled_back),
+                    format!("{:>8} builds", tenant.graph_builds),
+                ],
+            )
+        );
+    }
 }
 
 /// The `shots_per_sec` entries of a report document, in document order.
@@ -226,6 +296,10 @@ fn main() {
         report.wall_clock_secs,
         report.threads
     );
+
+    // Functional smoke of the decode service (not baseline-gated: it
+    // checks health, not throughput).
+    service_smoke(args.stream_seed(5), args.matcher);
 
     let Some(baseline_path) = baseline_path else {
         return;

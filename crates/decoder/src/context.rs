@@ -26,13 +26,28 @@ use std::fmt;
 use std::sync::Mutex;
 
 /// The structural identity of a cached space-time graph: error kind, layer
-/// graph shape, and window depth.  A decode call whose key differs from the
-/// cache's rebuilds the graph (this is what happens on code
-/// expansion/shrink or a change in window depth).
-type CacheKey = (ErrorKind, usize, usize, usize);
+/// graph shape (node and edge counts), and window depth.  A decode call
+/// whose key differs from the cache's rebuilds the graph (this is what
+/// happens on code expansion/shrink or a change in window depth).
+///
+/// Exposed so multi-tenant schedulers can route work to a context whose
+/// cache already holds the right structure (see
+/// [`ContextPool::with_affinity`]); build one with [`graph_key`].
+pub type GraphKey = (ErrorKind, usize, usize, usize);
+
+/// The [`GraphKey`] a decode of `num_layers` layers over `graph` caches
+/// under — the affinity key for [`ContextPool::with_affinity`].
+pub fn graph_key(graph: &MatchingGraph, num_layers: usize) -> GraphKey {
+    (
+        graph.kind(),
+        graph.num_nodes(),
+        graph.num_edges(),
+        num_layers.max(1),
+    )
+}
 
 struct GraphCache {
-    key: CacheKey,
+    key: GraphKey,
     spacetime: SpaceTimeGraph,
     /// The model whose weights are currently installed in `spacetime` —
     /// the cache's *weight epoch*.
@@ -106,6 +121,15 @@ impl DecoderContext {
         self.cache.is_some()
     }
 
+    /// The structural key of the cached space-time graph, if any — what a
+    /// decode must match to reuse the cache without a rebuild.  Schedulers
+    /// that multiplex heterogeneous workloads over a shared pool compare
+    /// this against [`graph_key`] of the next window to route work onto an
+    /// already-warm context (see [`ContextPool::with_affinity`]).
+    pub fn cached_structure(&self) -> Option<GraphKey> {
+        self.cache.as_ref().map(|cache| cache.key)
+    }
+
     /// How many times the context has built a space-time graph from
     /// scratch — the number a cold per-call decoder would multiply by its
     /// decode count.  Exposed so reuse tests can assert the cache worked.
@@ -173,12 +197,7 @@ impl DecoderContext {
             return DecodeOutcome::default();
         }
         let num_layers = num_layers.max(1);
-        let key: CacheKey = (
-            graph.kind(),
-            graph.num_nodes(),
-            graph.num_edges(),
-            num_layers,
-        );
+        let key: GraphKey = graph_key(graph, num_layers);
         match &mut self.cache {
             Some(cache) if cache.key == key => {
                 if cache.model != *model {
@@ -305,16 +324,81 @@ impl ContextPool {
         self.pool.lock().expect("context pool poisoned").len()
     }
 
-    /// Runs `f` with a pooled context, checking it back in afterwards.  If
-    /// `f` panics the context is dropped, never returned to the pool.
-    pub fn with<T>(&self, f: impl FnOnce(&mut DecoderContext) -> T) -> T {
-        let checked_out = self.pool.lock().expect("context pool poisoned").pop();
-        let mut context = checked_out.unwrap_or_else(|| DecoderContext::new(self.config));
-        let result = f(&mut context);
+    /// Checks a context out of the pool, creating a cold one when every
+    /// pooled context is busy.  Pair with [`ContextPool::checkin`]; the
+    /// closure-style [`ContextPool::with`]/[`ContextPool::with_affinity`]
+    /// wrappers do that automatically and should be preferred unless the
+    /// checkout must outlive a closure (e.g. a long-running service worker
+    /// holding a context across a blocking decode).
+    pub fn checkout(&self) -> DecoderContext {
+        self.pool
+            .lock()
+            .expect("context pool poisoned")
+            .pop()
+            .unwrap_or_else(|| DecoderContext::new(self.config))
+    }
+
+    /// Checks a context out of the pool, preferring one whose cached
+    /// space-time graph already matches `key` (see [`graph_key`]), then a
+    /// context with no cached graph at all, and only then a cold new one.
+    /// A warm context cached for a *different* structure is never
+    /// repurposed — evicting it would ping-pong rebuilds whenever fewer
+    /// workers than window structures share the pool.  This is what keeps
+    /// a heterogeneous multi-tenant shard rebuild-free: each distinct
+    /// structure gravitates onto its own warm context, and the pool grows
+    /// to at most one idle context per distinct structure plus one per
+    /// concurrent checkout.
+    pub fn checkout_for(&self, key: GraphKey) -> DecoderContext {
+        let mut pool = self.pool.lock().expect("context pool poisoned");
+        if let Some(index) = pool
+            .iter()
+            .position(|context| context.cached_structure() == Some(key))
+        {
+            return pool.swap_remove(index);
+        }
+        if let Some(index) = pool
+            .iter()
+            .position(|context| context.cached_structure().is_none())
+        {
+            return pool.swap_remove(index);
+        }
+        DecoderContext::new(self.config)
+    }
+
+    /// Returns a context to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context's configuration differs from the pool's — a
+    /// foreign context would silently decode later checkouts with the
+    /// wrong backend.
+    pub fn checkin(&self, context: DecoderContext) {
+        assert_eq!(
+            context.config(),
+            self.config,
+            "checked-in context does not match the pool configuration"
+        );
         self.pool
             .lock()
             .expect("context pool poisoned")
             .push(context);
+    }
+
+    /// Runs `f` with a pooled context, checking it back in afterwards.  If
+    /// `f` panics the context is dropped, never returned to the pool.
+    pub fn with<T>(&self, f: impl FnOnce(&mut DecoderContext) -> T) -> T {
+        let mut context = self.checkout();
+        let result = f(&mut context);
+        self.checkin(context);
+        result
+    }
+
+    /// Runs `f` with a pooled context that prefers the structure `key`
+    /// (see [`ContextPool::checkout_for`]), checking it back in afterwards.
+    pub fn with_affinity<T>(&self, key: GraphKey, f: impl FnOnce(&mut DecoderContext) -> T) -> T {
+        let mut context = self.checkout_for(key);
+        let result = f(&mut context);
+        self.checkin(context);
         result
     }
 }
@@ -467,5 +551,64 @@ mod tests {
         assert_eq!(pool.config().matcher, MatcherKind::UnionFind);
         // a clone starts cold
         assert_eq!(pool.clone().idle_contexts(), 0);
+    }
+
+    #[test]
+    fn affinity_checkout_routes_structures_to_their_warm_contexts() {
+        let pool = ContextPool::new(DecoderConfig::default());
+        let small = SurfaceCode::new(3).unwrap();
+        let large = SurfaceCode::new(5).unwrap();
+        let gs = small.matching_graph(ErrorKind::X);
+        let gl = large.matching_graph(ErrorKind::X);
+        let error: PauliString = [(Coord::new(0, 0), Pauli::X)].into_iter().collect();
+        let hs = static_history(&small, &error, 3);
+        let hl = static_history(&large, &error, 3);
+        let model = WeightModel::uniform(1e-3);
+        let ks = graph_key(&gs, hs.num_layers());
+        let kl = graph_key(&gl, hl.num_layers());
+        assert_ne!(ks, kl);
+
+        // Warm one context per structure (checked out simultaneously so
+        // the pool is forced to create two).
+        let mut a = pool.checkout_for(ks);
+        let mut b = pool.checkout_for(kl);
+        a.decode(&gs, &hs, &model);
+        b.decode(&gl, &hl, &model);
+        assert_eq!(a.cached_structure(), Some(ks));
+        assert_eq!(b.cached_structure(), Some(kl));
+        pool.checkin(a);
+        pool.checkin(b);
+        assert_eq!(pool.idle_contexts(), 2);
+
+        // Interleaved heterogeneous decodes: affinity must find the
+        // matching warm context every time, so no structure ever rebuilds.
+        for _ in 0..4 {
+            pool.with_affinity(ks, |context| {
+                context.decode(&gs, &hs, &model);
+                assert_eq!(context.graph_builds(), 1, "small context stays warm");
+            });
+            pool.with_affinity(kl, |context| {
+                context.decode(&gl, &hl, &model);
+                assert_eq!(context.graph_builds(), 1, "large context stays warm");
+            });
+        }
+        // Plain `with` (no affinity) on the same pool would have rebuilt:
+        // it pops in LIFO order, which alternates structures here.
+        let total_builds: u64 = {
+            let a = pool.checkout();
+            let b = pool.checkout();
+            let builds = a.graph_builds() + b.graph_builds();
+            pool.checkin(a);
+            pool.checkin(b);
+            builds
+        };
+        assert_eq!(total_builds, 2, "one build per structure, ever");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the pool configuration")]
+    fn foreign_contexts_are_rejected_at_checkin() {
+        let pool = ContextPool::new(DecoderConfig::default().with_matcher(MatcherKind::UnionFind));
+        pool.checkin(DecoderContext::new(DecoderConfig::default()));
     }
 }

@@ -6,7 +6,7 @@ use q3de_lattice::MatchingGraph;
 use q3de_matching::{DecoderBackend, ExactBackend, GreedyBackend, MatcherKind, UnionFindDecoder};
 
 /// Tuning knobs of the [`SurfaceDecoder`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecoderConfig {
     /// Which matching backend decodes the syndrome windows.
     pub matcher: MatcherKind,

@@ -79,7 +79,7 @@ mod spacetime;
 mod syndrome;
 mod weights;
 
-pub use context::{ContextPool, DecoderContext};
+pub use context::{graph_key, ContextPool, DecoderContext, GraphKey};
 pub use decode::{DecodeOutcome, DecoderConfig, MatchedPair, SurfaceDecoder};
 pub use rollback::{ReExecutingDecoder, ReExecutionOutcome};
 pub use spacetime::{BoundarySide, SpaceTimeCosts, SpaceTimeGraph};

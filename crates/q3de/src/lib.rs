@@ -39,6 +39,10 @@
 //! coordinates (they may straddle patches) and every `op_expand` arbitrated
 //! against a shared spare-qubit pool
 //! ([`control::ExpansionArbiter`]).
+//! [`service::DecodeServer`] turns the decoding stack into a long-running
+//! shard: many chips (tenants) multiplexed over a fixed worker set with
+//! bounded queues, round-robin fairness, a shared warm
+//! [`decoder::ContextPool`] and per-tenant p50/p99/p999 latency reporting.
 //!
 //! ## Quickstart
 //!
@@ -66,9 +70,14 @@
 #![deny(missing_docs)]
 
 pub mod pipeline;
+pub mod service;
 pub mod system;
 
 pub use pipeline::{EpisodeReport, PipelineConfig, Q3dePipeline};
+pub use service::{
+    DecodeRequest, DecodeServer, LatencyHistogram, ServiceConfig, ServiceReport, SubmitError,
+    TenantId, TenantReport, WindowTicket,
+};
 pub use system::{ExpansionOutcome, SystemConfig, SystemPipeline, SystemReport};
 
 /// The statistical anomaly-detection unit.

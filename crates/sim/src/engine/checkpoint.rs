@@ -7,7 +7,7 @@
 //! *bit-identical* to an uninterrupted one: the resumed run simply executes
 //! the remaining streams.
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use super::json::JsonValue;
 use super::EngineError;
@@ -60,21 +60,15 @@ impl Checkpoint {
         })
     }
 
-    /// Saves the checkpoint to `path` atomically (write to a sibling
-    /// temporary file, then rename), so a crash mid-write never corrupts an
-    /// existing checkpoint.
+    /// Saves the checkpoint to `path` atomically (via
+    /// [`super::write_atomic`]: write to a sibling temporary file, then
+    /// rename), so a crash mid-write never corrupts an existing checkpoint.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Io`] when the file cannot be written.
     pub fn save(&self, path: &Path) -> Result<(), EngineError> {
-        let io = |source| EngineError::Io {
-            path: path.to_path_buf(),
-            source,
-        };
-        let tmp: PathBuf = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json().to_string()).map_err(io)?;
-        std::fs::rename(&tmp, path).map_err(io)
+        super::write_atomic(path, &self.to_json().to_string())
     }
 
     /// The checkpoint as a JSON document.

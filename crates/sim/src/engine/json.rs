@@ -63,11 +63,24 @@ impl JsonValue {
         }
     }
 
-    /// The value as a non-negative integer, if it is an integral number.
+    /// The value as a non-negative integer, if it is an integral number in
+    /// the exactly-representable range.
+    ///
+    /// Only values below `2^53` qualify: above that, `f64` cannot represent
+    /// every integer, so a parsed number no longer identifies one unique
+    /// integer (and `u64::MAX as f64` rounds *up* to `2^64`, which a bare
+    /// `<= u64::MAX as f64` bound would wrongly accept before the `as usize`
+    /// cast saturated it).  The value must also fit `usize`, which is
+    /// checked precisely via `try_from` so 32-bit targets reject rather
+    /// than truncate.
     pub fn as_usize(&self) -> Option<usize> {
+        const TWO_POW_53: f64 = 9_007_199_254_740_992.0;
         match self {
-            JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
-                Some(*x as usize)
+            JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x < TWO_POW_53 => {
+                // x < 2^53 with zero fraction is exactly representable, so
+                // the u64 cast is lossless; the usize conversion is the
+                // precise platform-width check.
+                usize::try_from(*x as u64).ok()
             }
             _ => None,
         }
@@ -413,6 +426,34 @@ mod tests {
         assert_eq!(arr.as_array().unwrap()[3].as_bool(), Some(true));
         assert_eq!(v.get("n"), Some(&JsonValue::Null));
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn as_usize_is_bounded_to_the_exact_integer_range() {
+        const TWO_POW_53: f64 = 9_007_199_254_740_992.0;
+        // In range: exact integers round-trip through text and back.
+        for n in [0u64, 1, 400, (1 << 53) - 1] {
+            let v = JsonValue::Number(n as f64);
+            assert_eq!(v.as_usize(), Some(n as usize), "{n}");
+            assert_eq!(roundtrip(&v).as_usize(), Some(n as usize), "{n}");
+        }
+        // Out of range or non-integral: every ambiguous value is rejected
+        // instead of silently saturated/truncated.  `u64::MAX as f64` is
+        // the historical bug: it rounds up to 2^64, which the old
+        // `<= u64::MAX as f64` bound accepted.
+        for x in [
+            TWO_POW_53,
+            TWO_POW_53 * 2.0,
+            u64::MAX as f64,
+            1e300,
+            -1.0,
+            0.5,
+            f64::INFINITY,
+            f64::NAN,
+        ] {
+            assert_eq!(JsonValue::Number(x).as_usize(), None, "{x}");
+        }
+        assert_eq!(JsonValue::String("3".into()).as_usize(), None);
     }
 
     #[test]

@@ -629,17 +629,39 @@ impl SweepReport {
         ])
     }
 
-    /// Writes the JSON report to `path`.
+    /// Writes the JSON report to `path` atomically (via [`write_atomic`]),
+    /// so a killed run leaves either the previous report or the new one on
+    /// disk — never a truncated document for the CI perf gate to mis-parse.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Io`] when the file cannot be written.
     pub fn write_json(&self, path: &Path) -> Result<(), EngineError> {
-        std::fs::write(path, format!("{}\n", self.to_json())).map_err(|source| EngineError::Io {
-            path: path.to_path_buf(),
-            source,
-        })
+        write_atomic(path, &format!("{}\n", self.to_json()))
     }
+}
+
+/// Writes `contents` to `path` atomically: the bytes go to a sibling
+/// `.tmp` file first and only a successful write is renamed over `path`.
+/// A crash mid-write therefore never leaves a truncated file where a
+/// previous (complete) version existed — readers observe either the old
+/// document or the new one.  Checkpoints ([`Checkpoint::save`]) and
+/// reports ([`SweepReport::write_json`]) both persist through this helper;
+/// it is public so other JSON-artifact writers (e.g. the service bench)
+/// get the same guarantee.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Io`] when the temporary file cannot be written
+/// or renamed; `path` is untouched in that case.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), EngineError> {
+    let io = |source| EngineError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let tmp: PathBuf = path.with_extension("tmp");
+    std::fs::write(&tmp, contents).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
 }
 
 /// A batch of contiguous shot streams of one point.
@@ -1460,6 +1482,39 @@ mod tests {
             Some(report.points[0].shots)
         );
         assert_eq!(parsed.get("version").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
+    fn report_write_is_atomic_never_partial() {
+        // A pre-existing report must stay intact when a new write cannot
+        // complete: the writer goes through a sibling `.tmp` file, so a
+        // failure before the rename leaves the old document untouched
+        // (readers see old or new, never a truncated hybrid).  Blocking the
+        // temporary path with a directory forces exactly that failure.
+        let path = temp_path("atomic_report.json");
+        let tmp = path.with_extension("tmp");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&tmp);
+        let report = SweepRunner::new(SweepConfig::fixed(32))
+            .run(vec![SweepPoint::new("x", noisy_kernel(10))])
+            .unwrap();
+        report.write_json(&path).unwrap();
+        let old = std::fs::read_to_string(&path).unwrap();
+        JsonValue::parse(&old).expect("the first report must be complete");
+
+        std::fs::create_dir_all(&tmp).unwrap(); // sabotage the tmp slot
+        let err = report.write_json(&path).unwrap_err();
+        assert!(matches!(err, EngineError::Io { .. }), "{err}");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            old,
+            "a failed write must leave the previous report byte-identical"
+        );
+
+        std::fs::remove_dir_all(&tmp).unwrap();
+        report.write_json(&path).unwrap(); // and a clean retry succeeds
+        JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod detection_experiment;
 mod memory;
 mod packed;
 mod parallel;
+mod stream;
 
 pub use chip::{
     chip_patch_seed, ChipEstimate, ChipMemoryExperiment, ChipMemoryExperimentConfig,
@@ -54,8 +55,8 @@ pub use chip::{
 };
 pub use detection_experiment::{DetectionExperiment, DetectionExperimentConfig, DetectionTrial};
 pub use engine::{
-    EngineError, PackedShotKernel, PointReport, ShotKernel, SweepConfig, SweepPoint, SweepReport,
-    SweepRunner,
+    write_atomic, EngineError, PackedShotKernel, PointReport, ShotKernel, SweepConfig, SweepPoint,
+    SweepReport, SweepRunner,
 };
 pub use memory::{
     AnomalyInjection, DecodingStrategy, EstimateResult, MemoryExperiment, MemoryExperimentConfig,
@@ -65,3 +66,4 @@ pub use packed::PackedShotBatch;
 pub use parallel::{
     run_shots_auto, run_shots_fold, run_shots_fold_auto, run_shots_parallel, shot_stream_seed,
 };
+pub use stream::{StreamWindow, WindowSource};

@@ -1,0 +1,240 @@
+//! Deterministic syndrome-window streams for the decode service.
+//!
+//! A long-running decode server consumes *windows* — a block of syndrome
+//! layers plus the anomalous regions the control plane believes are active
+//! — rather than whole Monte-Carlo shots.  [`WindowSource`] turns a
+//! [`MemoryExperiment`] into exactly that: window `w` of a tenant's stream
+//! is sampled from an RNG seeded by
+//! [`shot_stream_seed`](crate::shot_stream_seed)`(base_seed, w)`, the same
+//! seed schedule every sweep kernel uses, so a window's contents depend
+//! only on `(base_seed, w)` — never on which thread, tenant queue or
+//! process asks for it.  Two sources built from the same configuration
+//! produce bit-identical streams, which is what makes service-level
+//! latency experiments (solo tenant vs contended shard) comparable: the
+//! *work* is pinned, only the scheduling varies.
+//!
+//! Each window independently suffers a cosmic-ray strike with probability
+//! `strike_rate` (the first RNG draw of the window, so quiet and struck
+//! windows consume identically-seeded streams).  A struck window samples
+//! under the configured anomalous region and carries that region along, so
+//! the consumer decodes it with the expensive two-pass rollback flow —
+//! exactly the load spike the Q3DE paper says a real-time decoder must
+//! absorb.
+
+use crate::memory::{DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
+use q3de_decoder::SyndromeHistory;
+use q3de_lattice::{LatticeError, MatchingGraph};
+use q3de_noise::AnomalousRegion;
+use rand::{Rng, SeedableRng};
+
+/// One syndrome window of a tenant's stream, ready to submit to a decode
+/// service: the sampled layers, the regions a detector would report for
+/// it, and the ground-truth cut parity (kept so benches can tally logical
+/// failures without re-deriving them).
+#[derive(Debug, Clone)]
+pub struct StreamWindow {
+    /// Stream index of the window within its tenant's stream.
+    pub stream: u64,
+    /// The sampled syndrome layers (noisy rounds + final perfect readout).
+    pub history: SyndromeHistory,
+    /// Anomalous regions active during the window — empty for quiet
+    /// windows, the strike region for struck ones.  A consumer decodes
+    /// non-empty windows with the two-pass rollback flow.
+    pub regions: Vec<AnomalousRegion>,
+    /// Absolute code cycle of the window's first layer.
+    pub window_start_cycle: u64,
+    /// Ground-truth logical cut parity of the accumulated error.
+    pub error_cut_parity: bool,
+}
+
+impl StreamWindow {
+    /// Whether the window was struck by a cosmic ray.
+    pub fn struck(&self) -> bool {
+        !self.regions.is_empty()
+    }
+}
+
+/// A deterministic, thread-independent source of syndrome windows — one
+/// tenant's input stream to a decode service.
+///
+/// Window `w` is sampled from an RNG seeded by
+/// [`shot_stream_seed`](crate::shot_stream_seed)`(base_seed, w)`, so the
+/// stream is deterministic, order-independent and identical on any thread
+/// or machine — solo and contended service runs see bit-identical work.
+#[derive(Debug, Clone)]
+pub struct WindowSource {
+    experiment: MemoryExperiment,
+    strike_rate: f64,
+    base_seed: u64,
+}
+
+impl WindowSource {
+    /// Builds a source over the given experiment configuration.  The
+    /// configuration must carry an [`AnomalyInjection`](crate::AnomalyInjection)
+    /// when `strike_rate > 0` — it defines the region struck windows
+    /// sample under.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the code distance is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strike_rate` is outside `[0, 1]`, or if it is positive
+    /// while the configuration has no anomaly to inject.
+    pub fn new(
+        config: MemoryExperimentConfig,
+        strike_rate: f64,
+        base_seed: u64,
+    ) -> Result<Self, LatticeError> {
+        assert!(
+            (0.0..=1.0).contains(&strike_rate),
+            "strike_rate must be a probability, got {strike_rate}"
+        );
+        let experiment = MemoryExperiment::new(config)?;
+        assert!(
+            strike_rate == 0.0 || experiment.region().is_some(),
+            "a positive strike_rate needs an anomaly injection in the config"
+        );
+        Ok(Self {
+            experiment,
+            strike_rate,
+            base_seed,
+        })
+    }
+
+    /// The underlying experiment (patch geometry, rates, decoder config).
+    pub fn experiment(&self) -> &MemoryExperiment {
+        &self.experiment
+    }
+
+    /// The matching graph every window of this stream decodes over — the
+    /// exact graph the windows were sampled against.
+    pub fn graph(&self) -> &MatchingGraph {
+        self.experiment.graph()
+    }
+
+    /// The per-window strike probability.
+    pub fn strike_rate(&self) -> f64 {
+        self.strike_rate
+    }
+
+    /// Number of layers each window carries (noisy rounds + final
+    /// readout).
+    pub fn window_layers(&self) -> usize {
+        self.experiment.config().effective_rounds() + 1
+    }
+
+    /// Samples window `stream` of the stream.  Deterministic in
+    /// `(base_seed, stream)`; any subset of windows can be generated in any
+    /// order on any thread.
+    pub fn window<R>(&self, stream: u64) -> StreamWindow
+    where
+        R: Rng + SeedableRng,
+    {
+        let mut rng = R::seed_from_u64(crate::shot_stream_seed(self.base_seed, stream));
+        // One strike draw per window, consumed unconditionally so quiet
+        // and struck windows stay on the same per-window RNG schedule.
+        let struck = rng.gen::<f64>() < self.strike_rate;
+        let strategy = if struck {
+            DecodingStrategy::AnomalyAware
+        } else {
+            DecodingStrategy::MbbeFree
+        };
+        let (history, error_cut_parity) = self.experiment.sample_history(strategy, &mut rng);
+        let regions = if struck {
+            vec![*self.experiment.region().expect("checked in new()")]
+        } else {
+            Vec::new()
+        };
+        StreamWindow {
+            stream,
+            history,
+            regions,
+            window_start_cycle: stream * self.window_layers() as u64,
+            error_cut_parity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnomalyInjection;
+    use rand_chacha::ChaCha8Rng;
+
+    fn source(strike_rate: f64, seed: u64) -> WindowSource {
+        let config =
+            MemoryExperimentConfig::new(5, 5e-3).with_anomaly(AnomalyInjection::centered(2, 0.5));
+        WindowSource::new(config, strike_rate, seed).unwrap()
+    }
+
+    #[test]
+    fn windows_are_deterministic_and_order_independent() {
+        let a = source(0.3, 0xFEED);
+        let b = source(0.3, 0xFEED);
+        // Generate in different orders; every window must match exactly.
+        for stream in [5u64, 0, 3, 7, 1] {
+            let wa = a.window::<ChaCha8Rng>(stream);
+            let wb = b.window::<ChaCha8Rng>(stream);
+            assert_eq!(wa.stream, stream);
+            assert_eq!(wa.history.num_layers(), a.window_layers());
+            assert_eq!(wa.error_cut_parity, wb.error_cut_parity);
+            assert_eq!(wa.regions, wb.regions);
+            assert_eq!(
+                wa.history.detection_events(),
+                wb.history.detection_events(),
+                "window {stream} must be bit-identical across sources"
+            );
+        }
+    }
+
+    #[test]
+    fn strike_rate_controls_the_struck_fraction() {
+        let never = source(0.0, 1);
+        let always = source(1.0, 1);
+        let sometimes = source(0.5, 1);
+        let mut struck = 0usize;
+        for stream in 0..40u64 {
+            assert!(!never.window::<ChaCha8Rng>(stream).struck());
+            assert!(always.window::<ChaCha8Rng>(stream).struck());
+            if sometimes.window::<ChaCha8Rng>(stream).struck() {
+                struck += 1;
+            }
+        }
+        assert!(
+            (5..=35).contains(&struck),
+            "0.5 strike rate hit {struck}/40 windows"
+        );
+    }
+
+    #[test]
+    fn struck_windows_carry_the_injected_region() {
+        let src = source(1.0, 2);
+        let window = src.window::<ChaCha8Rng>(0);
+        assert_eq!(window.regions.len(), 1);
+        assert_eq!(&window.regions[0], src.experiment().region().unwrap());
+        assert_eq!(window.window_start_cycle, 0);
+        assert_eq!(
+            src.window::<ChaCha8Rng>(3).window_start_cycle,
+            3 * src.window_layers() as u64
+        );
+    }
+
+    #[test]
+    fn seeds_shift_the_stream() {
+        let a = source(0.5, 10);
+        let b = source(0.5, 11);
+        let differs = (0..10u64).any(|s| {
+            let (wa, wb) = (a.window::<ChaCha8Rng>(s), b.window::<ChaCha8Rng>(s));
+            wa.history.detection_events() != wb.history.detection_events()
+        });
+        assert!(differs, "different seeds must give different streams");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an anomaly injection")]
+    fn positive_strike_rate_without_anomaly_is_rejected() {
+        let _ = WindowSource::new(MemoryExperimentConfig::new(3, 1e-3), 0.5, 0);
+    }
+}
