@@ -1,6 +1,6 @@
-//! Criterion bench comparing the three decoding backends (exact MWPM,
-//! greedy, union-find) on identical syndrome rounds across code distances
-//! 3–15.
+//! Criterion bench comparing the four decoding backends (exact MWPM,
+//! greedy, union-find, sparse blossom) on identical syndrome rounds across
+//! code distances 3–15.
 //!
 //! The benched kernel is the post-anomaly *re-execution* decode — a full
 //! syndrome window with a centred MBBE and anomaly-aware re-weighted edge
@@ -71,8 +71,9 @@ fn bench_matcher_throughput(c: &mut Criterion) {
     }
 }
 
-/// Times exact MWPM vs union-find on the same d-distance window and prints
-/// the measured speedup of decoding one syndrome round.
+/// Times exact MWPM vs the sparse blossom and union-find backends on the
+/// same d-distance window and prints the measured speedups of decoding one
+/// syndrome round.
 fn report_speedup(d: usize) {
     let fix = fixture(d, 7);
     let time = |kind: MatcherKind, iters: u32| {
@@ -87,11 +88,15 @@ fn report_speedup(d: usize) {
         start.elapsed().as_secs_f64() / iters as f64
     };
     let exact = time(MatcherKind::Exact, 10);
+    let blossom = time(MatcherKind::Blossom, 50);
     let union_find = time(MatcherKind::UnionFind, 50);
     let per_round = |t: f64| t / d as f64 * 1e6;
     println!(
-        "speedup: d={d} exact {:.1} us/round, union-find {:.1} us/round -> {:.1}x",
+        "speedup: d={d} exact {:.1} us/round, blossom {:.1} us/round ({:.1}x), \
+         union-find {:.1} us/round ({:.1}x)",
         per_round(exact),
+        per_round(blossom),
+        exact / blossom,
         per_round(union_find),
         exact / union_find
     );

@@ -18,7 +18,7 @@
 //!
 //! Usage: `cargo run --release -p q3de_bench --bin fig_service
 //! [--samples N(windows per tenant)] [--seed N] [--json]
-//! [--matcher exact|greedy|union-find] [--workers N] [--slo-us X]`
+//! [--matcher exact|greedy|union-find|blossom] [--workers N] [--slo-us X]`
 
 use q3de::decoder::DecoderConfig;
 use q3de::service::{DecodeServer, ServiceConfig, ServiceReport};

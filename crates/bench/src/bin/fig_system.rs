@@ -20,7 +20,7 @@
 //! scaled to the patch count.
 //!
 //! Usage: `cargo run --release -p q3de_bench --bin fig_system
-//! [--samples N] [--seed N] [--json] [--matcher exact|greedy|union-find]
+//! [--samples N] [--seed N] [--json] [--matcher exact|greedy|union-find|blossom]
 //! [--target-rse X] [--checkpoint PATH] [--resume] [--report PATH]`
 
 use std::sync::atomic::{AtomicUsize, Ordering};

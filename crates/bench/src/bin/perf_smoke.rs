@@ -26,15 +26,17 @@ use q3de_bench::{format_row, ExperimentArgs};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// The pure-decode hot-path kernel: a d = 11 union-find decoder replaying
-/// pre-sampled burst windows through the two-pass rollback flow (blind
-/// uniform pass + anomaly-re-weighted re-execution).  Sampling happens once
-/// up front, so the measured shots/sec is decode throughput — the number
-/// the persistent `DecoderContext` refactor exists to move.
-fn decode_window_point(base_seed: u64) -> SweepPoint {
+/// The pure-decode hot-path kernel: a d = 11 decoder with the given matching
+/// backend replaying pre-sampled burst windows through the two-pass rollback
+/// flow (blind uniform pass + anomaly-re-weighted re-execution).  Sampling
+/// happens once up front and does not depend on the matcher, so every
+/// backend's point decodes the *same* windows and the measured shots/sec is
+/// pure decode throughput — which also makes same-process backend ratios
+/// (the blossom/exact gate below) machine-speed independent.
+fn decode_window_point(base_seed: u64, matcher: MatcherKind, id: &'static str) -> SweepPoint {
     const WINDOWS: u64 = 16;
     let config = MemoryExperimentConfig::new(11, 5e-3)
-        .with_matcher(MatcherKind::UnionFind)
+        .with_matcher(matcher)
         .with_anomaly(AnomalyInjection::centered(4, 0.5));
     let experiment = MemoryExperiment::new(config).expect("valid config");
     let graph = experiment.code().matching_graph(ErrorKind::X);
@@ -46,8 +48,8 @@ fn decode_window_point(base_seed: u64) -> SweepPoint {
             experiment.sample_history(DecodingStrategy::AnomalyAware, &mut rng)
         })
         .collect();
-    let pool = ContextPool::new(DecoderConfig::default().with_matcher(MatcherKind::UnionFind));
-    SweepPoint::new("perf/decode_window/d11/uf/rollback", move |stream: u64| {
+    let pool = ContextPool::new(DecoderConfig::default().with_matcher(matcher));
+    SweepPoint::new(id, move |stream: u64| {
         let (history, parity) = &windows[(stream % WINDOWS) as usize];
         pool.with(|context| {
             context
@@ -243,7 +245,23 @@ fn main() {
             args.stream_seed(3),
         )
         .expect("valid chip"),
-        decode_window_point(args.stream_seed(4)),
+        decode_window_point(
+            args.stream_seed(4),
+            MatcherKind::UnionFind,
+            "perf/decode_window/d11/uf/rollback",
+        ),
+        // the blossom/exact pair shares the uf point's windows (same seed):
+        // their throughput ratio is the sparse-blossom acceptance gate
+        decode_window_point(
+            args.stream_seed(4),
+            MatcherKind::Blossom,
+            "perf/decode_window/d11/blossom/rollback",
+        ),
+        decode_window_point(
+            args.stream_seed(4),
+            MatcherKind::Exact,
+            "perf/decode_window/d11/exact/rollback",
+        ),
     ];
 
     let fast_samples = args.samples.saturating_mul(FAST_MULTIPLIER);
@@ -355,6 +373,29 @@ fn main() {
         };
         eprintln!(
             "  packed/scalar d3 speedup: {ratio:.2}x (floor {PACKED_SPEEDUP_FLOOR:.1}x) {verdict}"
+        );
+    }
+    // Same-process ratio gate for the sparse blossom backend vs the dense
+    // exact oracle (all-pairs Dijkstra + per-cluster DP) on the d = 11 burst
+    // rollback kernel.  Both points decode identical pre-sampled windows in
+    // this very process.  Measured ~4.7x (truncated balls + 0-1 BFS rings +
+    // warm-started duals); the floor leaves margin for machine variance.
+    // Reaching ~10x needs simultaneous alternating-tree growth on the sparse
+    // graph (pymatching-style) — tracked in ROADMAP.
+    const BLOSSOM_SPEEDUP_FLOOR: f64 = 3.5;
+    if let (Some(exact), Some(blossom)) = (
+        report.point("perf/decode_window/d11/exact/rollback"),
+        report.point("perf/decode_window/d11/blossom/rollback"),
+    ) {
+        let ratio = blossom.shots_per_sec() / exact.shots_per_sec();
+        let verdict = if ratio < BLOSSOM_SPEEDUP_FLOOR {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  blossom/exact d11 speedup: {ratio:.2}x (floor {BLOSSOM_SPEEDUP_FLOOR:.1}x) {verdict}"
         );
     }
     if failed {

@@ -31,7 +31,7 @@ pub struct ExperimentArgs {
     /// tables and progress move to stderr so piped JSON stays parseable.
     pub json: bool,
     /// Matching backend the decoding binaries run
-    /// (`--matcher exact|greedy|union-find`).
+    /// (`--matcher exact|greedy|union-find|blossom`).
     pub matcher: MatcherKind,
     /// Adaptive stopping target (`--target-rse 0.1`): stop a sweep point
     /// once the relative Wilson half-width of its tally reaches this value.
@@ -76,7 +76,7 @@ impl ExperimentArgs {
                 "--matcher" if i + 1 < args.len() => {
                     matcher = MatcherKind::parse(&args[i + 1]).unwrap_or_else(|| {
                         eprintln!(
-                            "unknown matcher '{}', expected exact|greedy|union-find; using exact",
+                            "unknown matcher '{}', expected exact|greedy|union-find|blossom; using exact",
                             args[i + 1]
                         );
                         MatcherKind::Exact

@@ -3,7 +3,9 @@
 use crate::spacetime::BoundarySide;
 use crate::{DetectionEvent, SyndromeHistory, WeightModel};
 use q3de_lattice::MatchingGraph;
-use q3de_matching::{DecoderBackend, ExactBackend, GreedyBackend, MatcherKind, UnionFindDecoder};
+use q3de_matching::{
+    BlossomBackend, DecoderBackend, ExactBackend, GreedyBackend, MatcherKind, UnionFindDecoder,
+};
 
 /// Tuning knobs of the [`SurfaceDecoder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +52,7 @@ impl DecoderConfig {
             )),
             MatcherKind::Greedy => Box::new(GreedyBackend::new(self.refine_rounds)),
             MatcherKind::UnionFind => Box::new(UnionFindDecoder::default()),
+            MatcherKind::Blossom => Box::new(BlossomBackend::new()),
         }
     }
 }
@@ -114,7 +117,7 @@ impl DecodeOutcome {
 ///
 /// The decoder builds the sparse space-time graph of the syndrome window
 /// ([`crate::SpaceTimeGraph`]), hands it together with the detection events
-/// to the configured [`DecoderBackend`] (exact, greedy or union-find — see
+/// to the configured [`DecoderBackend`] (exact, greedy, union-find or blossom — see
 /// [`MatcherKind`]), and reports the correction parity needed for the
 /// logical-failure check.  Anomaly-aware re-weighting is applied when the
 /// graph is built, so every backend decodes the same re-weighted costs.

@@ -8,7 +8,8 @@
 use q3de::decoder::{DecoderConfig, MatcherKind, SurfaceDecoder, SyndromeHistory, WeightModel};
 use q3de::lattice::{Coord, ErrorKind, Pauli, PauliString, StabilizerKind, SurfaceCode};
 use q3de::matching::{
-    ExactMatcher, GreedyMatcher, MatchTarget, Matcher, MatchingProblem, RefinedGreedyMatcher,
+    BlossomMatcher, ExactMatcher, GreedyMatcher, MatchTarget, Matcher, MatchingProblem,
+    RefinedGreedyMatcher,
 };
 use q3de::noise::AnomalousRegion;
 use rand::{Rng, SeedableRng};
@@ -95,6 +96,26 @@ fn refined_greedy_is_bracketed_between_exact_and_greedy() {
         assert!(
             refined_cost <= greedy_cost + 1e-9,
             "case {case}: refinement made greedy worse ({refined_cost} > {greedy_cost})"
+        );
+    }
+}
+
+#[test]
+fn blossom_matcher_equals_exact_on_random_problems() {
+    // Blossom is exact, so unlike the greedy family it is pinned by cost
+    // *equality* against the bitmask-DP oracle, not a one-sided bound.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB1055);
+    for case in 0..CASES {
+        let problem = random_problem(&mut rng, 10);
+        let exact = ExactMatcher::default().solve(&problem);
+        let blossom = BlossomMatcher.solve(&problem);
+        assert_perfect(&blossom, &problem, "blossom");
+        let (ec, bc) = (exact.total_cost(&problem), blossom.total_cost(&problem));
+        assert!(
+            (ec - bc).abs() <= 1e-6 * (1.0 + ec.abs()),
+            "case {case}: blossom ({bc}) != exact optimum ({ec}) on a \
+             {}-defect problem",
+            problem.num_nodes()
         );
     }
 }
