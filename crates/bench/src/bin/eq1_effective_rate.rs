@@ -1,14 +1,19 @@
 //! Section III-A / Eq. (1): the effective logical error rate increase caused
 //! by cosmic-ray MBBEs under the McEwen et al. parameters.
 //!
-//! Usage: `cargo run --release -p q3de-bench --bin eq1_effective_rate [--samples N]`
+//! Run with `--help` for the shared engine flag set.
 
 use q3de::noise::PhysicalParams;
 use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
-use q3de_bench::ExperimentArgs;
+use q3de_bench::Cli;
 
 fn main() {
-    let args = ExperimentArgs::parse(500);
+    let (args, _) = Cli::new(
+        "eq1_effective_rate",
+        "effective logical error rate increase under cosmic-ray MBBEs (Eq. 1)",
+        500,
+    )
+    .parse();
     let params = PhysicalParams::mcewen();
     let p = 8e-3;
     let d = 7;

@@ -1,14 +1,19 @@
 //! Figure 10: instruction throughput under cosmic rays for the MBBE-free
 //! reference, the doubled-distance baseline and Q3DE.
 //!
-//! Usage: `cargo run --release -p q3de-bench --bin fig10 [--samples N]`
-//! (`--samples` sets the number of meas_ZZ instructions; default 2000).
+//! `--samples` sets the number of meas_ZZ instructions (default 2000); run
+//! with `--help` for the shared engine flag set.
 
 use q3de::control::{ArchitectureMode, ThroughputConfig, ThroughputSimulator};
-use q3de_bench::{print_row, ExperimentArgs};
+use q3de_bench::{print_row, Cli};
 
 fn main() {
-    let args = ExperimentArgs::parse(2_000);
+    let (args, _) = Cli::new(
+        "fig10",
+        "instruction throughput under cosmic rays: MBBE-free vs 2d baseline vs Q3DE (paper Fig. 10)",
+        2_000,
+    )
+    .parse();
     let frequencies = [1e-6, 1e-5, 1e-4, 1e-3];
     let durations = [100u64, 1000];
 

@@ -1,69 +1,30 @@
 //! Figure 3: logical error rate vs physical error rate, with and without an
 //! MBBE (d_ano = 4, p_ano = 0.5), for several code distances.
 //!
-//! All points run on the shared sweep engine: shots are work-stolen across
-//! the whole grid, `--target-rse` enables adaptive early stopping, and
+//! All points run on the shared sweep engine: the grid is sharded across
+//! worker threads, `--target-rse` enables adaptive early stopping, and
 //! `--checkpoint`/`--resume` make the sweep restartable.  In `--json` mode
 //! the human table goes to stderr so stdout stays parseable.
 //!
-//! Usage: `cargo run --release -p q3de_bench --bin fig3 [--samples N]
-//! [--seed N] [--matcher M] [--json] [--target-rse X]
-//! [--checkpoint PATH] [--resume] [--report PATH]`
+//! Run with `--help` for the full engine flag set.
 
-use q3de::sim::engine::SweepPoint;
-use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperimentConfig};
-use q3de_bench::{sci, ExperimentArgs};
-use rand_chacha::ChaCha8Rng;
-
-struct Cell {
-    d: usize,
-    mbbe: bool,
-    p: f64,
-    id: String,
-}
+use q3de_bench::sweeps::{self, FIG3_DISTANCES, FIG3_ERROR_RATES};
+use q3de_bench::{sci, Cli};
 
 fn main() {
-    let args = ExperimentArgs::parse(400);
-    let distances = [5usize, 9, 13];
-    let error_rates = [4e-3, 8e-3, 1.6e-2, 2.4e-2, 3.2e-2, 4e-2];
+    let (args, _) = Cli::new(
+        "fig3",
+        "logical vs physical error rate, with and without an MBBE (paper Fig. 3)",
+        400,
+    )
+    .parse();
 
-    // One sweep point per (distance, curve, error-rate) cell.  The stream
-    // seeds match the pre-engine layout, so fixed-seed statistics are
-    // unchanged by the migration.
-    let mut points = Vec::new();
-    let mut cells = Vec::new();
-    for &d in &distances {
-        for (anomaly, strategy) in [
-            (None, DecodingStrategy::MbbeFree),
-            (
-                Some(AnomalyInjection::centered(4, 0.5)),
-                DecodingStrategy::Blind,
-            ),
-        ] {
-            for (pi, &p) in error_rates.iter().enumerate() {
-                let mut config = MemoryExperimentConfig::new(d, p).with_matcher(args.matcher);
-                if let Some(a) = anomaly {
-                    config = config.with_anomaly(a);
-                }
-                let id = format!("fig3/d={d}/mbbe={}/p={p:e}", anomaly.is_some());
-                points.push(
-                    SweepPoint::from_memory::<ChaCha8Rng>(
-                        &id,
-                        config,
-                        strategy,
-                        args.stream_seed((d * 100 + pi) as u64),
-                    )
-                    .expect("valid distance"),
-                );
-                cells.push(Cell {
-                    d,
-                    mbbe: anomaly.is_some(),
-                    p,
-                    id,
-                });
-            }
-        }
-    }
+    // One sweep point per (distance, curve, error-rate) cell, built through
+    // the shared sweep registry — the same grid a `q3de-sweepd` worker
+    // rebuilds from a plan file, with stream seeds matching the pre-engine
+    // layout so fixed-seed statistics are stable.
+    let cells = sweeps::fig3_cells();
+    let points = sweeps::build("fig3", &args).expect("fig3 is registered");
 
     args.human(format!(
         "Figure 3: logical error rate per shot (d-cycle memory), {} shots/point{}, {} matcher",
@@ -76,12 +37,12 @@ fn main() {
 
     args.human_row(
         "configuration",
-        &error_rates
+        &FIG3_ERROR_RATES
             .iter()
             .map(|p| format!("p={p:<9.1e}"))
             .collect::<Vec<_>>(),
     );
-    for &d in &distances {
+    for &d in &FIG3_DISTANCES {
         for (label, mbbe) in [("without MBBE", false), ("with MBBE", true)] {
             let row: Vec<String> = cells
                 .iter()

@@ -1,13 +1,18 @@
 //! Figure 7: anomaly-detection window size, latency and position error as a
 //! function of the anomalous/normal error-rate ratio.
 //!
-//! Usage: `cargo run --release -p q3de-bench --bin fig7 [--samples N]`
+//! Run with `--help` for the shared engine flag set.
 
 use q3de::sim::{DetectionExperiment, DetectionExperimentConfig};
-use q3de_bench::ExperimentArgs;
+use q3de_bench::Cli;
 
 fn main() {
-    let args = ExperimentArgs::parse(10);
+    let (args, _) = Cli::new(
+        "fig7",
+        "anomaly-detection window, latency and position error vs burst strength (paper Fig. 7)",
+        10,
+    )
+    .parse();
     let ratios = [10.0, 20.0, 40.0, 60.0, 100.0];
     let candidate_windows = [25usize, 50, 100, 150, 200, 300, 400, 500];
 

@@ -3,128 +3,34 @@
 //! and 4.
 //!
 //! All estimates — the three curves per (d_ano, d) row *and* the Eq. (4)
-//! inputs — run as one grid on the shared sweep engine, so shots are
-//! work-stolen across the whole figure.  `--target-rse` enables adaptive
-//! early stopping; `--checkpoint`/`--resume` make the sweep restartable.
-//!
-//! Usage: `cargo run --release -p q3de_bench --bin fig8 [--samples N]
-//! [--seed N] [--matcher M] [--json] [--target-rse X]
-//! [--checkpoint PATH] [--resume] [--report PATH]`
+//! inputs — run as one grid on the shared sweep engine, sharded across
+//! worker threads.  `--target-rse` enables adaptive early stopping;
+//! `--checkpoint`/`--resume` make the sweep restartable.  Run with
+//! `--help` for the full engine flag set.
 
 use q3de::scaling::effective_distance_reduction;
-use q3de::sim::engine::{SweepPoint, SweepReport};
-use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperimentConfig};
-use q3de_bench::{sci, ExperimentArgs};
-use rand_chacha::ChaCha8Rng;
-
-const DISTANCES: [usize; 3] = [5, 7, 9];
-const ERROR_RATES: [f64; 4] = [4e-3, 1e-2, 2e-2, 4e-2];
-const ANOMALY_SIZES: [usize; 2] = [2, 4];
-
-fn curve_id(dano: usize, d: usize, p: f64, strategy: DecodingStrategy) -> String {
-    format!("fig8/dano={dano}/d={d}/p={p:e}/{}", strategy_name(strategy))
-}
-
-fn eq4_id(dano: usize, d: usize, strategy: DecodingStrategy) -> String {
-    format!("fig8/eq4/dano={dano}/d={d}/{}", strategy_name(strategy))
-}
-
-fn strategy_name(strategy: DecodingStrategy) -> &'static str {
-    match strategy {
-        DecodingStrategy::MbbeFree => "free",
-        DecodingStrategy::Blind => "blind",
-        DecodingStrategy::AnomalyAware => "rollback",
-    }
-}
+use q3de::sim::engine::SweepReport;
+use q3de::sim::DecodingStrategy;
+use q3de_bench::sweeps::{
+    self, fig8_curve_id as curve_id, fig8_eq4_id as eq4_id, FIG8_ANOMALY_SIZES as ANOMALY_SIZES,
+    FIG8_DISTANCES as DISTANCES, FIG8_ERROR_RATES as ERROR_RATES,
+};
+use q3de_bench::{sci, Cli};
 
 fn rate(report: &SweepReport, id: &str) -> f64 {
     report.point(id).expect("point ran").failure_rate()
 }
 
 fn main() {
-    let args = ExperimentArgs::parse(300);
-    let mut points = Vec::new();
-
-    let memory_point = |id: &str, d: usize, p: f64, dano: usize, strategy, salt: u64| {
-        let mut config = MemoryExperimentConfig::new(d, p).with_matcher(args.matcher);
-        if strategy != DecodingStrategy::MbbeFree {
-            config = config.with_anomaly(AnomalyInjection::centered(dano, 0.5));
-        }
-        SweepPoint::from_memory::<ChaCha8Rng>(id, config, strategy, args.stream_seed(salt))
-            .expect("valid distance")
-    };
-
-    for &dano in &ANOMALY_SIZES {
-        for &d in &DISTANCES {
-            for (pi, &p) in ERROR_RATES.iter().enumerate() {
-                // stride-4 salts: stream_seed is additive in the salt, so a
-                // unit stride would alias one strategy's streams with its
-                // neighbour data point's
-                let salt = 4 * (dano * 1000 + d * 10 + pi) as u64;
-                for (k, strategy) in [
-                    DecodingStrategy::MbbeFree,
-                    DecodingStrategy::Blind,
-                    DecodingStrategy::AnomalyAware,
-                ]
-                .into_iter()
-                .enumerate()
-                {
-                    // The MBBE-free curve carries no anomaly, so it is the
-                    // same point for both dano values — but it keeps its own
-                    // streams (as before the engine migration) for identical
-                    // fixed-seed statistics.
-                    points.push(memory_point(
-                        &curve_id(dano, d, p, strategy),
-                        d,
-                        p,
-                        dano,
-                        strategy,
-                        salt + k as u64,
-                    ));
-                }
-            }
-        }
-        // Eq. (4) inputs at the lowest error rate: disjoint stride-4 salt
-        // block, offset past the row salts and folded over dano so no two
-        // estimates share a stream.
-        let p = ERROR_RATES[0];
-        let eq4_salt = |dist: usize, k: u64| 4 * (50_000 + dano as u64 * 1_000 + dist as u64) + k;
-        for &d in &DISTANCES[1..] {
-            points.push(memory_point(
-                &eq4_id(dano, d, DecodingStrategy::MbbeFree),
-                d,
-                p,
-                dano,
-                DecodingStrategy::MbbeFree,
-                eq4_salt(d, 0),
-            ));
-            let id_dm2 = format!("fig8/eq4/dano={dano}/d={}/free-ref", d - 2);
-            points.push(memory_point(
-                &id_dm2,
-                d - 2,
-                p,
-                dano,
-                DecodingStrategy::MbbeFree,
-                eq4_salt(d - 2, 1),
-            ));
-            points.push(memory_point(
-                &eq4_id(dano, d, DecodingStrategy::Blind),
-                d,
-                p,
-                dano,
-                DecodingStrategy::Blind,
-                eq4_salt(d, 2),
-            ));
-            points.push(memory_point(
-                &eq4_id(dano, d, DecodingStrategy::AnomalyAware),
-                d,
-                p,
-                dano,
-                DecodingStrategy::AnomalyAware,
-                eq4_salt(d, 3),
-            ));
-        }
-    }
+    let (args, _) = Cli::new(
+        "fig8",
+        "logical error rate with/without rollback and effective distance reduction (paper Fig. 8)",
+        300,
+    )
+    .parse();
+    // The grid comes from the shared sweep registry (one definition for
+    // this binary and the distributed fabric's workers).
+    let points = sweeps::build("fig8", &args).expect("fig8 is registered");
 
     args.human(format!(
         "Figure 8: {} shots/point{}, {} matcher",

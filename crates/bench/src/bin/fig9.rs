@@ -2,13 +2,19 @@
 //! Q3DE and the baseline, under several anomaly-size / frequency / duration
 //! scalings.
 //!
-//! Usage: `cargo run --release -p q3de-bench --bin fig9`
+//! The figure is a closed-form model sweep — no Monte-Carlo shots — so the
+//! engine flags are accepted (run with `--help`) but only for uniformity.
 
 use q3de::scaling::{qubit_density::log_grid, ScalabilityConfig, ScalabilityModel};
-use q3de_bench::{print_row, ExperimentArgs};
+use q3de_bench::{print_row, Cli};
 
 fn main() {
-    let _args = ExperimentArgs::parse(0);
+    let _args = Cli::new(
+        "fig9",
+        "required qubit density vs chip area for p_L < 1e-10 (paper Fig. 9)",
+        0,
+    )
+    .parse();
     let areas = log_grid(1.0, 100.0, 9);
     let densities = log_grid(1.0, 5000.0, 300);
 

@@ -16,15 +16,14 @@
 //! as a self-check (finite p999, completed counts) — the CI smoke job
 //! relies on the binary exiting non-zero when that validation fails.
 //!
-//! Usage: `cargo run --release -p q3de_bench --bin fig_service
-//! [--samples N(windows per tenant)] [--seed N] [--json]
-//! [--matcher exact|greedy|union-find|blossom] [--workers N] [--slo-us X]`
+//! Run with `--help` for the flag set (`--samples` is windows per tenant;
+//! `--workers` and `--slo-us` shape the shard under test).
 
 use q3de::decoder::DecoderConfig;
-use q3de::service::{DecodeServer, ServiceConfig, ServiceReport};
-use q3de::sim::engine::json::JsonValue;
+use q3de::service::{DecodeServer, ServiceConfig, ServiceReport, SERVICE_SCHEMA_VERSION};
+use q3de::sim::engine::json::{check_schema_version, JsonValue};
 use q3de::sim::{AnomalyInjection, MemoryExperimentConfig, WindowSource};
-use q3de_bench::{format_row, ExperimentArgs};
+use q3de_bench::{format_row, Cli};
 use rand_chacha::ChaCha8Rng;
 
 /// One sweep cell: a fresh shard at (`tenants`, `strike_rate`), driven for
@@ -81,6 +80,10 @@ fn validate(report: &ServiceReport, windows: u64) {
             std::process::exit(1);
         }
     };
+    if let Err(error) = check_schema_version(&doc, SERVICE_SCHEMA_VERSION, "service report") {
+        eprintln!("service report failed validation: {error}");
+        std::process::exit(1);
+    }
     let tenants = doc
         .get("service")
         .and_then(|s| s.get("tenants"))
@@ -100,40 +103,28 @@ fn validate(report: &ServiceReport, windows: u64) {
 }
 
 fn main() {
-    let args = ExperimentArgs::parse(48);
-    let mut workers = 2usize;
-    let mut slo_us = 2_000.0f64;
-    let cli: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i < cli.len() {
-        match cli[i].as_str() {
-            "--workers" if i + 1 < cli.len() => {
-                workers = match cli[i + 1].parse::<usize>() {
-                    Ok(n) if n >= 1 => n,
-                    _ => {
-                        eprintln!(
-                            "invalid --workers '{}': expected an integer >= 1",
-                            cli[i + 1]
-                        );
-                        std::process::exit(2);
-                    }
-                };
-                i += 1;
-            }
-            "--slo-us" if i + 1 < cli.len() => {
-                slo_us = match cli[i + 1].parse::<f64>() {
-                    Ok(x) if x > 0.0 => x,
-                    _ => {
-                        eprintln!("invalid --slo-us '{}': expected a number > 0", cli[i + 1]);
-                        std::process::exit(2);
-                    }
-                };
-                i += 1;
-            }
-            _ => {}
-        }
-        i += 1;
-    }
+    let (args, extras) = Cli::new(
+        "fig_service",
+        "decode-service capacity sweep: tenants per shard before the tail-latency SLO breaks",
+        48,
+    )
+    .flag(
+        "--workers",
+        "N",
+        "decode worker threads per shard (default 2)",
+    )
+    .flag(
+        "--slo-us",
+        "X",
+        "p99 latency SLO in microseconds (default 2000)",
+    )
+    .parse();
+    let workers = extras
+        .require("--workers", "an integer >= 1", |n: &usize| *n >= 1)
+        .unwrap_or(2);
+    let slo_us = extras
+        .require("--slo-us", "a number > 0", |x: &f64| *x > 0.0)
+        .unwrap_or(2_000.0);
 
     let tenant_counts = [1usize, 2, 4, 8];
     let strike_rates = [0.0f64, 0.5];

@@ -5,8 +5,8 @@
 //! idle for `d` cycles; with the configured per-shot probability a strike
 //! of size `d_ano = 4` lands uniformly on the chip plane (possibly
 //! straddling patch boundaries) and the chip fails when **any** patch
-//! fails.  The points run on the shared sweep engine (work-stealing across
-//! the whole grid, `--target-rse` adaptive stopping, `--checkpoint`/
+//! fails.  The points run on the shared sweep engine (sharded across
+//! worker threads, `--target-rse` adaptive stopping, `--checkpoint`/
 //! `--resume`); per-patch and struck-shot tallies ride along in atomic side
 //! counters, which stay deterministic because the engine always executes a
 //! deterministic stream set per point.  (Side counters only see streams run
@@ -19,9 +19,7 @@
 //! buffer memory from `q3de_scaling::MemoryOverheadModel` (Table III)
 //! scaled to the patch count.
 //!
-//! Usage: `cargo run --release -p q3de_bench --bin fig_system
-//! [--samples N] [--seed N] [--json] [--matcher exact|greedy|union-find|blossom]
-//! [--target-rse X] [--checkpoint PATH] [--resume] [--report PATH]`
+//! Run with `--help` for the full engine flag set.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -33,7 +31,7 @@ use q3de::sim::{
     ChipMemoryExperiment, ChipMemoryExperimentConfig, ChipStrikePolicy, DecodingStrategy,
     MemoryExperimentConfig,
 };
-use q3de_bench::{sci, ExperimentArgs};
+use q3de_bench::{sci, Cli};
 use rand_chacha::ChaCha8Rng;
 
 /// Deterministic side tallies of one chip sweep point (per-patch failures
@@ -75,7 +73,12 @@ impl SideTally {
 }
 
 fn main() {
-    let args = ExperimentArgs::parse(200);
+    let (args, _) = Cli::new(
+        "fig_system",
+        "chip logical failure rate and qubit overhead vs patch count and strike rate",
+        200,
+    )
+    .parse();
     let distance = 5usize;
     let physical_error_rate = 4e-3;
     let anomaly_size = 4usize;

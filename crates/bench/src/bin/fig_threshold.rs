@@ -21,15 +21,14 @@
 //! the point estimate), exiting 3 on any violation — CI runs this
 //! self-validation on the pinned-seed smoke sweep.
 //!
-//! Usage: `cargo run --release -p q3de_bench --bin fig_threshold
-//! [--distances 3,5,...] [--samples N] [--seed N] [--matcher M] [--json]
-//! [--target-rse X] [--checkpoint PATH] [--resume] [--report PATH]`
+//! Run with `--help` for the full flag set (`--distances 3,5,...` narrows
+//! the distance sweep for smoke runs).
 
 use q3de::matching::MatcherKind;
-use q3de::sim::engine::json::JsonValue;
-use q3de::sim::engine::{SweepPoint, SweepReport};
+use q3de::sim::engine::json::{check_schema_version, JsonValue};
+use q3de::sim::engine::{SweepPoint, SweepReport, REPORT_SCHEMA_VERSION};
 use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperimentConfig};
-use q3de_bench::{sci, ExperimentArgs};
+use q3de_bench::{sci, Cli, ExtraValues};
 use rand_chacha::ChaCha8Rng;
 
 /// Background physical error rate: comfortably below the bulk threshold, so
@@ -58,13 +57,21 @@ struct Cell {
 }
 
 fn main() {
-    let mut args = ExperimentArgs::parse(200);
     // The whole point of this figure is the sparse blossom backend: default
-    // to it unless the user explicitly picked a matcher.
-    if !std::env::args().any(|a| a == "--matcher") {
-        args.matcher = MatcherKind::Blossom;
-    }
-    let distances = parse_distances().unwrap_or_else(|| DEFAULT_DISTANCES.to_vec());
+    // to it unless the user explicitly picks a matcher.
+    let (args, extras) = Cli::new(
+        "fig_threshold",
+        "logical error rate vs MBBE burst rate, with crossing-point threshold estimates",
+        200,
+    )
+    .default_matcher(MatcherKind::Blossom)
+    .flag(
+        "--distances",
+        "LIST",
+        "comma-separated code distances to sweep (default 3,5,...,21)",
+    )
+    .parse();
+    let distances = parse_distances(&extras).unwrap_or_else(|| DEFAULT_DISTANCES.to_vec());
 
     let mut points = Vec::new();
     let mut cells = Vec::new();
@@ -215,10 +222,8 @@ fn main() {
 }
 
 /// Parses `--distances 3,5,7` into a sorted distance list.
-fn parse_distances() -> Option<Vec<usize>> {
-    let cli: Vec<String> = std::env::args().collect();
-    let i = cli.iter().position(|a| a == "--distances")?;
-    let spec = cli.get(i + 1)?;
+fn parse_distances(extras: &ExtraValues) -> Option<Vec<usize>> {
+    let spec = extras.get("--distances")?;
     let mut distances: Vec<usize> = spec
         .split(',')
         .filter_map(|tok| tok.trim().parse().ok())
@@ -233,11 +238,13 @@ fn parse_distances() -> Option<Vec<usize>> {
 }
 
 /// Re-parses the engine's own JSON report and checks it is self-consistent:
-/// every swept cell is present with at least one shot, failures within
-/// shots, and ordered Wilson bounds bracketing the point estimate.
+/// the schema version this build writes, every swept cell present with at
+/// least one shot, failures within shots, and ordered Wilson bounds
+/// bracketing the point estimate.
 fn validate_engine_json(report: &SweepReport, cells: &[Cell]) -> Result<(), String> {
     let doc = JsonValue::parse(&report.to_json().to_string())
         .map_err(|e| format!("report does not parse: {e}"))?;
+    check_schema_version(&doc, REPORT_SCHEMA_VERSION, "sweep report")?;
     let points = doc
         .get("points")
         .and_then(JsonValue::as_array)

@@ -9,20 +9,19 @@
 //! non-zero when any point regresses by more than `--max-regression`
 //! (default 2.0×) — the regression gate of the BENCH trajectory.
 //!
-//! Usage: `cargo run --release -p q3de_bench --bin perf_smoke
-//! [--samples N] [--seed N] [--matcher M] [--report PATH]
-//! [--baseline PATH] [--max-regression X]`
+//! Run with `--help` for the flag set (`--baseline` and `--max-regression`
+//! arm the regression gate).
 
 use q3de::decoder::{ContextPool, DecoderConfig, MatcherKind, SyndromeHistory};
 use q3de::lattice::ErrorKind;
-use q3de::service::{DecodeServer, ServiceConfig};
-use q3de::sim::engine::json::JsonValue;
+use q3de::service::{DecodeServer, ServiceConfig, SERVICE_SCHEMA_VERSION};
+use q3de::sim::engine::json::{check_schema_version, JsonValue};
 use q3de::sim::engine::SweepPoint;
 use q3de::sim::{
     AnomalyInjection, ChipMemoryExperimentConfig, ChipStrikePolicy, DecodingStrategy,
     MemoryExperiment, MemoryExperimentConfig, WindowSource,
 };
-use q3de_bench::{format_row, ExperimentArgs};
+use q3de_bench::{format_row, Cli};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -96,6 +95,10 @@ fn service_smoke(base_seed: u64, matcher: MatcherKind) {
             std::process::exit(2);
         }
     };
+    if let Err(error) = check_schema_version(&doc, SERVICE_SCHEMA_VERSION, "service report") {
+        eprintln!("service smoke FAILED: {error}");
+        std::process::exit(2);
+    }
     let parsed = doc
         .get("service")
         .and_then(|s| s.get("tenants"))
@@ -147,36 +150,27 @@ fn throughputs(doc: &JsonValue) -> Vec<(String, f64)> {
 }
 
 fn main() {
-    let args = ExperimentArgs::parse(200);
-    // perf_smoke-specific flags (ExperimentArgs ignores unknown flags).
-    let mut baseline_path: Option<String> = None;
-    let mut max_regression = 2.0f64;
-    let cli: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i < cli.len() {
-        match cli[i].as_str() {
-            "--baseline" if i + 1 < cli.len() => {
-                baseline_path = Some(cli[i + 1].clone());
-                i += 1;
-            }
-            "--max-regression" if i + 1 < cli.len() => {
-                max_regression = match cli[i + 1].parse::<f64>() {
-                    Ok(factor) if factor >= 1.0 => factor,
-                    _ => {
-                        // A typo must not silently loosen the CI gate.
-                        eprintln!(
-                            "invalid --max-regression '{}': expected a number >= 1.0",
-                            cli[i + 1]
-                        );
-                        std::process::exit(2);
-                    }
-                };
-                i += 1;
-            }
-            _ => {}
-        }
-        i += 1;
-    }
+    let (args, extras) = Cli::new(
+        "perf_smoke",
+        "pinned-seed perf sweep over every hot path, with a CI regression gate",
+        200,
+    )
+    .flag(
+        "--baseline",
+        "PATH",
+        "compare shots/sec against this BENCH_baseline.json and gate on regressions",
+    )
+    .flag(
+        "--max-regression",
+        "X",
+        "fail when any point drops below baseline/X (default 2.0)",
+    )
+    .parse();
+    let baseline_path = extras.get("--baseline").map(String::from);
+    // A typo must not silently loosen the CI gate.
+    let max_regression = extras
+        .require("--max-regression", "a number >= 1.0", |x: &f64| *x >= 1.0)
+        .unwrap_or(2.0);
     let report_path = args
         .report
         .clone()
@@ -336,6 +330,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // The baseline is its own versioned artifact; refusing unknown majors
+    // keeps the gate from silently comparing against a reshaped file.
+    const BASELINE_SCHEMA_VERSION: u64 = 1;
+    if let Err(error) = check_schema_version(&baseline, BASELINE_SCHEMA_VERSION, "perf baseline") {
+        eprintln!("cannot use baseline {baseline_path}: {error}");
+        std::process::exit(2);
+    }
 
     let mut failed = false;
     eprintln!("\nregression gate (fail below baseline/{max_regression}):");

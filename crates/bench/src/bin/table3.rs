@@ -1,11 +1,19 @@
 //! Table III: memory overheads of the Q3DE decoding pipeline
 //! (d = 31, p = 1e-3, c_win = 300).
 //!
-//! Usage: `cargo run --release -p q3de-bench --bin table3`
+//! The table is a closed-form model — no Monte-Carlo shots — so the engine
+//! flags are accepted (run with `--help`) but only for uniformity.
 
 use q3de::scaling::MemoryOverheadModel;
+use q3de_bench::Cli;
 
 fn main() {
+    let _args = Cli::new(
+        "table3",
+        "memory overheads of the Q3DE decoding pipeline (paper Table III)",
+        0,
+    )
+    .parse();
     let model = MemoryOverheadModel::table3();
     println!("Table III: memory overheads per logical qubit (d = 31, c_win = 300)");
     println!("{:<22}{:>14}{:>14}", "unit", "size (kbit)", "paper (kbit)");

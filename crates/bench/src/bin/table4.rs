@@ -1,11 +1,19 @@
 //! Table IV: FPGA resource and throughput estimates of the greedy decoder
 //! unit (BASE vs Q3DE, 40- and 80-entry active node queues).
 //!
-//! Usage: `cargo run --release -p q3de-bench --bin table4`
+//! The table is a closed-form model — no Monte-Carlo shots — so the engine
+//! flags are accepted (run with `--help`) but only for uniformity.
 
 use q3de::scaling::{DecoderHardwareModel, DecoderVariant};
+use q3de_bench::Cli;
 
 fn main() {
+    let _args = Cli::new(
+        "table4",
+        "FPGA resource and throughput estimates of the greedy decoder unit (paper Table IV)",
+        0,
+    )
+    .parse();
     let model = DecoderHardwareModel::new();
     println!(
         "Table IV: greedy-decoder resource model (calibrated against the paper's HLS results)"

@@ -6,191 +6,19 @@
 //! underlying kernel at a reduced scale).  See `EXPERIMENTS.md` at the
 //! workspace root for the mapping and recorded results.
 //!
-//! The Monte-Carlo figure binaries (`fig3`, `fig8`, `fig_system`,
-//! `perf_smoke`) run on the shared sweep engine
-//! ([`q3de::sim::engine::SweepRunner`]) and therefore understand a common
-//! flag set: `--samples`, `--seed`, `--matcher`, `--json`, `--target-rse`,
-//! `--checkpoint`, `--resume` and `--report`.
+//! All experiment binaries share one command-line front end (the [`cli`]
+//! module): the engine flag set — `--samples`, `--seed`, `--matcher`,
+//! `--threads`, `--json`, `--target-rse`, `--checkpoint`, `--resume`,
+//! `--report` — parses into one [`EngineArgs`] struct, and `--help` output
+//! is generated, so it is identical everywhere.
 
 #![deny(missing_docs)]
 
-use q3de::matching::MatcherKind;
-use q3de::sim::engine::{SweepConfig, SweepPoint, SweepReport, SweepRunner};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+pub mod cli;
+pub mod fabric;
+pub mod sweeps;
 
-/// Command-line arguments shared by the experiment binaries.
-#[derive(Debug, Clone)]
-pub struct ExperimentArgs {
-    /// Monte-Carlo shots (or trials) per data point.  With `--target-rse`
-    /// this becomes the per-point shot *ceiling* of the adaptive schedule.
-    pub samples: usize,
-    /// RNG seed.
-    pub seed: u64,
-    /// Emit machine-readable JSON lines on stdout; all human-readable
-    /// tables and progress move to stderr so piped JSON stays parseable.
-    pub json: bool,
-    /// Matching backend the decoding binaries run
-    /// (`--matcher exact|greedy|union-find|blossom`).
-    pub matcher: MatcherKind,
-    /// Adaptive stopping target (`--target-rse 0.1`): stop a sweep point
-    /// once the relative Wilson half-width of its tally reaches this value.
-    /// `None` keeps the classic fixed-shot behaviour.
-    pub target_rse: Option<f64>,
-    /// Sweep checkpoint file (`--checkpoint PATH`): partial tallies are
-    /// persisted there so a killed sweep can be resumed.
-    pub checkpoint: Option<String>,
-    /// Resume from the checkpoint file if it exists (`--resume`).
-    pub resume: bool,
-    /// Write the machine-readable sweep report (`--report PATH`), the
-    /// `bench_report.json` artifact CI tracks.
-    pub report: Option<String>,
-}
-
-impl ExperimentArgs {
-    /// Parses `--samples N`, `--seed N`, `--json`, `--matcher NAME`,
-    /// `--target-rse X`, `--checkpoint PATH`, `--resume` and
-    /// `--report PATH` from `std::env::args`, with the given default sample
-    /// count.  Unknown flags are ignored so binaries can layer their own.
-    pub fn parse(default_samples: usize) -> Self {
-        let mut samples = default_samples;
-        let mut seed = 2022;
-        let mut json = false;
-        let mut matcher = MatcherKind::default();
-        let mut target_rse = None;
-        let mut checkpoint = None;
-        let mut resume = false;
-        let mut report = None;
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--samples" if i + 1 < args.len() => {
-                    samples = args[i + 1].parse().unwrap_or(default_samples);
-                    i += 1;
-                }
-                "--seed" if i + 1 < args.len() => {
-                    seed = args[i + 1].parse().unwrap_or(2022);
-                    i += 1;
-                }
-                "--matcher" if i + 1 < args.len() => {
-                    matcher = MatcherKind::parse(&args[i + 1]).unwrap_or_else(|| {
-                        eprintln!(
-                            "unknown matcher '{}', expected exact|greedy|union-find|blossom; using exact",
-                            args[i + 1]
-                        );
-                        MatcherKind::Exact
-                    });
-                    i += 1;
-                }
-                "--target-rse" if i + 1 < args.len() => {
-                    match args[i + 1].parse::<f64>() {
-                        Ok(rse) if rse > 0.0 => target_rse = Some(rse),
-                        _ => eprintln!(
-                            "invalid --target-rse '{}', expected a positive number; \
-                             staying in fixed-shot mode",
-                            args[i + 1]
-                        ),
-                    }
-                    i += 1;
-                }
-                "--checkpoint" if i + 1 < args.len() => {
-                    checkpoint = Some(args[i + 1].clone());
-                    i += 1;
-                }
-                "--report" if i + 1 < args.len() => {
-                    report = Some(args[i + 1].clone());
-                    i += 1;
-                }
-                "--resume" => resume = true,
-                "--json" => json = true,
-                _ => {}
-            }
-            i += 1;
-        }
-        Self {
-            samples,
-            seed,
-            json,
-            matcher,
-            target_rse,
-            checkpoint,
-            resume,
-            report,
-        }
-    }
-
-    /// A reproducible RNG derived from the seed and a per-series salt.
-    pub fn rng(&self, salt: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(self.stream_seed(salt))
-    }
-
-    /// The raw `u64` stream seed behind [`ExperimentArgs::rng`], for APIs
-    /// (like [`q3de::sim::MemoryExperiment::estimate_parallel`] and the
-    /// sweep engine's shot kernels) that derive per-shot RNGs themselves.
-    pub fn stream_seed(&self, salt: u64) -> u64 {
-        self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt)
-    }
-
-    /// The sweep-engine configuration these flags describe: fixed
-    /// `samples`-shot mode without `--target-rse`, adaptive mode (shot
-    /// floor [`adaptive_floor`]`(samples)`, ceiling `samples`) with it,
-    /// plus the checkpoint/resume settings.
-    pub fn sweep_config(&self) -> SweepConfig {
-        let mut config = match self.target_rse {
-            None => SweepConfig::fixed(self.samples),
-            Some(rse) => SweepConfig::adaptive(adaptive_floor(self.samples), self.samples, rse),
-        };
-        if let Some(path) = &self.checkpoint {
-            config = config.with_checkpoint(path).with_resume(self.resume);
-        }
-        config
-    }
-
-    /// Runs `points` on the sweep engine under [`ExperimentArgs::sweep_config`],
-    /// stamps the seed/sample metadata into the report, and writes the
-    /// `--report` artifact if requested.  Engine errors (unreadable or
-    /// mismatched checkpoints, unwritable reports) terminate the binary
-    /// with exit code 2.
-    pub fn run_sweep(&self, points: Vec<SweepPoint>) -> SweepReport {
-        let runner = SweepRunner::new(self.sweep_config());
-        let mut report = match runner.run(points) {
-            Ok(report) => report,
-            Err(error) => {
-                eprintln!("sweep failed: {error}");
-                std::process::exit(2);
-            }
-        };
-        report.meta = vec![
-            ("seed".into(), self.seed.to_string()),
-            ("samples".into(), self.samples.to_string()),
-            ("matcher".into(), self.matcher.name().to_string()),
-        ];
-        if let Some(path) = &self.report {
-            if let Err(error) = report.write_json(std::path::Path::new(path)) {
-                eprintln!("cannot write report: {error}");
-                std::process::exit(2);
-            }
-        }
-        report
-    }
-
-    /// Prints a human-readable line: to stdout normally, to stderr in
-    /// `--json` mode so machine-readable stdout stays parseable.
-    pub fn human(&self, line: impl AsRef<str>) {
-        if self.json {
-            eprintln!("{}", line.as_ref());
-        } else {
-            println!("{}", line.as_ref());
-        }
-    }
-
-    /// Prints an aligned human-readable table row (see [`print_row`]),
-    /// routed like [`ExperimentArgs::human`].
-    pub fn human_row(&self, label: &str, values: &[String]) {
-        self.human(format_row(label, values));
-    }
-}
+pub use cli::{Cli, EngineArgs, ExtraValues};
 
 /// The adaptive-mode shot floor derived from a `--samples` ceiling: an
 /// eighth of the budget, at least 32 shots, never above the ceiling.
@@ -217,60 +45,9 @@ pub fn sci(x: f64) -> String {
 mod tests {
     use super::*;
 
-    fn args() -> ExperimentArgs {
-        ExperimentArgs {
-            samples: 100,
-            seed: 1,
-            json: false,
-            matcher: MatcherKind::Exact,
-            target_rse: None,
-            checkpoint: None,
-            resume: false,
-            report: None,
-        }
-    }
-
-    #[test]
-    fn default_args_are_used_without_cli_flags() {
-        let args = args();
-        let mut a = args.rng(0);
-        let mut b = args.rng(0);
-        use rand::Rng;
-        assert_eq!(
-            a.gen::<u64>(),
-            b.gen::<u64>(),
-            "same salt gives the same stream"
-        );
-        let mut c = args.rng(1);
-        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
-    }
-
     #[test]
     fn sci_formats_scientifically() {
         assert!(sci(1.234e-5).contains("e-5"));
-    }
-
-    #[test]
-    fn sweep_config_reflects_the_mode() {
-        let fixed = args().sweep_config();
-        assert_eq!(fixed.shot_floor, 64);
-        assert_eq!(fixed.shot_ceiling, 100);
-        assert_eq!(fixed.target_rse, None);
-
-        let mut adaptive_args = args();
-        adaptive_args.samples = 4000;
-        adaptive_args.target_rse = Some(0.1);
-        adaptive_args.checkpoint = Some("cp.json".into());
-        adaptive_args.resume = true;
-        let adaptive = adaptive_args.sweep_config();
-        assert_eq!(adaptive.shot_floor, 500);
-        assert_eq!(adaptive.shot_ceiling, 4000);
-        assert_eq!(adaptive.target_rse, Some(0.1));
-        assert!(adaptive.resume);
-        assert_eq!(
-            adaptive.checkpoint.as_deref(),
-            Some(std::path::Path::new("cp.json"))
-        );
     }
 
     #[test]

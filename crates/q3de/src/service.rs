@@ -366,6 +366,11 @@ impl TenantReport {
     }
 }
 
+/// The schema version written to [`ServiceReport::to_json`] documents;
+/// consumers reject other versions via
+/// [`q3de_sim::engine::json::check_schema_version`].
+pub const SERVICE_SCHEMA_VERSION: u64 = 1;
+
 /// Snapshot of the whole shard, one entry per tenant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceReport {
@@ -377,12 +382,13 @@ pub struct ServiceReport {
 
 impl ServiceReport {
     /// The report as a single JSON document,
-    /// `{"service":{"workers":N,"tenants":[...]}}` — parseable by
-    /// [`q3de_sim::engine::json::JsonValue`].
+    /// `{"schema_version":V,"service":{"workers":N,"tenants":[...]}}` —
+    /// parseable by [`q3de_sim::engine::json::JsonValue`].
     pub fn to_json(&self) -> String {
         let tenants: Vec<String> = self.tenants.iter().map(TenantReport::to_json).collect();
         format!(
-            "{{\"service\":{{\"workers\":{},\"tenants\":[{}]}}}}",
+            "{{\"schema_version\":{SERVICE_SCHEMA_VERSION},\
+             \"service\":{{\"workers\":{},\"tenants\":[{}]}}}}",
             self.workers,
             tenants.join(",")
         )
@@ -870,6 +876,12 @@ mod tests {
         let report = server.finish();
         let doc = q3de_sim::engine::json::JsonValue::parse(&report.to_json())
             .expect("service report must be valid JSON");
+        q3de_sim::engine::json::check_schema_version(
+            &doc,
+            SERVICE_SCHEMA_VERSION,
+            "service report",
+        )
+        .expect("report carries the schema version this build writes");
         let service = doc.get("service").expect("service key");
         assert_eq!(service.get("workers").and_then(|w| w.as_usize()), Some(1));
         let tenants = service

@@ -13,7 +13,11 @@ use super::json::JsonValue;
 use super::EngineError;
 
 /// The schema version written to (and required of) checkpoint files.
-pub const CHECKPOINT_VERSION: usize = 1;
+/// Version 2 renamed the field itself from `version` to `schema_version`,
+/// aligning checkpoints with every other engine artifact; version-1 files
+/// are refused with a clear error (re-run the sweep rather than guess at a
+/// silent migration of statistics).
+pub const CHECKPOINT_VERSION: usize = 2;
 
 /// One point's committed tally.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,7 +79,7 @@ impl Checkpoint {
     pub fn to_json(&self) -> JsonValue {
         JsonValue::Object(vec![
             (
-                "version".into(),
+                "schema_version".into(),
                 JsonValue::Number(CHECKPOINT_VERSION as f64),
             ),
             (
@@ -106,13 +110,7 @@ impl Checkpoint {
     ///
     /// Returns a description of the first schema violation.
     pub fn from_json(value: &JsonValue) -> Result<Self, String> {
-        let version = value
-            .get("version")
-            .and_then(JsonValue::as_usize)
-            .ok_or("missing version")?;
-        if version != CHECKPOINT_VERSION {
-            return Err(format!("unsupported checkpoint version {version}"));
-        }
+        super::json::check_schema_version(value, CHECKPOINT_VERSION as u64, "checkpoint")?;
         let fingerprint = value
             .get("fingerprint")
             .and_then(JsonValue::as_str)
@@ -205,15 +203,25 @@ mod tests {
     #[test]
     fn schema_violations_are_rejected() {
         for (doc, what) in [
-            (r#"{"points": []}"#, "missing version"),
+            (r#"{"points": []}"#, "missing schema version"),
             (
-                r#"{"version": 99, "fingerprint": "x", "points": []}"#,
-                "bad version",
+                r#"{"version": 1, "fingerprint": "x", "points": []}"#,
+                "pre-rename version-1 file",
             ),
-            (r#"{"version": 1, "points": []}"#, "missing fingerprint"),
-            (r#"{"version": 1, "fingerprint": "x"}"#, "missing points"),
             (
-                r#"{"version": 1, "fingerprint": "x", "points": [{"id": "a", "shots": 1, "failures": 2}]}"#,
+                r#"{"schema_version": 99, "fingerprint": "x", "points": []}"#,
+                "unknown major",
+            ),
+            (
+                r#"{"schema_version": 2, "points": []}"#,
+                "missing fingerprint",
+            ),
+            (
+                r#"{"schema_version": 2, "fingerprint": "x"}"#,
+                "missing points",
+            ),
+            (
+                r#"{"schema_version": 2, "fingerprint": "x", "points": [{"id": "a", "shots": 1, "failures": 2}]}"#,
                 "failures > shots",
             ),
         ] {

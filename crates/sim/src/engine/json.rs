@@ -111,6 +111,28 @@ impl JsonValue {
     }
 }
 
+/// Checks the `schema_version` field of a JSON artifact: it must be
+/// present and equal to `expected`.  Every engine artifact (reports,
+/// checkpoints, shard plans, tally deltas) carries this field so a parser
+/// from a different major refuses the document with a clear error instead
+/// of silently misreading it; `what` names the artifact in that error.
+///
+/// # Errors
+///
+/// Returns a message naming the artifact, the found version (or its
+/// absence) and the supported one.
+pub fn check_schema_version(value: &JsonValue, expected: u64, what: &str) -> Result<(), String> {
+    match value.get("schema_version").and_then(JsonValue::as_usize) {
+        Some(found) if found as u64 == expected => Ok(()),
+        Some(found) => Err(format!(
+            "unsupported {what} schema version {found} (this build reads version {expected})"
+        )),
+        None => Err(format!(
+            "{what} carries no schema version (this build reads version {expected})"
+        )),
+    }
+}
+
 impl fmt::Display for JsonValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -461,6 +483,23 @@ mod tests {
         let v = JsonValue::parse(" { \"k\" : \"\\u0041\\n\" , \"l\" : [ ] } ").unwrap();
         assert_eq!(v.get("k").unwrap().as_str(), Some("A\n"));
         assert_eq!(v.get("l").unwrap().as_array(), Some(&[][..]));
+    }
+
+    #[test]
+    fn schema_version_checks_name_the_artifact_and_versions() {
+        let good = JsonValue::parse(r#"{"schema_version": 2}"#).unwrap();
+        assert_eq!(check_schema_version(&good, 2, "report"), Ok(()));
+        let newer = JsonValue::parse(r#"{"schema_version": 3}"#).unwrap();
+        let err = check_schema_version(&newer, 2, "report").unwrap_err();
+        assert!(
+            err.contains("report") && err.contains('3') && err.contains('2'),
+            "{err}"
+        );
+        let missing = JsonValue::parse(r#"{"version": 2}"#).unwrap();
+        let err = check_schema_version(&missing, 2, "checkpoint").unwrap_err();
+        assert!(err.contains("no schema version"), "{err}");
+        let non_integer = JsonValue::parse(r#"{"schema_version": "2"}"#).unwrap();
+        assert!(check_schema_version(&non_integer, 2, "plan").is_err());
     }
 
     #[test]

@@ -10,12 +10,17 @@
 //!   [`ShotKernel`] (built from a [`MemoryExperimentConfig`], a
 //!   [`ChipMemoryExperiment`], or any closure) that maps a global stream
 //!   index to one shot's pass/fail outcome;
-//! * **work-stealing across points** — shots are scheduled in fixed-size
-//!   batches drawn from a single queue shared by all worker threads, so a
-//!   slow high-distance point and twenty cheap points together keep every
-//!   core busy until the whole sweep ends (the memory/chip kernels decode
-//!   through pooled persistent decoder contexts, so each worker reuses one
-//!   warm space-time graph across all the shots it steals);
+//! * **sharded execution** — the runner is an in-process instance of the
+//!   [shard protocol](shard): it builds a [`ShardPlan`] with one shard per
+//!   worker thread, each thread runs its deterministic slice of every
+//!   scheduling block of every point, and a local
+//!   [`Coordinator`] folds the resulting
+//!   [`TallyDelta`]s — the exact code path the `q3de-sweepd` /
+//!   `q3de-sweepctl` fabric runs across processes and machines, which is
+//!   why a distributed sweep is bit-identical to a local one (the
+//!   memory/chip kernels decode through pooled persistent decoder
+//!   contexts, so each worker reuses one warm space-time graph across all
+//!   the shots of its slices);
 //! * **adaptive stopping** — with a `target_rse`, each point stops once the
 //!   relative half-width of the Wilson score interval of its tally drops
 //!   below the target, checked only at deterministic block boundaries
@@ -49,13 +54,18 @@
 //! # Ok::<(), q3de_sim::engine::EngineError>(())
 //! ```
 
+pub mod coordinator;
 pub mod json;
+pub mod shard;
 
 mod checkpoint;
 
 pub use checkpoint::{Checkpoint, CheckpointPoint, CHECKPOINT_VERSION};
+pub use coordinator::{Coordinator, SubmitOutcome};
+pub use shard::{
+    DeltaSink, EpochGate, PlanPoint, ShardPlan, ShardWorker, TallyDelta, PLAN_SCHEMA_VERSION,
+};
 
-use std::collections::VecDeque;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex};
@@ -425,14 +435,28 @@ impl SweepConfig {
 
     /// The fingerprint persisted into checkpoints.  It covers everything
     /// that determines which streams a tally is made of and where block
-    /// boundaries fall: the point ids (in order), the shot floor, the
-    /// stopping target and the confidence quantile.  The shot *ceiling* is
-    /// deliberately excluded so a finished sweep can be extended by
-    /// resuming with a larger budget (in adaptive mode the extension's
-    /// convergence look-points continue from the resumed count rather than
-    /// replaying a fresh schedule — see the module docs).
+    /// boundaries fall: the checkpoint schema version, the point ids (in
+    /// order), the shot floor, the stopping target and the confidence
+    /// quantile.  The shot *ceiling* is deliberately excluded so a finished
+    /// sweep can be extended by resuming with a larger budget (in adaptive
+    /// mode the extension's convergence look-points continue from the
+    /// resumed count rather than replaying a fresh schedule — see the
+    /// module docs).  `batch_size` and the thread/shard count are excluded
+    /// too, and *provably* so: a committed tally is a pure function of its
+    /// stream prefix `0..shots`, and block boundaries depend only on the
+    /// floor and ceiling, so a checkpoint resumes bit-identically under any
+    /// batch size or worker count (pinned by
+    /// `checkpoints_resume_across_batch_sizes_and_thread_counts` in this
+    /// module's tests).
     pub fn fingerprint(&self, points: &[SweepPoint]) -> String {
         let ids: Vec<&str> = points.iter().map(|p| p.id()).collect();
+        self.fingerprint_of_ids(&ids)
+    }
+
+    /// [`SweepConfig::fingerprint`] from bare point ids — what a
+    /// coordinator uses when it has only a [`ShardPlan`] (pure data, no
+    /// runnable kernels) and must still emit engine-compatible checkpoints.
+    pub fn fingerprint_of_ids(&self, ids: &[&str]) -> String {
         format!(
             "v{CHECKPOINT_VERSION};floor={};rse={:?};z={};ids={}",
             self.shot_floor.clamp(1, self.shot_ceiling.max(1)),
@@ -528,6 +552,12 @@ impl PointReport {
     }
 }
 
+/// Schema version of the `bench_report.json` artifact.  Version 2 renamed
+/// the field from `version` to `schema_version` (matching every other
+/// engine artifact); readers reject other majors via
+/// [`json::check_schema_version`].
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
+
 /// The result of a sweep: one [`PointReport`] per point (input order) plus
 /// sweep-level timing, serialisable as the `bench_report.json` artifact CI
 /// tracks.
@@ -566,10 +596,14 @@ impl SweepReport {
         self.points.iter().map(|p| p.failures).sum()
     }
 
-    /// The report as a JSON document (the `bench_report.json` schema).
+    /// The report as a JSON document (the `bench_report.json` schema,
+    /// version [`REPORT_SCHEMA_VERSION`]).
     pub fn to_json(&self) -> JsonValue {
         JsonValue::Object(vec![
-            ("version".into(), JsonValue::Number(1.0)),
+            (
+                "schema_version".into(),
+                JsonValue::Number(REPORT_SCHEMA_VERSION as f64),
+            ),
             (
                 "wall_clock_secs".into(),
                 JsonValue::Number(self.wall_clock_secs),
@@ -664,56 +698,124 @@ pub fn write_atomic(path: &Path, contents: &str) -> Result<(), EngineError> {
     std::fs::rename(&tmp, path).map_err(io)
 }
 
-/// A batch of contiguous shot streams of one point.
-#[derive(Debug, Clone, Copy)]
-struct Batch {
-    point: usize,
-    start: u64,
-    len: usize,
+/// Shared state of an in-process sharded sweep: the coordinator behind a
+/// mutex, plus the bookkeeping that orders checkpoint writes and fans
+/// commit notifications out to waiting shard workers.
+struct LocalHub<'p> {
+    config: &'p SweepConfig,
+    state: Mutex<LocalState>,
+    /// Signalled on every committed block (and on abort) so workers parked
+    /// in [`DeltaSink::wait_for_progress`] re-scan their gates.
+    progress: Condvar,
+    /// Serialises checkpoint file writes without holding the coordinator
+    /// lock; holds the epoch of the last snapshot written so a slow older
+    /// write can never clobber a newer one.
+    checkpoint_io: Mutex<u64>,
 }
 
-/// Mutable per-point scheduling state.
-#[derive(Debug, Clone)]
-struct PointState {
-    /// Tally including batches of the in-flight block.
-    shots: usize,
-    failures: usize,
-    /// Tally at the last completed block boundary (what checkpoints
-    /// persist).
-    committed_shots: usize,
-    committed_failures: usize,
-    /// Current block boundary: the point's tally grows to exactly this
-    /// value before the next scheduling decision.
-    target: usize,
-    /// Next stream index to hand out.
-    next_stream: u64,
-    /// Shots taken over from a resumed checkpoint (untimed here).
-    resumed: usize,
-    busy_secs: f64,
-    finished: bool,
-    converged: bool,
-}
-
-struct SweepState {
-    pending: VecDeque<Batch>,
-    points: Vec<PointState>,
-    unfinished: usize,
-    /// Bumped every time a point commits a block; orders checkpoint writes.
+struct LocalState {
+    coordinator: Coordinator,
+    /// Bumped on every committed block; lets a waiting worker detect
+    /// commits that happened between its gate scan and its wait.
+    generation: u64,
+    /// Bumped every time a commit produces a checkpoint snapshot; orders
+    /// the file writes.
     checkpoint_epoch: u64,
     /// First checkpoint-write failure, surfaced after the run.
     checkpoint_error: Option<EngineError>,
 }
 
-struct Shared<'p> {
-    config: &'p SweepConfig,
-    points: &'p [SweepPoint],
-    fingerprint: &'p str,
-    state: Mutex<SweepState>,
-    work_ready: Condvar,
-    /// Serialises checkpoint file writes without holding the scheduler
-    /// lock; holds the epoch of the last snapshot written so a slow older
-    /// write can never clobber a newer one.
-    checkpoint_io: Mutex<u64>,
+/// The [`DeltaSink`] of one in-process shard: submits into the shared
+/// coordinator, persists a checkpoint after every committed block, and
+/// blocks on the hub's condvar when its shard is ahead of the commit
+/// frontier (adaptive mode's zero-overshoot gate).
+struct LocalSink<'p> {
+    hub: &'p LocalHub<'p>,
+    /// The hub generation observed when this sink last woke up; waiting is
+    /// skipped whenever a commit happened since (no missed wake-ups).
+    seen_generation: u64,
+}
+
+impl LocalSink<'_> {
+    fn abort_error() -> EngineError {
+        EngineError::CheckpointMismatch {
+            reason: "sweep aborted after a checkpoint write failure".into(),
+        }
+    }
+}
+
+impl DeltaSink for LocalSink<'_> {
+    fn submit(&mut self, delta: TallyDelta) -> Result<(), EngineError> {
+        let mut state = self.hub.state.lock().expect("engine lock poisoned");
+        if state.checkpoint_error.is_some() {
+            return Err(Self::abort_error());
+        }
+        let outcome = state.coordinator.submit(&delta)?;
+        if !outcome.committed {
+            return Ok(());
+        }
+        state.generation += 1;
+        self.hub.progress.notify_all();
+        let Some(path) = self.hub.config.checkpoint.as_deref() else {
+            return Ok(());
+        };
+        // Snapshot under the coordinator lock (a small Vec clone), then
+        // serialise and write the file outside it so disk latency never
+        // stalls the other workers.
+        state.checkpoint_epoch += 1;
+        let epoch = state.checkpoint_epoch;
+        let snapshot = state.coordinator.checkpoint();
+        drop(state);
+        let mut last_written = self
+            .hub
+            .checkpoint_io
+            .lock()
+            .expect("checkpoint lock poisoned");
+        if epoch > *last_written {
+            if let Err(error) = snapshot.save(path) {
+                let mut state = self.hub.state.lock().expect("engine lock poisoned");
+                state.checkpoint_error.get_or_insert(error);
+                // Wake every waiting worker so the sweep aborts promptly
+                // (the user asked for durability; silently losing it — or
+                // computing for hours only to discard the tallies at the
+                // end — would both be worse).
+                self.hub.progress.notify_all();
+                return Err(Self::abort_error());
+            }
+            *last_written = epoch;
+        }
+        Ok(())
+    }
+
+    fn gate(&mut self, point: usize, epoch: usize) -> Result<EpochGate, EngineError> {
+        let state = self.hub.state.lock().expect("engine lock poisoned");
+        if state.checkpoint_error.is_some() {
+            return Err(Self::abort_error());
+        }
+        Ok(state.coordinator.gate(point, epoch))
+    }
+
+    fn wait_for_progress(&mut self) -> Result<(), EngineError> {
+        let mut state = self.hub.state.lock().expect("engine lock poisoned");
+        // `seen_generation` was recorded before the gate scan that found
+        // nothing runnable, so any commit since then — during the scan or
+        // right now — returns immediately instead of sleeping through the
+        // wake-up.
+        while state.generation == self.seen_generation {
+            if state.checkpoint_error.is_some() {
+                return Err(Self::abort_error());
+            }
+            if state.coordinator.all_finished() {
+                break;
+            }
+            state = self.hub.progress.wait(state).expect("engine lock poisoned");
+        }
+        if state.checkpoint_error.is_some() {
+            return Err(Self::abort_error());
+        }
+        self.seen_generation = state.generation;
+        Ok(())
+    }
 }
 
 /// The sweep scheduler: runs a grid of [`SweepPoint`]s under a
@@ -750,6 +852,14 @@ impl SweepRunner {
 
     /// Runs the sweep to completion and returns the per-point tallies.
     ///
+    /// The runner is an in-process instance of the shard protocol: it
+    /// builds a [`ShardPlan`] with one shard per worker thread, drives a
+    /// [`ShardWorker`] per thread against a shared local [`Coordinator`],
+    /// and takes the final report from the coordinator's merge — the same
+    /// code path the `q3de-sweepd`/`q3de-sweepctl` fabric runs across
+    /// processes and machines, which is why a distributed sweep is
+    /// bit-identical to this one.
+    ///
     /// # Errors
     ///
     /// Returns an error when an existing checkpoint cannot be read, does
@@ -768,69 +878,10 @@ impl SweepRunner {
         }
         let fingerprint = config.fingerprint(&points);
         let resumed = self.load_checkpoint(&fingerprint, &points)?;
+        let baselines: Option<Vec<(usize, usize)>> = resumed
+            .as_ref()
+            .map(|cp| cp.points.iter().map(|p| (p.shots, p.failures)).collect());
 
-        // Per-point scheduling state, seeded from the checkpoint if any.
-        let mut states = Vec::with_capacity(points.len());
-        for (i, _point) in points.iter().enumerate() {
-            let (shots, failures) = resumed
-                .as_ref()
-                .map_or((0, 0), |cp| (cp.points[i].shots, cp.points[i].failures));
-            let mut state = PointState {
-                shots,
-                failures,
-                committed_shots: shots,
-                committed_failures: failures,
-                target: shots,
-                next_stream: shots as u64,
-                resumed: shots,
-                busy_secs: 0.0,
-                finished: false,
-                converged: false,
-            };
-            if config.is_converged(shots, failures) {
-                state.finished = true;
-                state.converged = true;
-            } else if shots >= config.shot_ceiling {
-                state.finished = true;
-            } else if shots == 0 {
-                state.target = config.first_target();
-            } else {
-                state.target = config.next_target(shots);
-            }
-            states.push(state);
-        }
-
-        // Initial batches, interleaved round-robin across points so every
-        // point makes progress (and checkpoints stay fresh) from the start.
-        let mut per_point: Vec<VecDeque<Batch>> = states
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                if s.finished {
-                    VecDeque::new()
-                } else {
-                    batches(config.batch_size, i, s.next_stream, s.target - s.shots)
-                }
-            })
-            .collect();
-        for state in states.iter_mut().filter(|s| !s.finished) {
-            state.next_stream = state.target as u64;
-        }
-        let mut pending = VecDeque::new();
-        loop {
-            let mut any = false;
-            for queue in &mut per_point {
-                if let Some(batch) = queue.pop_front() {
-                    pending.push_back(batch);
-                    any = true;
-                }
-            }
-            if !any {
-                break;
-            }
-        }
-
-        let unfinished = states.iter().filter(|s| !s.finished).count();
         let threads = config
             .num_threads
             .unwrap_or_else(|| {
@@ -840,18 +891,16 @@ impl SweepRunner {
             })
             .max(1);
 
-        let shared = Shared {
+        let plan = ShardPlan::new(config, &points, baselines.as_deref(), threads);
+        let hub = LocalHub {
             config,
-            points: &points,
-            fingerprint: &fingerprint,
-            state: Mutex::new(SweepState {
-                pending,
-                points: states,
-                unfinished,
+            state: Mutex::new(LocalState {
+                coordinator: Coordinator::new(plan.clone()),
+                generation: 0,
                 checkpoint_epoch: 0,
                 checkpoint_error: None,
             }),
-            work_ready: Condvar::new(),
+            progress: Condvar::new(),
             checkpoint_io: Mutex::new(0),
         };
 
@@ -859,51 +908,48 @@ impl SweepRunner {
         // Probe the checkpoint path up front (and persist the starting
         // state): an unwritable path fails here, before any shot runs,
         // instead of after hours of compute.
-        if config.checkpoint.is_some() {
-            let state = shared.state.lock().expect("engine lock poisoned");
-            write_checkpoint(&shared, &state)?;
+        if let Some(path) = config.checkpoint.as_deref() {
+            let state = hub.state.lock().expect("engine lock poisoned");
+            state.coordinator.checkpoint().save(path)?;
         }
         let has_work = {
-            let state = shared.state.lock().expect("engine lock poisoned");
-            state.unfinished > 0
+            let state = hub.state.lock().expect("engine lock poisoned");
+            !state.coordinator.all_finished()
         };
         if has_work {
-            std::thread::scope(|scope| {
+            let worker_errors: Vec<EngineError> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
-                    .map(|_| scope.spawn(|| worker(&shared)))
+                    .map(|shard| {
+                        let plan = &plan;
+                        let points = &points;
+                        let hub = &hub;
+                        scope.spawn(move || {
+                            let mut sink = LocalSink {
+                                hub,
+                                seen_generation: 0,
+                            };
+                            ShardWorker::new(plan, shard).run(points, &[], &mut sink, |_| {})
+                        })
+                    })
                     .collect();
-                for handle in handles {
-                    handle.join().expect("sweep worker panicked");
-                }
+                handles
+                    .into_iter()
+                    .filter_map(|handle| handle.join().expect("sweep worker panicked").err())
+                    .collect()
             });
+            let mut state = hub.state.lock().expect("engine lock poisoned");
+            if let Some(error) = state.checkpoint_error.take() {
+                return Err(error);
+            }
+            if let Some(error) = worker_errors.into_iter().next() {
+                return Err(error);
+            }
+            drop(state);
         }
         let wall_clock_secs = start.elapsed().as_secs_f64();
 
-        let state = shared.state.into_inner().expect("engine lock poisoned");
-        if let Some(error) = state.checkpoint_error {
-            return Err(error);
-        }
-        Ok(SweepReport {
-            points: points
-                .iter()
-                .zip(&state.points)
-                .map(|(point, s)| PointReport {
-                    id: point.id().to_string(),
-                    shots: s.shots,
-                    failures: s.failures,
-                    converged: s.converged,
-                    resumed_shots: s.resumed,
-                    busy_secs: s.busy_secs,
-                    confidence_z: config.confidence_z,
-                })
-                .collect(),
-            wall_clock_secs,
-            threads,
-            shot_floor: config.first_target(),
-            shot_ceiling: config.shot_ceiling,
-            target_rse: config.target_rse,
-            meta: Vec::new(),
-        })
+        let state = hub.state.into_inner().expect("engine lock poisoned");
+        state.coordinator.report(wall_clock_secs, threads)
     }
 
     /// Loads and validates the checkpoint configured for this sweep, if
@@ -975,148 +1021,6 @@ fn is_block_boundary(config: &SweepConfig, shots: usize) -> bool {
             return false;
         }
         boundary = config.next_target(boundary);
-    }
-}
-
-/// Splits `count` shots starting at `start` into batches of at most
-/// `batch_size`.
-fn batches(batch_size: usize, point: usize, start: u64, count: usize) -> VecDeque<Batch> {
-    let mut out = VecDeque::new();
-    let mut offset = 0usize;
-    while offset < count {
-        let len = batch_size.min(count - offset);
-        out.push_back(Batch {
-            point,
-            start: start + offset as u64,
-            len,
-        });
-        offset += len;
-    }
-    out
-}
-
-/// Builds the checkpoint snapshot of all committed tallies (cheap; safe to
-/// call under the scheduler lock).
-fn checkpoint_snapshot(shared: &Shared<'_>, state: &SweepState) -> Checkpoint {
-    Checkpoint {
-        fingerprint: shared.fingerprint.to_string(),
-        points: shared
-            .points
-            .iter()
-            .zip(&state.points)
-            .map(|(point, s)| CheckpointPoint {
-                id: point.id().to_string(),
-                shots: s.committed_shots,
-                failures: s.committed_failures,
-            })
-            .collect(),
-    }
-}
-
-/// Builds and immediately writes the checkpoint (used on the no-work resume
-/// path, where there is no lock contention to avoid).
-fn write_checkpoint(shared: &Shared<'_>, state: &SweepState) -> Result<(), EngineError> {
-    let Some(path) = shared.config.checkpoint.as_deref() else {
-        return Ok(());
-    };
-    checkpoint_snapshot(shared, state).save(path)
-}
-
-/// The worker loop: steal a batch from any point, run it, merge the tally,
-/// and extend or finish the point's schedule at block boundaries.
-fn worker(shared: &Shared<'_>) {
-    loop {
-        let batch = {
-            let mut state = shared.state.lock().expect("engine lock poisoned");
-            loop {
-                // A checkpoint-write failure aborts the sweep promptly (the
-                // user asked for durability; silently losing it — or
-                // computing for hours only to discard the tallies at the
-                // end — would both be worse).
-                if state.checkpoint_error.is_some() {
-                    return;
-                }
-                if let Some(batch) = state.pending.pop_front() {
-                    break batch;
-                }
-                if state.unfinished == 0 {
-                    return;
-                }
-                state = shared.work_ready.wait(state).expect("engine lock poisoned");
-            }
-        };
-
-        let started = Instant::now();
-        let failures = shared.points[batch.point].run_range(batch.start, batch.len);
-        let busy = started.elapsed().as_secs_f64();
-
-        let mut state = shared.state.lock().expect("engine lock poisoned");
-        let config = shared.config;
-        {
-            let point = &mut state.points[batch.point];
-            point.shots += batch.len;
-            point.failures += failures;
-            point.busy_secs += busy;
-        }
-        let (at_boundary, finished_now) = {
-            let point = &mut state.points[batch.point];
-            if point.shots != point.target {
-                (false, false)
-            } else {
-                point.committed_shots = point.shots;
-                point.committed_failures = point.failures;
-                let converged = config.is_converged(point.shots, point.failures);
-                if converged || point.target >= config.shot_ceiling {
-                    point.finished = true;
-                    point.converged = converged;
-                    (true, true)
-                } else {
-                    (true, false)
-                }
-            }
-        };
-        if at_boundary {
-            if finished_now {
-                state.unfinished -= 1;
-                if state.unfinished == 0 {
-                    shared.work_ready.notify_all();
-                }
-            } else {
-                let point = &mut state.points[batch.point];
-                let new_target = config.next_target(point.target);
-                let start_stream = point.next_stream;
-                let count = new_target - point.target;
-                point.target = new_target;
-                point.next_stream += count as u64;
-                let mut fresh = batches(config.batch_size, batch.point, start_stream, count);
-                state.pending.append(&mut fresh);
-                shared.work_ready.notify_all();
-            }
-            // Snapshot under the scheduler lock (a small Vec clone), then
-            // serialise and write the file outside it so disk latency never
-            // stalls the other workers.
-            if config.checkpoint.is_some() {
-                state.checkpoint_epoch += 1;
-                let epoch = state.checkpoint_epoch;
-                let snapshot = checkpoint_snapshot(shared, &state);
-                drop(state);
-                let path = config.checkpoint.as_deref().expect("checked above");
-                let mut last_written = shared
-                    .checkpoint_io
-                    .lock()
-                    .expect("checkpoint lock poisoned");
-                if epoch > *last_written {
-                    if let Err(error) = snapshot.save(path) {
-                        let mut state = shared.state.lock().expect("engine lock poisoned");
-                        state.checkpoint_error.get_or_insert(error);
-                        // Wake every waiting worker so the sweep aborts.
-                        shared.work_ready.notify_all();
-                    } else {
-                        *last_written = epoch;
-                    }
-                }
-            }
-        }
     }
 }
 
@@ -1250,6 +1154,49 @@ mod tests {
                 (f.id.as_str(), f.shots, f.failures)
             );
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_resume_across_batch_sizes_and_thread_counts() {
+        // The fingerprint deliberately excludes `batch_size` and the
+        // thread/shard count: a committed tally is a pure function of its
+        // stream prefix `0..shots` and block boundaries depend only on the
+        // floor and ceiling, so a checkpoint written under one
+        // batch/thread setting must resume bit-identically under any
+        // other.  This is the proof the fingerprint doc promises.
+        let path = temp_path("xbatch.json");
+        let _ = std::fs::remove_file(&path);
+        let full = SweepConfig {
+            shot_floor: 64,
+            ..SweepConfig::fixed(512)
+        };
+        let reference = SweepRunner::new(full.clone())
+            .run(vec![SweepPoint::new("a", noisy_kernel(6))])
+            .unwrap();
+        // Partial run with batch 7 on 1 thread …
+        let partial = SweepConfig {
+            shot_floor: 64,
+            ..SweepConfig::fixed(128)
+        }
+        .with_batch_size(7)
+        .with_threads(1)
+        .with_checkpoint(&path);
+        SweepRunner::new(partial)
+            .run(vec![SweepPoint::new("a", noisy_kernel(6))])
+            .unwrap();
+        // … resumed with batch 100 on 3 threads.
+        let resumed = SweepRunner::new(
+            full.with_batch_size(100)
+                .with_threads(3)
+                .with_checkpoint(&path)
+                .with_resume(true),
+        )
+        .run(vec![SweepPoint::new("a", noisy_kernel(6))])
+        .unwrap();
+        let (r, f) = (resumed.point("a").unwrap(), reference.point("a").unwrap());
+        assert_eq!((r.shots, r.failures), (f.shots, f.failures));
+        assert_eq!(r.resumed_shots, 128);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -1481,7 +1428,11 @@ mod tests {
             points[0].get("shots").unwrap().as_usize(),
             Some(report.points[0].shots)
         );
-        assert_eq!(parsed.get("version").unwrap().as_usize(), Some(1));
+        assert_eq!(
+            parsed.get("schema_version").unwrap().as_usize(),
+            Some(REPORT_SCHEMA_VERSION as usize)
+        );
+        json::check_schema_version(&parsed, REPORT_SCHEMA_VERSION, "report").unwrap();
     }
 
     #[test]
