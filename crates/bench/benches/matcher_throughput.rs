@@ -1,6 +1,6 @@
-//! Criterion bench comparing the four decoding backends (exact MWPM,
-//! greedy, union-find, sparse blossom) on identical syndrome rounds across
-//! code distances 3–15.
+//! Criterion bench comparing the five decoding backends (exact MWPM,
+//! greedy, union-find, sparse blossom, alternating-tree) on identical
+//! syndrome rounds across code distances 3–15.
 //!
 //! The benched kernel is the post-anomaly *re-execution* decode — a full
 //! syndrome window with a centred MBBE and anomaly-aware re-weighted edge
@@ -71,9 +71,10 @@ fn bench_matcher_throughput(c: &mut Criterion) {
     }
 }
 
-/// Times exact MWPM vs the sparse blossom and union-find backends on the
-/// same d-distance window and prints the measured speedups of decoding one
-/// syndrome round.
+/// Times exact MWPM vs the sparse blossom, union-find and alternating-tree
+/// backends on the same d-distance window and prints the measured speedups
+/// of decoding one syndrome round, including the tree/blossom and tree/uf
+/// cross-backend ratios.
 fn report_speedup(d: usize) {
     let fix = fixture(d, 7);
     let time = |kind: MatcherKind, iters: u32| {
@@ -90,15 +91,23 @@ fn report_speedup(d: usize) {
     let exact = time(MatcherKind::Exact, 10);
     let blossom = time(MatcherKind::Blossom, 50);
     let union_find = time(MatcherKind::UnionFind, 50);
+    let tree = time(MatcherKind::Tree, 50);
     let per_round = |t: f64| t / d as f64 * 1e6;
     println!(
         "speedup: d={d} exact {:.1} us/round, blossom {:.1} us/round ({:.1}x), \
-         union-find {:.1} us/round ({:.1}x)",
+         union-find {:.1} us/round ({:.1}x), tree {:.1} us/round ({:.1}x)",
         per_round(exact),
         per_round(blossom),
         exact / blossom,
         per_round(union_find),
-        exact / union_find
+        exact / union_find,
+        per_round(tree),
+        exact / tree
+    );
+    println!(
+        "ratios:  d={d} tree/blossom {:.2}x, tree/uf {:.2}x",
+        blossom / tree,
+        union_find / tree
     );
 }
 

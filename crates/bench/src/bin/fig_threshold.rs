@@ -13,9 +13,10 @@
 //!
 //! The sweep runs on the shared adaptive engine, so `--target-rse`,
 //! `--checkpoint`/`--resume` and `--report` all work; distances d > 13 are
-//! only tractable because the sparse blossom backend decodes the rollback
-//! windows ~5x faster than the dense exact oracle, so `--matcher` defaults
-//! to `blossom` here (pass `--matcher exact` to cross-check small d).
+//! only tractable because the alternating-tree backend decodes the rollback
+//! windows ~12x faster than the dense exact oracle, so `--matcher` defaults
+//! to `tree` here (pass `--matcher exact` to cross-check small d, or
+//! `--matcher blossom` for the truncated-ball sparse blossom backend).
 //! After the sweep the binary re-parses the engine's own JSON report and
 //! validates it (every cell present, Wilson bounds ordered and bracketing
 //! the point estimate), exiting 3 on any violation — CI runs this
@@ -57,14 +58,14 @@ struct Cell {
 }
 
 fn main() {
-    // The whole point of this figure is the sparse blossom backend: default
-    // to it unless the user explicitly picks a matcher.
+    // This figure needs exact decoding at large d: default to the fastest
+    // exact backend (alternating-tree) unless the user picks a matcher.
     let (args, extras) = Cli::new(
         "fig_threshold",
         "logical error rate vs MBBE burst rate, with crossing-point threshold estimates",
         200,
     )
-    .default_matcher(MatcherKind::Blossom)
+    .default_matcher(MatcherKind::Tree)
     .flag(
         "--distances",
         "LIST",

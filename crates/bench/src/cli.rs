@@ -31,7 +31,7 @@ pub struct EngineArgs {
     /// tables and progress move to stderr so piped JSON stays parseable.
     pub json: bool,
     /// Matching backend the decoding binaries run
-    /// (`--matcher exact|greedy|union-find|blossom`).
+    /// (`--matcher exact|greedy|union-find|blossom|tree`).
     pub matcher: MatcherKind,
     /// Sweep worker threads (`--threads N`); `None` uses one per available
     /// core.  Thread count never changes tallies (pinned by the engine's
@@ -217,7 +217,7 @@ impl Cli {
     }
 
     /// Overrides the default matching backend (fig_threshold defaults to
-    /// the sparse blossom matcher, for instance).
+    /// the alternating-tree matcher, for instance).
     pub fn default_matcher(mut self, matcher: MatcherKind) -> Self {
         self.default_matcher = matcher;
         self
@@ -295,7 +295,7 @@ impl Cli {
                     args.matcher = MatcherKind::parse(name).ok_or_else(|| {
                         format!(
                             "unknown matcher '{name}': expected \
-                             exact|greedy|union-find|blossom"
+                             exact|greedy|union-find|blossom|tree"
                         )
                     })?;
                 }
@@ -350,7 +350,7 @@ impl Cli {
             (
                 "--matcher NAME".into(),
                 format!(
-                    "matching backend: exact|greedy|union-find|blossom (default {})",
+                    "matching backend: exact|greedy|union-find|blossom|tree (default {})",
                     self.default_matcher.name()
                 ),
             ),

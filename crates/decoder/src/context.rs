@@ -517,10 +517,12 @@ mod tests {
         .into_iter()
         .collect();
         let history = static_history(&code, &error, 3);
-        let mut context = DecoderContext::new(DecoderConfig::default());
+        // same config on both sides: ReExecutingDecoder::new defaults to the
+        // alternating-tree backend, so build the context from its config
+        let mut decoder = crate::ReExecutingDecoder::new(&graph, 1e-3);
+        let mut context = DecoderContext::new(decoder.config());
         let outcome = context.decode_with_rollback(&graph, 1e-3, &history, Some(&[region]), 0);
         assert!(outcome.was_rolled_back());
-        let mut decoder = crate::ReExecutingDecoder::new(&graph, 1e-3);
         let reference = decoder.decode(&history, Some(&[region]), 0);
         assert_eq!(outcome, reference);
         // no detection → no second pass, still cached

@@ -4,7 +4,8 @@ use crate::spacetime::BoundarySide;
 use crate::{DetectionEvent, SyndromeHistory, WeightModel};
 use q3de_lattice::MatchingGraph;
 use q3de_matching::{
-    BlossomBackend, DecoderBackend, ExactBackend, GreedyBackend, MatcherKind, UnionFindDecoder,
+    AltTreeBackend, BlossomBackend, DecoderBackend, ExactBackend, GreedyBackend, MatcherKind,
+    UnionFindDecoder,
 };
 
 /// Tuning knobs of the [`SurfaceDecoder`].
@@ -53,6 +54,7 @@ impl DecoderConfig {
             MatcherKind::Greedy => Box::new(GreedyBackend::new(self.refine_rounds)),
             MatcherKind::UnionFind => Box::new(UnionFindDecoder::default()),
             MatcherKind::Blossom => Box::new(BlossomBackend::new()),
+            MatcherKind::Tree => Box::new(AltTreeBackend::new()),
         }
     }
 }

@@ -624,6 +624,7 @@ fn solve_problem(problem: &MatchingProblem, dense: &mut DenseBlossom) -> Matchin
     if (n + slots) % 2 == 1 {
         slots += 1;
     }
+    let mut doubled = false;
     loop {
         let partner = dense.solve(n + slots, &|a, b| {
             let cost = if a < n && b < n {
@@ -643,13 +644,37 @@ fn solve_problem(problem: &MatchingProblem, dense: &mut DenseBlossom) -> Matchin
             if (n + slots) % 2 == 1 {
                 slots += 1;
             }
+            doubled = true;
             continue;
         }
+        // Retry budget exhausted at the full `2n`-reduction cap with no
+        // spare slot pair left: correctness no longer rests on the
+        // spare-pair exchange argument.  That is expected exactly when the
+        // optimum sends (almost) every node to the boundary, but a future
+        // refactor that under-grows the pool would surface here too — so
+        // say it out loud rather than silently accepting.
+        if doubled && slots - used < 2 {
+            crate::log!(
+                "blossom boundary-slot pool exhausted at the {n}-node cap \
+                 ({used}/{slots} slots used): accepting the full-reduction \
+                 optimum"
+            );
+        }
         let mut assignment = vec![MatchTarget::Boundary; n];
+        let mut infeasible = false;
         for (i, slot) in assignment.iter_mut().enumerate() {
             if partner[i] < n {
                 *slot = MatchTarget::Node(partner[i]);
+                infeasible |= !problem.pair_cost(i, partner[i]).is_finite();
+            } else {
+                infeasible |= !problem.boundary_cost(i).is_finite();
             }
+        }
+        if infeasible {
+            crate::log!(
+                "blossom big-M fallback realized: some node is matched \
+                 through an infinite-cost edge — the instance is infeasible"
+            );
         }
         return Matching::new(assignment);
     }
@@ -1186,6 +1211,22 @@ mod tests {
         let matching = BlossomMatcher.solve(&problem);
         assert!(matching.is_complete());
         assert_eq!(matching.boundary_nodes().count(), 4);
+    }
+
+    /// Regression pin for the boundary-slot pool's parity adjustment: at
+    /// n = 11 the initial pool of 8 slots is bumped to 9 to keep n + slots
+    /// even, every node wants the boundary so all 9 slots get used, and the
+    /// retry-doubling path grows the pool to the 11-slot cap (18 clamped to
+    /// n, parity already even at 22 total).  The accepted full-reduction
+    /// optimum must still send all 11 nodes to the boundary at exact cost.
+    #[test]
+    fn all_boundary_odd_instance_survives_the_slot_parity_adjustment() {
+        let n = 11;
+        let problem = MatchingProblem::from_fn(n, |_, _| 10.0, |_| 1.0);
+        let matching = BlossomMatcher.solve(&problem);
+        assert!(matching.is_complete());
+        assert_eq!(matching.boundary_nodes().count(), n);
+        assert_close(matching.total_cost(&problem), n as f64, "all-boundary");
     }
 
     /// An odd cycle of cheap pair costs forces blossom formation: three

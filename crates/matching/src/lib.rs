@@ -42,6 +42,18 @@
 
 #![deny(missing_docs)]
 
+/// Crate-internal diagnostic log: the matching backends sit deep inside the
+/// decode hot path and must not panic on recoverable anomalies, but silent
+/// fallbacks mask bugs in future refactors — `log!` routes a one-line
+/// warning to stderr instead (the workspace carries no logging dependency).
+macro_rules! log {
+    ($($arg:tt)*) => {
+        eprintln!("[q3de_matching] {}", format_args!($($arg)*))
+    };
+}
+pub(crate) use log;
+
+mod alt_tree;
 mod backend;
 mod blossom;
 mod exact;
@@ -51,6 +63,7 @@ mod refine;
 mod sparse;
 mod union_find;
 
+pub use alt_tree::AltTreeBackend;
 pub use backend::{ExactBackend, GreedyBackend};
 pub use blossom::{BlossomBackend, BlossomMatcher};
 pub use exact::ExactMatcher;
@@ -117,13 +130,14 @@ pub trait DecoderBackend {
 /// | `Greedy` | [`GreedyBackend`] | `O(k·E log V + k² log k)` | the paper's hardware decoder model |
 /// | `UnionFind` | [`UnionFindDecoder`] | `~O(E α(E))` | large distances / high-throughput sweeps |
 /// | `Blossom` | [`BlossomBackend`] | `O(k·B log B + c³)` per window | exact decoding at large d / threshold studies |
+/// | `Tree` | [`AltTreeBackend`] | near-linear in explored graph per window | exact decoding everywhere; fastest exact backend |
 ///
 /// (`k` = defects, `V`/`E` = space-time graph size, `c` = largest cluster,
 /// `B` = truncated-ball size ≪ `E`.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MatcherKind {
     /// Exact minimum-weight matching per cluster (refined-greedy fallback
-    /// above the cluster-size threshold).  The default; [`Blossom`](Self::Blossom)
+    /// above the cluster-size threshold).  The default; [`Tree`](Self::Tree)
     /// is equally exact and much faster at large distances.
     #[default]
     Exact,
@@ -134,19 +148,25 @@ pub enum MatcherKind {
     /// The sparse blossom backend: exact MWPM without a dense cost matrix
     /// (truncated Dijkstra balls + per-cluster `O(c³)` primal–dual blossom).
     Blossom,
+    /// The simultaneous alternating-tree backend: exact MWPM grown directly
+    /// on the sparse graph — per-defect regions with dual variables, a
+    /// global next-tight event queue, and lazy blossoms; no per-cluster
+    /// dense solves at all.
+    Tree,
 }
 
 impl MatcherKind {
     /// All selectable kinds, in documentation order.
-    pub const ALL: [MatcherKind; 4] = [
+    pub const ALL: [MatcherKind; 5] = [
         MatcherKind::Exact,
         MatcherKind::Greedy,
         MatcherKind::UnionFind,
         MatcherKind::Blossom,
+        MatcherKind::Tree,
     ];
 
     /// The backend's CLI / report name (`exact`, `greedy`, `union-find`,
-    /// `blossom`).
+    /// `blossom`, `tree`).
     ///
     /// The backends themselves are constructed by the decoder crate's
     /// `DecoderConfig::backend()`, which threads its tuning knobs into them
@@ -157,17 +177,20 @@ impl MatcherKind {
             MatcherKind::Greedy => "greedy",
             MatcherKind::UnionFind => "union-find",
             MatcherKind::Blossom => "blossom",
+            MatcherKind::Tree => "tree",
         }
     }
 
     /// Parses a CLI name as produced by [`MatcherKind::name`] (also accepts
-    /// `uf` and `union_find` for the union-find backend).
+    /// `uf` and `union_find` for the union-find backend, and `alt-tree` for
+    /// the alternating-tree backend).
     pub fn parse(s: &str) -> Option<MatcherKind> {
         match s {
             "exact" => Some(MatcherKind::Exact),
             "greedy" => Some(MatcherKind::Greedy),
             "union-find" | "union_find" | "uf" => Some(MatcherKind::UnionFind),
             "blossom" => Some(MatcherKind::Blossom),
+            "tree" | "alt-tree" | "alt_tree" => Some(MatcherKind::Tree),
             _ => None,
         }
     }
@@ -199,11 +222,12 @@ mod trait_tests {
     #[test]
     fn every_backend_solves_through_the_trait_and_kinds_round_trip() {
         let graph = SyndromeGraph::line(&[1.0, 1.0, 1.0], 5.0);
-        let backends: [Box<dyn DecoderBackend>; 4] = [
+        let backends: [Box<dyn DecoderBackend>; 5] = [
             Box::new(ExactBackend::default()),
             Box::new(GreedyBackend::default()),
             Box::new(UnionFindDecoder::default()),
             Box::new(BlossomBackend::default()),
+            Box::new(AltTreeBackend::default()),
         ];
         for (kind, mut backend) in MatcherKind::ALL.into_iter().zip(backends) {
             let matching = backend.decode_defects(&graph, &[1, 2]);
@@ -213,6 +237,7 @@ mod trait_tests {
         }
         assert_eq!(MatcherKind::parse("uf"), Some(MatcherKind::UnionFind));
         assert_eq!(MatcherKind::parse("blossom"), Some(MatcherKind::Blossom));
+        assert_eq!(MatcherKind::parse("alt-tree"), Some(MatcherKind::Tree));
         assert_eq!(MatcherKind::default(), MatcherKind::Exact);
     }
 }

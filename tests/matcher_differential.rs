@@ -1,26 +1,32 @@
-//! Differential test: the union-find and blossom backends vs the exact-MWPM
-//! oracle on seeded random syndrome streams.
+//! Differential test: the union-find, blossom and alternating-tree backends
+//! vs the exact-MWPM oracle on seeded random syndrome streams.
 //!
 //! For every stream the union-find decoder must return a *valid perfect
 //! matching* of the detection events (each event in exactly one pair or
 //! boundary match), and over >=200 streams per distance its logical error
 //! rate must stay within 2x of exact MWPM's on the very same streams.
 //!
-//! The blossom backend is exact, so it is held to a much stronger pin: its
-//! *total matching weight* must equal the exact oracle's on every stream the
-//! oracle can solve exactly — at most 22 detection events, the bitmask DP's
-//! hard ceiling (the oracle runs with `exact_cluster_threshold = 22`) — and
-//! must never be *worse* on the rest, where the oracle's refined-greedy
-//! fallback is merely heuristic and blossom routinely beats it.
+//! The blossom and alternating-tree backends are exact, so they are held to
+//! a much stronger pin: their *total matching weight* must equal the exact
+//! oracle's on every stream the oracle can solve exactly — at most 22
+//! detection events, the bitmask DP's hard ceiling (the oracle runs with
+//! `exact_cluster_threshold = 22`) — and must never be *worse* on the rest,
+//! where the oracle's refined-greedy fallback is merely heuristic and the
+//! exact backends routinely beat it.  The two exact sparse backends must
+//! also agree with *each other* on every stream, pinned or not.
 //!
 //! Streams are sampled through `MemoryExperiment::sample_history` — the same
 //! kernel every Monte-Carlo shot decodes — so the differential suite
-//! exercises exactly the distribution the simulator sees.
+//! exercises exactly the distribution the simulator sees.  A separate
+//! tie-heavy random-graph loop (30k instances release-mode in CI's
+//! `matcher-smoke` job, a 2k slice in tier-1) hammers the degenerate-optimum
+//! regime where dual ties force blossom formation.
 
 use q3de::decoder::{DecodeOutcome, DecoderConfig, MatcherKind, SurfaceDecoder};
 use q3de::lattice::ErrorKind;
+use q3de::matching::{AltTreeBackend, DecoderBackend, ExactBackend, SyndromeGraph};
 use q3de::sim::{AnomalyInjection, DecodingStrategy, MemoryExperiment, MemoryExperimentConfig};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 
@@ -77,6 +83,10 @@ fn differential(
         &graph,
         DecoderConfig::default().with_matcher(MatcherKind::Blossom),
     );
+    let mut tree = SurfaceDecoder::with_config(
+        &graph,
+        DecoderConfig::default().with_matcher(MatcherKind::Tree),
+    );
     // The weight oracle: exact bitmask DP on every cluster its matcher can
     // represent (22 nodes), so no inexact fallback muddies the equality pin.
     let mut oracle = SurfaceDecoder::with_config(
@@ -97,28 +107,54 @@ fn differential(
         let exact_out = exact.decode(&history, &model);
         let uf_out = union_find.decode(&history, &model);
         let blossom_out = blossom.decode(&history, &model);
+        let tree_out = tree.decode(&history, &model);
         let oracle_out = oracle.decode(&history, &model);
         assert_valid_matching(&uf_out, "union-find");
         assert_valid_matching(&exact_out, "exact");
         assert_valid_matching(&blossom_out, "blossom");
-        let (bw, ow) = (blossom_out.total_weight, oracle_out.total_weight);
+        assert_valid_matching(&tree_out, "tree");
+        let (bw, tw, ow) = (
+            blossom_out.total_weight,
+            tree_out.total_weight,
+            oracle_out.total_weight,
+        );
         let tol = 1e-6 * (1.0 + ow.abs());
+        // Both sparse exact backends must always agree with each other,
+        // whether or not the oracle window is exactly solvable.
+        assert!(
+            (bw - tw).abs() <= tol,
+            "d={d} stream {stream}: tree weight {tw} != blossom weight {bw} \
+             on a {}-event window",
+            oracle_out.num_events()
+        );
         if oracle_out.num_events() <= 22 {
-            // Every cluster fits the oracle's DP: both are exact, weights
-            // must coincide.
+            // Every cluster fits the oracle's DP: all three are exact,
+            // weights must coincide.
             assert!(
                 (bw - ow).abs() <= tol,
                 "d={d} stream {stream}: blossom weight {bw} != exact weight {ow} \
                  on an exactly-solvable window ({} events)",
                 oracle_out.num_events()
             );
+            assert!(
+                (tw - ow).abs() <= tol,
+                "d={d} stream {stream}: tree weight {tw} != exact weight {ow} \
+                 on an exactly-solvable window ({} events)",
+                oracle_out.num_events()
+            );
             pinned += 1;
         } else {
             // The oracle may have fallen back to refined greedy on a large
-            // cluster; the exact blossom can only be at least as good.
+            // cluster; the exact backends can only be at least as good.
             assert!(
                 bw <= ow + tol,
                 "d={d} stream {stream}: blossom weight {bw} worse than the \
+                 oracle's {ow} on a {}-event window",
+                oracle_out.num_events()
+            );
+            assert!(
+                tw <= ow + tol,
+                "d={d} stream {stream}: tree weight {tw} worse than the \
                  oracle's {ow} on a {}-event window",
                 oracle_out.num_events()
             );
@@ -184,6 +220,91 @@ fn union_find_tracks_exact_mwpm_under_burst_reweighting() {
         total_pinned > 0,
         "no burst stream hit the blossom equality pin"
     );
+}
+
+/// Samples one tie-heavy random instance: a connected sparse graph whose
+/// weights are almost all drawn from {1, 2} (with a sprinkling of exact
+/// zeros to exercise the tree backend's free pre-pairing), boundary edges
+/// on a random vertex subset, and a defect set small enough that the
+/// bitmask-DP oracle is provably exact.
+fn tie_heavy_instance(rng: &mut ChaCha8Rng) -> (SyndromeGraph, Vec<usize>) {
+    let n = rng.gen_range(6..=24);
+    let mut graph = SyndromeGraph::new(n);
+    let tie_weight = |rng: &mut ChaCha8Rng| -> f64 {
+        if rng.gen_range(0..20) == 0 {
+            0.0
+        } else {
+            rng.gen_range(1..=2) as f64
+        }
+    };
+    // random spanning tree keeps every instance connected ...
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        let w = tie_weight(rng);
+        graph.add_edge(parent, v, w);
+    }
+    // ... plus chords, so tight-edge cycles (and therefore blossoms) form
+    for _ in 0..n / 2 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            graph.add_edge(u, v, tie_weight(rng));
+        }
+    }
+    // at least one boundary attachment makes every defect set feasible
+    let boundary_sites = rng.gen_range(1..=3);
+    for _ in 0..boundary_sites {
+        let v = rng.gen_range(0..n);
+        graph.add_boundary_edge(v, tie_weight(rng).max(1.0));
+    }
+    let k = rng.gen_range(0..=n.min(12));
+    let mut defects: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        defects.swap(i, j);
+    }
+    defects.truncate(k);
+    defects.sort_unstable();
+    (graph, defects)
+}
+
+/// The tie-heavy random-problem loop: `instances` random graphs whose
+/// near-degenerate integer weights force the alternating-tree backend
+/// through its blossom/expand/zero-pre-pair paths, each pinned
+/// weight-equal to the exact bitmask-DP oracle.
+fn tie_heavy_differential(instances: usize, salt: u64) {
+    let mut tree = AltTreeBackend::new();
+    let mut oracle = ExactBackend::new(22, 64);
+    for instance in 0..instances {
+        let mut rng = ChaCha8Rng::seed_from_u64(salt ^ (instance as u64).wrapping_mul(0x9E37));
+        let (graph, defects) = tie_heavy_instance(&mut rng);
+        let tree_match = tree.decode_defects(&graph, &defects);
+        let oracle_match = oracle.decode_defects(&graph, &defects);
+        assert!(
+            tree_match.is_perfect(defects.len()),
+            "instance {instance}: tree matching not perfect"
+        );
+        let (tw, ow) = (tree_match.total_cost(), oracle_match.total_cost());
+        assert!(
+            (tw - ow).abs() <= 1e-6 * (1.0 + ow.abs()),
+            "instance {instance}: tree weight {tw} != oracle weight {ow} \
+             ({} defects)",
+            defects.len()
+        );
+    }
+}
+
+#[test]
+fn tree_weight_equals_exact_on_tie_heavy_random_problems() {
+    // Tier-1 slice of the 30k loop below: fast enough for debug builds while
+    // still driving thousands of degenerate optima through the tree backend.
+    tie_heavy_differential(2_000, 0x7E31);
+}
+
+#[test]
+#[ignore = "30k-instance release-mode loop; run by CI's matcher-smoke job"]
+fn tree_weight_equals_exact_on_tie_heavy_random_problems_full() {
+    tie_heavy_differential(30_000, 0x7E31);
 }
 
 #[test]

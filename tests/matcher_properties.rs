@@ -8,8 +8,8 @@
 use q3de::decoder::{DecoderConfig, MatcherKind, SurfaceDecoder, SyndromeHistory, WeightModel};
 use q3de::lattice::{Coord, ErrorKind, Pauli, PauliString, StabilizerKind, SurfaceCode};
 use q3de::matching::{
-    BlossomMatcher, ExactMatcher, GreedyMatcher, MatchTarget, Matcher, MatchingProblem,
-    RefinedGreedyMatcher,
+    AltTreeBackend, BlossomMatcher, DecoderBackend, ExactBackend, ExactMatcher, GreedyMatcher,
+    MatchTarget, Matcher, MatchingProblem, RefinedGreedyMatcher, SyndromeGraph,
 };
 use q3de::noise::AnomalousRegion;
 use rand::{Rng, SeedableRng};
@@ -116,6 +116,44 @@ fn blossom_matcher_equals_exact_on_random_problems() {
             "case {case}: blossom ({bc}) != exact optimum ({ec}) on a \
              {}-defect problem",
             problem.num_nodes()
+        );
+    }
+}
+
+#[test]
+fn alt_tree_backend_equals_exact_on_random_sparse_problems() {
+    // The sparse analog of the dense blossom pin above: embed each random
+    // dense problem as a complete SyndromeGraph (one edge per pair, one
+    // boundary edge per defect) and require cost equality between the
+    // alternating-tree backend and the bitmask-DP oracle.  One persistent
+    // backend across all cases also exercises the scratch-reuse contract.
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7EE5);
+    let mut tree = AltTreeBackend::new();
+    let mut oracle = ExactBackend::new(22, 64);
+    for case in 0..CASES {
+        let problem = random_problem(&mut rng, 10);
+        let n = problem.num_nodes();
+        let mut graph = SyndromeGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                graph.add_edge(i, j, problem.pair_cost(i, j));
+            }
+            graph.add_boundary_edge(i, problem.boundary_cost(i));
+        }
+        let defects: Vec<usize> = (0..n).collect();
+        let tree_match = tree.decode_defects(&graph, &defects);
+        assert!(
+            tree_match.is_perfect(n),
+            "case {case}: tree matching not perfect on {n} defects"
+        );
+        let (tc, ec) = (
+            tree_match.total_cost(),
+            oracle.decode_defects(&graph, &defects).total_cost(),
+        );
+        assert!(
+            (tc - ec).abs() <= 1e-6 * (1.0 + ec.abs()),
+            "case {case}: tree ({tc}) != exact optimum ({ec}) on a \
+             {n}-defect sparse problem"
         );
     }
 }
